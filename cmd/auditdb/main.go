@@ -1,0 +1,206 @@
+// Command auditdb is an interactive SQL shell over an audited
+// database. It supports the full dialect — including CREATE AUDIT
+// EXPRESSION and CREATE TRIGGER ... ON ACCESS TO — plus shell
+// directives:
+//
+//	\h              help
+//	\explain <sql>  show the instrumented plan of a query
+//	\plain <sql>    show the uninstrumented plan
+//	\stats          engine counters
+//	\audit on|off   toggle audit-all mode (instrument without triggers)
+//	\placement leaf|hcn|highest
+//	\user <name>    set the session user
+//	\demo           load the paper's healthcare example (§II)
+//	\save <file>    dump the database as a replayable SQL script
+//	\load <file>    execute a SQL script from disk
+//	\q              quit
+//
+// NOTIFY actions print to the terminal.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"auditdb"
+)
+
+const demo = `
+CREATE TABLE Patients (PatientID INT PRIMARY KEY, Name VARCHAR(30), Age INT, Zip VARCHAR(10));
+CREATE TABLE Disease (PatientID INT, Disease VARCHAR(30));
+CREATE TABLE Log (At VARCHAR(30), UserID VARCHAR(30), SQL VARCHAR(500), PatientID INT);
+INSERT INTO Patients VALUES
+	(1, 'Alice', 34, '48109'), (2, 'Bob', 21, '48109'),
+	(3, 'Carol', 47, '98052'), (4, 'Dave', 29, '98052'), (5, 'Erin', 62, '10001');
+INSERT INTO Disease VALUES (1, 'cancer'), (2, 'flu'), (3, 'flu'), (4, 'diabetes'), (5, 'cancer');
+CREATE AUDIT EXPRESSION Audit_Alice AS
+	SELECT * FROM Patients WHERE Name = 'Alice'
+	FOR SENSITIVE TABLE Patients, PARTITION BY PatientID;
+CREATE TRIGGER Log_Alice ON ACCESS TO Audit_Alice AS
+	INSERT INTO Log SELECT now(), userid(), sqltext(), PatientID FROM ACCESSED;
+`
+
+func main() {
+	db := auditdb.Open()
+	db.OnNotify(func(m string) { fmt.Printf("*** NOTIFY: %s\n", m) })
+
+	fmt.Println("auditdb shell — SELECT triggers for data auditing (\\h for help)")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "auditdb> "
+	for {
+		fmt.Print(prompt)
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if directive(db, trimmed) {
+				return
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt = "      -> "
+			continue
+		}
+		sql := buf.String()
+		buf.Reset()
+		prompt = "auditdb> "
+		run(db, sql)
+	}
+}
+
+func directive(db *auditdb.DB, line string) (quit bool) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return true
+	case "\\h", "\\help":
+		fmt.Println(`statements end with ';'. Directives:
+  \explain <sql>   instrumented plan   \plain <sql>   bare plan
+  \stats           counters            \audit on|off  audit-all mode
+  \placement leaf|hcn|highest          \user <name>   session user
+  \save <file>     dump as SQL         \load <file>   replay a script
+  \demo            load healthcare demo from the paper
+  \q               quit`)
+	case "\\save":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\save <file>")
+			return false
+		}
+		f, err := os.Create(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		defer f.Close()
+		if err := db.Save(f); err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Println("saved to", fields[1])
+	case "\\load":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\load <file>")
+			return false
+		}
+		script, err := os.ReadFile(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		if _, err := db.ExecScript(string(script)); err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Println("loaded", fields[1])
+	case "\\demo":
+		if _, err := db.ExecScript(demo); err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Println("healthcare demo loaded; try: SELECT * FROM Patients WHERE Name = 'Alice';")
+		fmt.Println("then: SELECT * FROM Log;")
+	case "\\stats":
+		for k, v := range db.Stats() {
+			fmt.Printf("  %-15s %d\n", k, v)
+		}
+	case "\\audit":
+		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+			fmt.Println("usage: \\audit on|off")
+			return false
+		}
+		db.SetAuditAll(fields[1] == "on")
+	case "\\user":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\user <name>")
+			return false
+		}
+		db.SetUser(fields[1])
+	case "\\placement":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\placement leaf|hcn|highest")
+			return false
+		}
+		switch fields[1] {
+		case "leaf":
+			db.SetPlacement(auditdb.PlacementLeafNode)
+		case "hcn":
+			db.SetPlacement(auditdb.PlacementHCN)
+		case "highest":
+			db.SetPlacement(auditdb.PlacementHighestNode)
+		default:
+			fmt.Println("unknown placement", fields[1])
+		}
+	case "\\explain", "\\plain":
+		sql := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+		sql = strings.TrimSuffix(sql, ";")
+		if sql == "" {
+			fmt.Println("usage:", fields[0], "<select statement>")
+			return false
+		}
+		s, err := db.Explain(sql, fields[0] == "\\explain")
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Print(s)
+	default:
+		fmt.Println("unknown directive; \\h for help")
+	}
+	return false
+}
+
+func run(db *auditdb.DB, sql string) {
+	res, err := db.ExecScript(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if len(res.Columns) > 0 {
+		fmt.Println(strings.Join(res.Columns, " | "))
+		for _, row := range res.Rows {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = v.String()
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+		for _, expr := range res.AuditedExpressions() {
+			fmt.Printf("-- audited %s: %d sensitive IDs accessed\n", expr, res.AccessedCount(expr))
+		}
+	} else if res.RowsAffected > 0 {
+		fmt.Printf("(%d rows affected)\n", res.RowsAffected)
+	} else {
+		fmt.Println("ok")
+	}
+}

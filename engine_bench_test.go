@@ -1,0 +1,146 @@
+package auditdb
+
+// Engine-primitive benchmarks: not paper figures, but the numbers a
+// prospective embedder of the library would ask for first.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchDB(b *testing.B, audited bool) *DB {
+	b.Helper()
+	db := Open()
+	if _, err := db.ExecScript(`
+		CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(40), grp INT);
+	`); err != nil {
+		b.Fatal(err)
+	}
+	ins, err := db.Prepare("INSERT INTO kv VALUES (?, ?, ?)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if _, err := ins.Run(i, fmt.Sprintf("value-%d", i), i%100); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if audited {
+		if _, err := db.Exec(`
+			CREATE AUDIT EXPRESSION Audit_Grp AS
+				SELECT * FROM kv WHERE grp < 20
+				FOR SENSITIVE TABLE kv, PARTITION BY k`); err != nil {
+			b.Fatal(err)
+		}
+		db.SetAuditAll(true)
+	}
+	return db
+}
+
+func BenchmarkPointQueryByPK(b *testing.B) {
+	db := benchDB(b, false)
+	stmt, err := db.Prepare("SELECT v FROM kv WHERE k = ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := stmt.Run(i % 10000)
+		if err != nil || len(r.Rows) != 1 {
+			b.Fatalf("point query: %v rows=%d", err, len(r.Rows))
+		}
+	}
+}
+
+func BenchmarkPointQueryByPKAudited(b *testing.B) {
+	db := benchDB(b, true)
+	stmt, err := db.Prepare("SELECT v FROM kv WHERE k = ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stmt.Run(i % 10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPreparedVsParsed(b *testing.B) {
+	db := benchDB(b, false)
+	b.Run("prepared", func(b *testing.B) {
+		stmt, err := db.Prepare("SELECT v FROM kv WHERE k = ?")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := stmt.Run(42); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parsed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query("SELECT v FROM kv WHERE k = 42"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkInsertThroughput(b *testing.B) {
+	db := Open()
+	if _, err := db.Exec("CREATE TABLE t (x INT, y VARCHAR(20))"); err != nil {
+		b.Fatal(err)
+	}
+	ins, err := db.Prepare("INSERT INTO t VALUES (?, ?)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ins.Run(i, "payload"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupByAggregate(b *testing.B) {
+	db := benchDB(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := db.Query("SELECT grp, COUNT(*), MIN(k), MAX(k) FROM kv GROUP BY grp")
+		if err != nil || len(r.Rows) != 100 {
+			b.Fatalf("agg: %v rows=%d", err, len(r.Rows))
+		}
+	}
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	db := Open()
+	if _, err := db.ExecScript(`
+		CREATE TABLE l (id INT PRIMARY KEY, r_id INT);
+		CREATE TABLE r (id INT PRIMARY KEY, tag VARCHAR(10));
+	`); err != nil {
+		b.Fatal(err)
+	}
+	insL, _ := db.Prepare("INSERT INTO l VALUES (?, ?)")
+	insR, _ := db.Prepare("INSERT INTO r VALUES (?, ?)")
+	for i := 0; i < 2000; i++ {
+		if _, err := insL.Run(i, i%500); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := insR.Run(i, "t"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Query("SELECT COUNT(*) FROM l, r WHERE l.r_id = r.id")
+		if err != nil || res.Rows[0][0].Int() != 2000 {
+			b.Fatalf("join: %v", err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Quickstart: the paper's HIPAA scenario (§I, Example 1.1).
+//
+// A hospital must be able to tell patient Alice every entity that
+// accessed her record. We declare her record sensitive with an audit
+// expression, attach a SELECT trigger that logs accesses, and then run
+// queries — including one that only touches her record inside a
+// subquery, which output-based auditing would miss.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"auditdb"
+)
+
+func main() {
+	db := auditdb.Open()
+	db.SetUser("dr_mallory")
+
+	must(db.ExecScript(`
+		CREATE TABLE Patients (PatientID INT PRIMARY KEY, Name VARCHAR(30), Age INT, Zip VARCHAR(10));
+		CREATE TABLE Disease  (PatientID INT, Disease VARCHAR(30));
+		CREATE TABLE Log (At VARCHAR(30), UserID VARCHAR(30), SQL VARCHAR(500), PatientID INT);
+
+		INSERT INTO Patients VALUES
+			(1, 'Alice', 34, '48109'), (2, 'Bob', 21, '48109'),
+			(3, 'Carol', 47, '98052'), (4, 'Dave', 29, '98052'), (5, 'Erin', 62, '10001');
+		INSERT INTO Disease VALUES
+			(1, 'cancer'), (2, 'flu'), (3, 'flu'), (4, 'diabetes'), (5, 'cancer');
+	`))
+
+	// §II-A, Example 2.1: declare Alice's record sensitive.
+	must(db.Exec(`
+		CREATE AUDIT EXPRESSION Audit_Alice AS
+			SELECT * FROM Patients WHERE Name = 'Alice'
+			FOR SENSITIVE TABLE Patients, PARTITION BY PatientID`))
+
+	// §II-C: log every access with who/when/what.
+	must(db.Exec(`
+		CREATE TRIGGER Log_Alice_Accesses ON ACCESS TO Audit_Alice AS
+			INSERT INTO Log SELECT now(), userid(), sqltext(), PatientID FROM ACCESSED`))
+
+	// Example 1.2, query 1: direct access.
+	fmt.Println("-- direct query touching Alice:")
+	run(db, `SELECT P.PatientID, Name, Age, Zip
+		FROM Patients P, Disease D
+		WHERE P.PatientID = D.PatientID AND Name = 'Alice' AND Disease = 'cancer'`)
+
+	// Example 1.2, query 2: the access hides inside an EXISTS
+	// subquery; the result rows never contain Alice's data, yet her
+	// record influenced them (Definition 2.3).
+	fmt.Println("-- indirect query (EXISTS subquery):")
+	run(db, `SELECT 1 FROM Patients WHERE exists
+		(SELECT * FROM Patients P, Disease D
+		 WHERE P.PatientID = D.PatientID AND Name = 'Alice' AND Disease = 'cancer')`)
+
+	// A query that does not touch Alice fires nothing.
+	fmt.Println("-- unrelated query (Bob):")
+	run(db, `SELECT * FROM Patients WHERE Name = 'Bob'`)
+
+	fmt.Println("-- audit log (what Alice would be shown on request):")
+	res := must(db.Query(`SELECT At, UserID, PatientID, SQL FROM Log`))
+	for _, row := range res.Rows {
+		fmt.Printf("  at=%s user=%s patient=%s\n    query: %.60s...\n",
+			row[0], row[1], row[2], row[3])
+	}
+	fmt.Printf("\n%d accesses were logged; the offline auditor can verify each one exactly.\n", len(res.Rows))
+
+	rep, err := db.OfflineAudit(`SELECT 1 FROM Patients WHERE exists
+		(SELECT * FROM Patients P, Disease D
+		 WHERE P.PatientID = D.PatientID AND Name = 'Alice' AND Disease = 'cancer')`, "Audit_Alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline verification of the subquery access: accessedIDs=%v (%d re-executions)\n",
+		rep.AccessedIDs, rep.Executions)
+}
+
+func run(db *auditdb.DB, sql string) {
+	res := must(db.Query(sql))
+	fmt.Printf("  %d result rows; audited expressions: %v\n", len(res.Rows), res.AuditedExpressions())
+}
+
+func must(r *auditdb.Result, err ...error) *auditdb.Result {
+	if len(err) > 0 && err[0] != nil {
+		log.Fatal(err[0])
+	}
+	return r
+}

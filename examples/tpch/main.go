@@ -1,0 +1,75 @@
+// TPC-H: run the paper's seven-query customer workload (§V-C) against
+// a generated TPC-H database with an audit expression over one market
+// segment, and print per-query audit cardinalities for the hcn and
+// leaf-node heuristics next to the offline ground truth — a compact
+// rendition of Figure 9.
+//
+// Run with: go run ./examples/tpch [-sf 0.005]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"auditdb/internal/core"
+	"auditdb/internal/offline"
+	"auditdb/internal/tpch"
+)
+
+func main() {
+	log.SetFlags(0)
+	sf := flag.Float64("sf", 0.005, "TPC-H scale factor")
+	flag.Parse()
+
+	start := time.Now()
+	eng, data, err := tpch.NewEngine(tpch.Config{SF: *sf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TPC-H SF %.3f loaded in %.1fs (%d customers, %d orders)\n",
+		*sf, time.Since(start).Seconds(), len(data.Customer), len(data.Orders))
+
+	params := tpch.DefaultParams()
+	if _, err := eng.Exec(tpch.AuditCustomerSegment("Audit_Customer", params.Segment)); err != nil {
+		log.Fatal(err)
+	}
+	eng.SetAuditAll(true)
+	ae, _ := eng.Registry().Get("Audit_Customer")
+	fmt.Printf("auditing %d customers in segment %s\n\n", ae.Cardinality(), params.Segment)
+
+	auditor := offline.New(eng.Catalog(), eng.Store())
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "query\trows\ttime\thcn auditIDs\tleaf auditIDs\toffline accessedIDs")
+	for _, q := range tpch.Queries(params) {
+		eng.SetHeuristic(core.HighestCommutativeNode)
+		t0 := time.Now()
+		r, err := eng.Query(q.SQL)
+		if err != nil {
+			log.Fatalf("%s: %v", q.Name, err)
+		}
+		dur := time.Since(t0)
+		hcn := r.Accessed.Len("Audit_Customer")
+
+		eng.SetHeuristic(core.LeafNode)
+		r2, err := eng.Query(q.SQL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		leaf := r2.Accessed.Len("Audit_Customer")
+
+		rep, err := auditor.Audit(q.SQL, ae)
+		if err != nil {
+			log.Fatalf("%s offline: %v", q.Name, err)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%d\t%d\n",
+			q.Name, len(r.Rows), dur.Round(time.Millisecond), hcn, leaf, len(rep.AccessedIDs))
+	}
+	tw.Flush()
+	fmt.Println("\nhcn equals ground truth except under top-k (Q3, Q10), where the")
+	fmt.Println("audit operator cannot be pulled above the limit; the offline auditor")
+	fmt.Println("clears those residual false positives (paper, Figure 9).")
+}

@@ -1,0 +1,3 @@
+module auditdb
+
+go 1.23

@@ -1,0 +1,142 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"auditdb/internal/value"
+)
+
+func TestExprStrings(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&ColumnRef{Table: "p", Name: "id"}, "p.id"},
+		{&ColumnRef{Name: "id"}, "id"},
+		{&Literal{Val: value.NewInt(5)}, "5"},
+		{&Literal{Val: value.NewString("x")}, "'x'"},
+		{&Binary{Op: OpEq, L: &ColumnRef{Name: "a"}, R: &Literal{Val: value.NewInt(1)}}, "(a = 1)"},
+		{&Binary{Op: OpAnd, L: &Literal{Val: value.NewBool(true)}, R: &Literal{Val: value.NewBool(false)}}, "(true AND false)"},
+		{&Unary{Op: '!', X: &ColumnRef{Name: "a"}}, "(NOT a)"},
+		{&Unary{Op: '-', X: &Literal{Val: value.NewInt(3)}}, "(-3)"},
+		{&IsNull{X: &ColumnRef{Name: "a"}}, "(a IS NULL)"},
+		{&IsNull{X: &ColumnRef{Name: "a"}, Negate: true}, "(a IS NOT NULL)"},
+		{&Between{X: &ColumnRef{Name: "a"}, Lo: &Literal{Val: value.NewInt(1)}, Hi: &Literal{Val: value.NewInt(9)}}, "(a BETWEEN 1 AND 9)"},
+		{&InList{X: &ColumnRef{Name: "a"}, List: []Expr{&Literal{Val: value.NewInt(1)}, &Literal{Val: value.NewInt(2)}}}, "(a IN (1, 2))"},
+		{&FuncCall{Name: "COUNT", Star: true}, "COUNT(*)"},
+		{&FuncCall{Name: "COUNT", Distinct: true, Args: []Expr{&ColumnRef{Name: "x"}}}, "COUNT(DISTINCT x)"},
+		{&FuncCall{Name: "SUM", Args: []Expr{&ColumnRef{Name: "x"}}}, "SUM(x)"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestCaseString(t *testing.T) {
+	c := &Case{
+		Whens: []CaseWhen{{Cond: &ColumnRef{Name: "a"}, Result: &Literal{Val: value.NewInt(1)}}},
+		Else:  &Literal{Val: value.NewInt(0)},
+	}
+	s := c.String()
+	if !strings.Contains(s, "WHEN a THEN 1") || !strings.Contains(s, "ELSE 0") {
+		t.Errorf("case string = %q", s)
+	}
+}
+
+func TestSubqueryStrings(t *testing.T) {
+	sub := &Select{
+		Items: []SelectItem{{Expr: &ColumnRef{Name: "x"}}},
+		From:  []TableRef{&BaseTable{Name: "t"}},
+		Limit: -1,
+	}
+	if s := (&Exists{Sub: sub}).String(); !strings.Contains(s, "EXISTS (SELECT x FROM t)") {
+		t.Errorf("exists = %q", s)
+	}
+	if s := (&Exists{Sub: sub, Negate: true}).String(); !strings.Contains(s, "NOT EXISTS") {
+		t.Errorf("not exists = %q", s)
+	}
+	in := &InSubquery{X: &ColumnRef{Name: "a"}, Sub: sub, Negate: true}
+	if s := in.String(); !strings.Contains(s, "NOT IN (SELECT x FROM t)") {
+		t.Errorf("in subquery = %q", s)
+	}
+	sc := &ScalarSubquery{Sub: sub}
+	if s := sc.String(); s != "(SELECT x FROM t)" {
+		t.Errorf("scalar subquery = %q", s)
+	}
+}
+
+func TestBinaryOpHelpers(t *testing.T) {
+	if !OpEq.IsComparison() || !OpGe.IsComparison() {
+		t.Error("comparison classification wrong")
+	}
+	if OpAnd.IsComparison() || OpAdd.IsComparison() {
+		t.Error("non-comparison classified as comparison")
+	}
+	ops := map[BinaryOp]string{
+		OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+		OpAnd: "AND", OpOr: "OR", OpAdd: "+", OpSub: "-", OpMul: "*",
+		OpDiv: "/", OpMod: "%", OpLike: "LIKE", OpConcat: "||",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("op %d = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestWalkExprsVisitsAll(t *testing.T) {
+	e := &Binary{
+		Op: OpAnd,
+		L: &Between{
+			X:  &ColumnRef{Name: "a"},
+			Lo: &Literal{Val: value.NewInt(1)},
+			Hi: &Literal{Val: value.NewInt(2)},
+		},
+		R: &InList{
+			X:    &ColumnRef{Name: "b"},
+			List: []Expr{&Literal{Val: value.NewInt(3)}},
+		},
+	}
+	var cols, lits int
+	WalkExprs(e, func(x Expr) {
+		switch x.(type) {
+		case *ColumnRef:
+			cols++
+		case *Literal:
+			lits++
+		}
+	})
+	if cols != 2 || lits != 3 {
+		t.Errorf("cols=%d lits=%d", cols, lits)
+	}
+	// Nil is safe.
+	WalkExprs(nil, func(Expr) { t.Error("should not visit nil") })
+}
+
+func TestWalkExprsCase(t *testing.T) {
+	e := &Case{
+		Operand: &ColumnRef{Name: "x"},
+		Whens: []CaseWhen{
+			{Cond: &Literal{Val: value.NewInt(1)}, Result: &ColumnRef{Name: "y"}},
+		},
+		Else: &FuncCall{Name: "ABS", Args: []Expr{&ColumnRef{Name: "z"}}},
+	}
+	var cols int
+	WalkExprs(e, func(x Expr) {
+		if _, ok := x.(*ColumnRef); ok {
+			cols++
+		}
+	})
+	if cols != 3 {
+		t.Errorf("case walk cols = %d", cols)
+	}
+}
+
+func TestJoinKindString(t *testing.T) {
+	if JoinInner.String() != "INNER JOIN" || JoinLeft.String() != "LEFT JOIN" || JoinCross.String() != "CROSS JOIN" {
+		t.Error("join kind names wrong")
+	}
+}

@@ -1,0 +1,99 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderSelect reconstructs parseable SQL text for a query block. The
+// engine uses it to store canonical single-statement DDL text in the
+// catalog (dump/restore, static analysis) regardless of how the
+// statement arrived (e.g. inside a multi-statement script).
+func RenderSelect(s *Select) string {
+	if s == nil {
+		return "<nil select>"
+	}
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, item := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case item.Star && item.StarTable != "":
+			b.WriteString(item.StarTable + ".*")
+		case item.Star:
+			b.WriteString("*")
+		default:
+			b.WriteString(item.Expr.String())
+			if item.Alias != "" {
+				b.WriteString(" AS " + item.Alias)
+			}
+		}
+	}
+	if len(s.From) > 0 {
+		b.WriteString(" FROM ")
+		for i, ref := range s.From {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(renderTableRef(ref))
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		parts := make([]string, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			parts[i] = g.String()
+		}
+		b.WriteString(" GROUP BY " + strings.Join(parts, ", "))
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		parts := make([]string, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			parts[i] = o.Expr.String()
+			if o.Desc {
+				parts[i] += " DESC"
+			}
+		}
+		b.WriteString(" ORDER BY " + strings.Join(parts, ", "))
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}
+
+func renderTableRef(ref TableRef) string {
+	switch r := ref.(type) {
+	case *BaseTable:
+		if r.Alias != "" && !strings.EqualFold(r.Alias, r.Name) {
+			return r.Name + " " + r.Alias
+		}
+		return r.Name
+	case *JoinRef:
+		out := renderTableRef(r.Left) + " " + r.Kind.String() + " " + renderTableRef(r.Right)
+		if r.On != nil {
+			out += " ON " + r.On.String()
+		}
+		return out
+	case *SubqueryRef:
+		return "(" + RenderSelect(r.Sub) + ") AS " + r.Alias
+	default:
+		return "<?>"
+	}
+}
+
+// RenderAuditExpression reconstructs the CREATE AUDIT EXPRESSION DDL.
+func RenderAuditExpression(s *CreateAuditExpression) string {
+	return fmt.Sprintf("CREATE AUDIT EXPRESSION %s AS %s FOR SENSITIVE TABLE %s PARTITION BY %s",
+		s.Name, RenderSelect(s.Query), s.SensitiveTable, s.PartitionBy)
+}

@@ -1,0 +1,97 @@
+package ast
+
+import (
+	"testing"
+
+	"auditdb/internal/value"
+)
+
+func sel(items []SelectItem, from []TableRef, where Expr) *Select {
+	return &Select{Items: items, From: from, Where: where, Limit: -1}
+}
+
+func TestRenderSelectBasic(t *testing.T) {
+	s := sel(
+		[]SelectItem{{Expr: &ColumnRef{Name: "a"}}, {Expr: &ColumnRef{Name: "b"}, Alias: "bb"}},
+		[]TableRef{&BaseTable{Name: "t"}},
+		&Binary{Op: OpGt, L: &ColumnRef{Name: "a"}, R: &Literal{Val: value.NewInt(3)}},
+	)
+	got := RenderSelect(s)
+	want := "SELECT a, b AS bb FROM t WHERE (a > 3)"
+	if got != want {
+		t.Errorf("RenderSelect = %q, want %q", got, want)
+	}
+}
+
+func TestRenderSelectFullClause(t *testing.T) {
+	s := &Select{
+		Distinct: true,
+		Items:    []SelectItem{{Star: true}},
+		From: []TableRef{&JoinRef{
+			Kind:  JoinLeft,
+			Left:  &BaseTable{Name: "a"},
+			Right: &BaseTable{Name: "b", Alias: "bb"},
+			On:    &Binary{Op: OpEq, L: &ColumnRef{Table: "a", Name: "x"}, R: &ColumnRef{Table: "bb", Name: "x"}},
+		}},
+		GroupBy: []Expr{&ColumnRef{Name: "g"}},
+		Having:  &Binary{Op: OpGt, L: &FuncCall{Name: "COUNT", Star: true}, R: &Literal{Val: value.NewInt(1)}},
+		OrderBy: []OrderItem{{Expr: &ColumnRef{Name: "g"}, Desc: true}},
+		Limit:   5,
+	}
+	got := RenderSelect(s)
+	for _, frag := range []string{
+		"SELECT DISTINCT *", "a LEFT JOIN b bb ON", "GROUP BY g",
+		"HAVING (COUNT(*) > 1)", "ORDER BY g DESC", "LIMIT 5",
+	} {
+		if !contains(got, frag) {
+			t.Errorf("RenderSelect missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestRenderStarTableAndSubquery(t *testing.T) {
+	s := &Select{
+		Items: []SelectItem{{Star: true, StarTable: "p"}},
+		From: []TableRef{&SubqueryRef{
+			Sub: sel([]SelectItem{{Expr: &ColumnRef{Name: "x"}}},
+				[]TableRef{&BaseTable{Name: "t"}}, nil),
+			Alias: "p",
+		}},
+		Limit: -1,
+	}
+	got := RenderSelect(s)
+	want := "SELECT p.* FROM (SELECT x FROM t) AS p"
+	if got != want {
+		t.Errorf("RenderSelect = %q, want %q", got, want)
+	}
+}
+
+func TestRenderAuditExpressionDDL(t *testing.T) {
+	ddl := RenderAuditExpression(&CreateAuditExpression{
+		Name: "Audit_Alice",
+		Query: sel([]SelectItem{{Star: true}},
+			[]TableRef{&BaseTable{Name: "Patients"}},
+			&Binary{Op: OpEq, L: &ColumnRef{Name: "Name"}, R: &Literal{Val: value.NewString("Alice")}}),
+		SensitiveTable: "Patients",
+		PartitionBy:    "PatientID",
+	})
+	want := "CREATE AUDIT EXPRESSION Audit_Alice AS SELECT * FROM Patients WHERE (Name = 'Alice') FOR SENSITIVE TABLE Patients PARTITION BY PatientID"
+	if ddl != want {
+		t.Errorf("DDL = %q", ddl)
+	}
+}
+
+func TestRenderNilSelect(t *testing.T) {
+	if got := RenderSelect(nil); got == "" {
+		t.Error("nil select should render a placeholder, not empty")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,193 @@
+package catalog
+
+import (
+	"testing"
+
+	"auditdb/internal/value"
+)
+
+func patientsMeta() *TableMeta {
+	return &TableMeta{
+		Name: "Patients",
+		Columns: []Column{
+			{Name: "PatientID", Type: value.KindInt},
+			{Name: "Name", Type: value.KindString},
+			{Name: "Age", Type: value.KindInt},
+			{Name: "Zip", Type: value.KindString},
+		},
+		PrimaryKey: []int{0},
+	}
+}
+
+func TestAddAndLookupTable(t *testing.T) {
+	c := New()
+	if err := c.AddTable(patientsMeta()); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Table("patients") // case-insensitive
+	if !ok || got.Name != "Patients" {
+		t.Fatalf("Table lookup failed: %v, %v", got, ok)
+	}
+	if err := c.AddTable(patientsMeta()); err == nil {
+		t.Error("duplicate table should fail")
+	}
+}
+
+func TestDuplicateColumnRejected(t *testing.T) {
+	c := New()
+	err := c.AddTable(&TableMeta{
+		Name: "Bad",
+		Columns: []Column{
+			{Name: "x", Type: value.KindInt},
+			{Name: "X", Type: value.KindInt},
+		},
+	})
+	if err == nil {
+		t.Error("duplicate column (case-insensitive) should fail")
+	}
+}
+
+func TestBadPrimaryKeyOrdinal(t *testing.T) {
+	c := New()
+	err := c.AddTable(&TableMeta{
+		Name:       "Bad",
+		Columns:    []Column{{Name: "x", Type: value.KindInt}},
+		PrimaryKey: []int{3},
+	})
+	if err == nil {
+		t.Error("out-of-range pk ordinal should fail")
+	}
+}
+
+func TestColumnIndex(t *testing.T) {
+	m := patientsMeta()
+	if i := m.ColumnIndex("name"); i != 1 {
+		t.Errorf("ColumnIndex(name) = %d", i)
+	}
+	if i := m.ColumnIndex("nope"); i != -1 {
+		t.Errorf("ColumnIndex(nope) = %d", i)
+	}
+	names := m.ColumnNames()
+	if len(names) != 4 || names[0] != "PatientID" {
+		t.Errorf("ColumnNames = %v", names)
+	}
+}
+
+func TestDropTableCascadesIndexes(t *testing.T) {
+	c := New()
+	if err := c.AddTable(patientsMeta()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndex(&IndexMeta{Name: "idx_name", Table: "Patients", Columns: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Index("idx_name"); !ok {
+		t.Fatal("index missing after add")
+	}
+	if err := c.DropTable("Patients"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Index("idx_name"); ok {
+		t.Error("index should be dropped with table")
+	}
+	if err := c.DropTable("Patients"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestIndexRequiresTable(t *testing.T) {
+	c := New()
+	if err := c.AddIndex(&IndexMeta{Name: "i", Table: "missing"}); err == nil {
+		t.Error("index on missing table should fail")
+	}
+}
+
+func TestTriggerRegistry(t *testing.T) {
+	c := New()
+	tr := &TriggerMeta{Name: "log_alice", Kind: TriggerOnAccess, Target: "Audit_Alice", Action: "INSERT INTO log ..."}
+	if err := c.AddTrigger(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTrigger(tr); err == nil {
+		t.Error("duplicate trigger should fail")
+	}
+	got, ok := c.Trigger("LOG_ALICE")
+	if !ok || got.Kind != TriggerOnAccess {
+		t.Fatalf("Trigger lookup: %v %v", got, ok)
+	}
+	if err := c.DropTrigger("log_alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Trigger("log_alice"); ok {
+		t.Error("trigger should be gone")
+	}
+	if err := c.DropTrigger("log_alice"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestTriggersForFiltersAndSorts(t *testing.T) {
+	c := New()
+	add := func(name string, kind TriggerKind, target string) {
+		t.Helper()
+		if err := c.AddTrigger(&TriggerMeta{Name: name, Kind: kind, Target: target}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("b_trig", TriggerOnAccess, "Audit_X")
+	add("a_trig", TriggerOnAccess, "audit_x")
+	add("c_trig", TriggerAfterInsert, "Audit_X")
+	got := c.TriggersFor(TriggerOnAccess, "AUDIT_X")
+	if len(got) != 2 || got[0].Name != "a_trig" || got[1].Name != "b_trig" {
+		t.Errorf("TriggersFor = %+v", got)
+	}
+}
+
+func TestAuditExprRegistry(t *testing.T) {
+	c := New()
+	a := &AuditExprMeta{Name: "Audit_Alice", SensitiveTable: "Patients", PartitionBy: "PatientID"}
+	if err := c.AddAuditExpr(a); err == nil {
+		t.Error("audit expr on missing table should fail")
+	}
+	if err := c.AddTable(patientsMeta()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddAuditExpr(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddAuditExpr(a); err == nil {
+		t.Error("duplicate audit expr should fail")
+	}
+	got, ok := c.AuditExpr("audit_alice")
+	if !ok || got.SensitiveTable != "Patients" {
+		t.Fatalf("AuditExpr lookup: %v %v", got, ok)
+	}
+	if len(c.AuditExprs()) != 1 {
+		t.Error("AuditExprs length wrong")
+	}
+	if err := c.DropAuditExpr("Audit_Alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropAuditExpr("Audit_Alice"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestTablesSorted(t *testing.T) {
+	c := New()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := c.AddTable(&TableMeta{Name: n, Columns: []Column{{Name: "id", Type: value.KindInt}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := c.Tables()
+	if len(ts) != 3 || ts[0].Name != "alpha" || ts[2].Name != "zeta" {
+		t.Errorf("Tables order wrong: %v", ts)
+	}
+}
+
+func TestTriggerKindString(t *testing.T) {
+	if TriggerOnAccess.String() != "ON ACCESS" || TriggerAfterInsert.String() != "AFTER INSERT" {
+		t.Error("TriggerKind.String wrong")
+	}
+}

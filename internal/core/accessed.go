@@ -1,0 +1,124 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"auditdb/internal/value"
+)
+
+// Accessed is a query's ACCESSED internal state (§II of the paper): the
+// per-query, in-memory relation of partition-by IDs recorded by the
+// audit operators in its plan. When a plan carries several audit
+// operators (multiple expressions, or one per subquery block), the
+// state holds the union per expression.
+type Accessed struct {
+	mu     sync.Mutex
+	byExpr map[string]map[string]value.Value
+	// observed counts every row an audit operator inspected,
+	// independent of matches; used by the overhead benchmarks.
+	observed atomic.Int64
+}
+
+// NewAccessed returns empty ACCESSED state for one query execution.
+func NewAccessed() *Accessed {
+	return &Accessed{byExpr: make(map[string]map[string]value.Value)}
+}
+
+// Record notes that id (a sensitive ID of the named expression) was
+// seen by an audit operator.
+func (a *Accessed) Record(expr string, id value.Value) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	set, ok := a.byExpr[expr]
+	if !ok {
+		set = make(map[string]value.Value)
+		a.byExpr[expr] = set
+	}
+	set[value.KeyOf(id)] = id
+}
+
+// IDs returns the audited IDs for one expression, sorted for
+// deterministic consumption by trigger actions and tests.
+func (a *Accessed) IDs(expr string) []value.Value {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	set := a.byExpr[expr]
+	out := make([]value.Value, 0, len(set))
+	for _, v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return value.Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// Len returns the number of distinct audited IDs for one expression.
+func (a *Accessed) Len(expr string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.byExpr[expr])
+}
+
+// Expressions returns the names of expressions with at least one
+// audited ID, sorted.
+func (a *Accessed) Expressions() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.byExpr))
+	for name, set := range a.byExpr {
+		if len(set) > 0 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Observed returns how many rows flowed through audit operators.
+func (a *Accessed) Observed() int64 { return a.observed.Load() }
+
+// Probe is the audit operator's sink (plan.AuditSink): a hash probe of
+// the expression's materialized sensitive-ID set; matches are recorded
+// into the ACCESSED state. This is the paper's "hash join whose build
+// side is the audit expression's ID view" (§IV-A.2).
+//
+// A Probe belongs to one query execution. Query execution is
+// single-threaded, so the probe keeps an unsynchronized first-seen
+// cache: each sensitive ID pays the Record cost (lock + map insert)
+// once, and every further occurrence in the stream is a cheap local
+// lookup.
+type Probe struct {
+	Expr *AuditExpression
+	Acc  *Accessed
+
+	seenInts map[int64]struct{}
+	seenKeys map[string]struct{}
+}
+
+// Observe implements plan.AuditSink.
+func (p *Probe) Observe(v value.Value) {
+	p.Acc.observed.Add(1)
+	if !p.Expr.Contains(v) {
+		return
+	}
+	if v.Kind == value.KindInt {
+		if _, dup := p.seenInts[v.I]; dup {
+			return
+		}
+		if p.seenInts == nil {
+			p.seenInts = make(map[int64]struct{})
+		}
+		p.seenInts[v.I] = struct{}{}
+	} else {
+		k := value.KeyOf(v)
+		if _, dup := p.seenKeys[k]; dup {
+			return
+		}
+		if p.seenKeys == nil {
+			p.seenKeys = make(map[string]struct{})
+		}
+		p.seenKeys[k] = struct{}{}
+	}
+	p.Acc.Record(p.Expr.Meta.Name, v)
+}

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"testing"
+)
+
+func TestOnAccessCallback(t *testing.T) {
+	e := newHealthDB(t)
+	if _, err := e.ExecScript(`
+		CREATE AUDIT EXPRESSION Audit_Alice AS
+			SELECT * FROM Patients WHERE Name = 'Alice'
+			FOR SENSITIVE TABLE Patients, PARTITION BY PatientID`); err != nil {
+		t.Fatal(err)
+	}
+	e.SetAuditAll(true)
+	e.SetUser("dr_mallory")
+
+	var events []AccessEvent
+	e.OnAccess(func(ev AccessEvent) { events = append(events, ev) })
+
+	mustQuery(t, e, "SELECT * FROM Patients WHERE Zip = '48109'")
+	if len(events) != 1 {
+		t.Fatalf("events = %+v", events)
+	}
+	ev := events[0]
+	if ev.Expression != "Audit_Alice" || ev.User != "dr_mallory" {
+		t.Errorf("event = %+v", ev)
+	}
+	if len(ev.IDs) != 1 || ev.IDs[0].Int() != 1 {
+		t.Errorf("ids = %v", ev.IDs)
+	}
+	if ev.SQL == "" {
+		t.Error("sql text missing")
+	}
+
+	// No event for clean queries.
+	mustQuery(t, e, "SELECT * FROM Patients WHERE Name = 'Bob'")
+	if len(events) != 1 {
+		t.Errorf("clean query produced an event: %+v", events)
+	}
+}
+
+func TestOnAccessFiresPerExpression(t *testing.T) {
+	e := newHealthDB(t)
+	if _, err := e.ExecScript(`
+		CREATE AUDIT EXPRESSION A1 AS SELECT * FROM Patients WHERE Age >= 60
+			FOR SENSITIVE TABLE Patients, PARTITION BY PatientID;
+		CREATE AUDIT EXPRESSION A2 AS SELECT * FROM Patients WHERE Zip = '10001'
+			FOR SENSITIVE TABLE Patients, PARTITION BY PatientID`); err != nil {
+		t.Fatal(err)
+	}
+	e.SetAuditAll(true)
+	var names []string
+	e.OnAccess(func(ev AccessEvent) { names = append(names, ev.Expression) })
+	mustQuery(t, e, "SELECT * FROM Patients WHERE Name = 'Erin'") // 62 years, zip 10001
+	if len(names) != 2 {
+		t.Errorf("expected both expressions to report: %v", names)
+	}
+}

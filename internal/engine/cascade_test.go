@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDMLTriggerBodyFiresSelectTrigger checks the paper's §II cascade
+// direction that is easy to miss: an UPDATE trigger's body runs a
+// SELECT, and that SELECT — being a query like any other — is itself
+// audited, firing SELECT triggers.
+func TestDMLTriggerBodyFiresSelectTrigger(t *testing.T) {
+	e := newHealthDB(t)
+	if _, err := e.ExecScript(`
+		CREATE TABLE Log (At VARCHAR(30), UserID VARCHAR(30), SQL VARCHAR(500), PatientID INT);
+		CREATE TABLE Shadow (PatientID INT, Name VARCHAR(30));
+		CREATE AUDIT EXPRESSION Audit_Alice AS
+			SELECT * FROM Patients WHERE Name = 'Alice'
+			FOR SENSITIVE TABLE Patients, PARTITION BY PatientID;
+		CREATE TRIGGER Log_Alice ON ACCESS TO Audit_Alice AS
+			INSERT INTO Log SELECT now(), userid(), sqltext(), PatientID FROM ACCESSED;
+		CREATE TABLE Visits (VisitID INT, PatientID INT);
+		-- The DML trigger's body copies patient data with a SELECT that
+		-- reads the Patients table.
+		CREATE TRIGGER copy_on_visit ON Visits AFTER INSERT AS
+			INSERT INTO Shadow
+			SELECT PatientID, Name FROM Patients WHERE PatientID = NEW.PatientID;
+	`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Inserting a visit for Alice makes the trigger body read her row.
+	mustExec(t, e, "INSERT INTO Visits VALUES (100, 1)")
+	r := mustQuery(t, e, "SELECT PatientID FROM Log")
+	if len(r.Rows) != 1 || r.Rows[0][0].Int() != 1 {
+		t.Fatalf("cascaded SELECT trigger log = %v", r.Rows)
+	}
+	// A visit for Bob reads only Bob: no log entry.
+	mustExec(t, e, "INSERT INTO Visits VALUES (101, 2)")
+	r = mustQuery(t, e, "SELECT COUNT(*) FROM Log")
+	if r.Rows[0][0].Int() != 1 {
+		t.Errorf("non-sensitive cascade logged: %v", r.Rows)
+	}
+	// The shadow rows were written in both cases.
+	r = mustQuery(t, e, "SELECT COUNT(*) FROM Shadow")
+	if r.Rows[0][0].Int() != 2 {
+		t.Errorf("shadow rows = %v", r.Rows)
+	}
+}
+
+// TestSelectTriggerActionDMLFiresDMLTrigger covers the cascade the
+// paper spells out: a SELECT trigger's INSERT action fires an INSERT
+// trigger (which here counts firings).
+func TestSelectTriggerActionDMLFiresDMLTrigger(t *testing.T) {
+	e := newHealthDB(t)
+	var notes []string
+	e.OnNotify(func(m string) { notes = append(notes, m) })
+	if _, err := e.ExecScript(`
+		CREATE TABLE Log (At VARCHAR(30), UserID VARCHAR(30), SQL VARCHAR(500), PatientID INT);
+		CREATE AUDIT EXPRESSION Audit_Alice AS
+			SELECT * FROM Patients WHERE Name = 'Alice'
+			FOR SENSITIVE TABLE Patients, PARTITION BY PatientID;
+		CREATE TRIGGER Log_Alice ON ACCESS TO Audit_Alice AS
+			INSERT INTO Log SELECT now(), userid(), sqltext(), PatientID FROM ACCESSED;
+		CREATE TRIGGER OnLogInsert ON Log AFTER INSERT AS
+			NOTIFY 'log row added';
+	`); err != nil {
+		t.Fatal(err)
+	}
+	mustQuery(t, e, "SELECT * FROM Patients WHERE Name = 'Alice'")
+	if len(notes) != 1 || notes[0] != "log row added" {
+		t.Errorf("cascade notifications = %v", notes)
+	}
+}
+
+// TestTriggerActionErrorSurfacesToQuery checks failure injection: a
+// broken trigger action fails the triggering statement and reports the
+// trigger's name.
+func TestTriggerActionErrorSurfacesToQuery(t *testing.T) {
+	e := newHealthDB(t)
+	if _, err := e.ExecScript(`
+		CREATE AUDIT EXPRESSION Audit_Alice AS
+			SELECT * FROM Patients WHERE Name = 'Alice'
+			FOR SENSITIVE TABLE Patients, PARTITION BY PatientID;
+		CREATE TRIGGER broken ON ACCESS TO Audit_Alice AS
+			INSERT INTO NoSuchTable SELECT PatientID FROM ACCESSED;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Query("SELECT * FROM Patients WHERE Name = 'Alice'")
+	if err == nil {
+		t.Fatal("broken trigger action should fail the query")
+	}
+	if got := err.Error(); !strings.Contains(got, "broken") {
+		t.Errorf("error should name the trigger: %v", got)
+	}
+	// Queries that do not touch Alice are unaffected.
+	if _, err := e.Query("SELECT * FROM Patients WHERE Name = 'Bob'"); err != nil {
+		t.Errorf("unrelated query failed: %v", err)
+	}
+}

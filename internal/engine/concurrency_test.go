@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueriesAndDML exercises the locking story: audited
+// readers run against storage snapshots while a writer mutates the
+// sensitive table, forcing incremental maintenance of the materialized
+// ID set mid-flight. Run with -race.
+func TestConcurrentQueriesAndDML(t *testing.T) {
+	e := newHealthDB(t)
+	if _, err := e.ExecScript(`
+		CREATE AUDIT EXPRESSION Audit_Zip AS
+			SELECT * FROM Patients WHERE Zip = '48109'
+			FOR SENSITIVE TABLE Patients, PARTITION BY PatientID`); err != nil {
+		t.Fatal(err)
+	}
+	e.SetAuditAll(true)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+
+	// Writers: insert and delete patients in the audited zip code.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			id := 1000 + i
+			if _, err := e.Exec(fmt.Sprintf(
+				"INSERT INTO Patients VALUES (%d, 'P%d', %d, '48109')", id, id, 20+i)); err != nil {
+				errs <- err
+				return
+			}
+			if i%2 == 0 {
+				if _, err := e.Exec(fmt.Sprintf("DELETE FROM Patients WHERE PatientID = %d", id)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+
+	// Readers: audited scans and joins.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := e.Query("SELECT * FROM Patients WHERE Zip = '48109'"); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := e.Query(`SELECT P.Name FROM Patients P, Disease D
+					WHERE P.PatientID = D.PatientID`); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The ID set must converge to the final table state.
+	ae, _ := e.Registry().Get("Audit_Zip")
+	r := mustQuery(t, e, "SELECT COUNT(*) FROM Patients WHERE Zip = '48109'")
+	if got, want := ae.Cardinality(), int(r.Rows[0][0].Int()); got != want {
+		t.Errorf("materialized set = %d, table says %d", got, want)
+	}
+}

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"auditdb/internal/catalog"
+	"auditdb/internal/value"
+)
+
+// Dump serializes the whole database — schema, data, indexes, audit
+// expressions and triggers — as a SQL script this engine can replay.
+// Loading a dump with ExecScript (or Restore) reproduces the database,
+// including compiled audit state, because the auditing DDL is emitted
+// after the data, so materialized ID sets are rebuilt from the loaded
+// rows.
+func (e *Engine) Dump(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "-- auditdb dump"); err != nil {
+		return err
+	}
+
+	// 1. Tables and rows.
+	for _, meta := range e.cat.Tables() {
+		if err := dumpTable(bw, e, meta); err != nil {
+			return err
+		}
+	}
+	// 2. Secondary indexes.
+	for _, idx := range e.cat.Indexes() {
+		meta, ok := e.cat.Table(idx.Table)
+		if !ok {
+			continue
+		}
+		cols := make([]string, len(idx.Columns))
+		for i, ord := range idx.Columns {
+			cols[i] = meta.Columns[ord].Name
+		}
+		if _, err := fmt.Fprintf(bw, "CREATE INDEX %s ON %s (%s);\n",
+			idx.Name, meta.Name, strings.Join(cols, ", ")); err != nil {
+			return err
+		}
+	}
+	// 3. Views (canonical DDL preserved in the catalog).
+	for _, v := range e.cat.Views() {
+		if _, err := fmt.Fprintf(bw, "%s;\n", strings.TrimRight(strings.TrimSpace(v.Definition), ";")); err != nil {
+			return err
+		}
+	}
+	// 4. Audit expressions (original DDL is preserved in the catalog).
+	for _, ae := range e.cat.AuditExprs() {
+		if _, err := fmt.Fprintf(bw, "%s;\n", strings.TrimRight(strings.TrimSpace(ae.Definition), ";")); err != nil {
+			return err
+		}
+	}
+	// 5. Triggers, rebuilt from their stored action text.
+	for _, tr := range e.cat.Triggers() {
+		var head string
+		switch tr.Kind {
+		case catalog.TriggerOnAccess:
+			head = fmt.Sprintf("CREATE TRIGGER %s ON ACCESS TO %s AS", tr.Name, tr.Target)
+		case catalog.TriggerAfterInsert:
+			head = fmt.Sprintf("CREATE TRIGGER %s ON %s AFTER INSERT AS", tr.Name, tr.Target)
+		case catalog.TriggerAfterUpdate:
+			head = fmt.Sprintf("CREATE TRIGGER %s ON %s AFTER UPDATE AS", tr.Name, tr.Target)
+		case catalog.TriggerAfterDelete:
+			head = fmt.Sprintf("CREATE TRIGGER %s ON %s AFTER DELETE AS", tr.Name, tr.Target)
+		}
+		if _, err := fmt.Fprintf(bw, "%s %s;\n", head, tr.Action); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// dumpBatch bounds multi-row INSERT statements.
+const dumpBatch = 500
+
+func dumpTable(w *bufio.Writer, e *Engine, meta *catalog.TableMeta) error {
+	var cols []string
+	pkInline := len(meta.PrimaryKey) == 1
+	for i, c := range meta.Columns {
+		def := fmt.Sprintf("%s %s", c.Name, c.Type)
+		if pkInline && meta.PrimaryKey[0] == i {
+			def += " PRIMARY KEY"
+		}
+		cols = append(cols, def)
+	}
+	if len(meta.PrimaryKey) > 1 {
+		names := make([]string, len(meta.PrimaryKey))
+		for i, ord := range meta.PrimaryKey {
+			names[i] = meta.Columns[ord].Name
+		}
+		cols = append(cols, "PRIMARY KEY ("+strings.Join(names, ", ")+")")
+	}
+	if _, err := fmt.Fprintf(w, "CREATE TABLE %s (%s);\n", meta.Name, strings.Join(cols, ", ")); err != nil {
+		return err
+	}
+
+	tbl, ok := e.store.Table(meta.Name)
+	if !ok {
+		return fmt.Errorf("dump: table %q has no storage", meta.Name)
+	}
+	return dumpRows(w, meta.Name, tbl.Rows())
+}
+
+func dumpRows(w *bufio.Writer, table string, rows []value.Row) error {
+	for start := 0; start < len(rows); start += dumpBatch {
+		end := start + dumpBatch
+		if end > len(rows) {
+			end = len(rows)
+		}
+		if _, err := fmt.Fprintf(w, "INSERT INTO %s VALUES\n", table); err != nil {
+			return err
+		}
+		for i, row := range rows[start:end] {
+			parts := make([]string, len(row))
+			for j, v := range row {
+				parts[j] = v.SQL()
+			}
+			sep := ","
+			if i == end-start-1 {
+				sep = ";"
+			}
+			if _, err := fmt.Fprintf(w, "\t(%s)%s\n", strings.Join(parts, ", "), sep); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

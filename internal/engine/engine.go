@@ -1,0 +1,523 @@
+// Package engine is the database façade: it parses statements,
+// dispatches DDL/DML/queries, instruments SELECT plans with audit
+// operators (after logical optimization, like the paper's prototype,
+// §IV-B), maintains materialized audit-expression ID sets under DML,
+// and fires both classic DML triggers and the paper's SELECT triggers
+// with their ACCESSED internal state.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"auditdb/internal/ast"
+	"auditdb/internal/catalog"
+	"auditdb/internal/core"
+	"auditdb/internal/exec"
+	"auditdb/internal/opt"
+	"auditdb/internal/parser"
+	"auditdb/internal/plan"
+	"auditdb/internal/storage"
+	"auditdb/internal/value"
+)
+
+// MaxCascadeDepth bounds trigger cascades (SELECT trigger actions can
+// fire DML triggers whose bodies run audited SELECTs, §II).
+const MaxCascadeDepth = 16
+
+// Engine is one in-memory database instance with auditing support.
+type Engine struct {
+	cat   *catalog.Catalog
+	store *storage.Store
+	reg   *core.Registry
+
+	// dmlMu serializes writers; readers run against storage snapshots.
+	dmlMu sync.Mutex
+
+	mu        sync.RWMutex
+	heuristic core.Heuristic
+	auditAll  bool
+	user      string
+	notify    func(msg string)
+	onAccess  func(ev AccessEvent)
+	triggers  map[string]*compiledTrigger
+	views     map[string]*ast.Select
+	// sessionTxn is the SQL-level open transaction (BEGIN/COMMIT/
+	// ROLLBACK through Exec); programmatic Txns do not use it.
+	sessionTxn *Txn
+
+	stats Stats
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Queries       atomic.Int64
+	Statements    atomic.Int64
+	TriggersFired atomic.Int64
+	Notifications atomic.Int64
+	RowsAudited   atomic.Int64
+}
+
+type compiledTrigger struct {
+	meta *catalog.TriggerMeta
+	body []ast.Stmt
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns names the output columns of a query.
+	Columns []string
+	// Rows holds query output.
+	Rows []value.Row
+	// RowsAffected counts DML changes.
+	RowsAffected int
+	// Accessed is the query's ACCESSED state when the statement was an
+	// audited SELECT; nil otherwise.
+	Accessed *core.Accessed
+}
+
+// New creates an empty engine.
+func New() *Engine {
+	cat := catalog.New()
+	store := storage.NewStore()
+	return &Engine{
+		cat:       cat,
+		store:     store,
+		reg:       core.NewRegistry(cat, store),
+		heuristic: core.HighestCommutativeNode,
+		user:      "system",
+		triggers:  make(map[string]*compiledTrigger),
+		views:     make(map[string]*ast.Select),
+	}
+}
+
+// Catalog exposes the schema registry.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Store exposes the row store (used by the offline auditor and tests).
+func (e *Engine) Store() *storage.Store { return e.store }
+
+// Registry exposes the compiled audit expressions.
+func (e *Engine) Registry() *core.Registry { return e.reg }
+
+// StatsSnapshot returns current counter values.
+func (e *Engine) StatsSnapshot() map[string]int64 {
+	return map[string]int64{
+		"queries":        e.stats.Queries.Load(),
+		"statements":     e.stats.Statements.Load(),
+		"triggers_fired": e.stats.TriggersFired.Load(),
+		"notifications":  e.stats.Notifications.Load(),
+		"rows_audited":   e.stats.RowsAudited.Load(),
+	}
+}
+
+// SetUser sets the session user reported by USERID().
+func (e *Engine) SetUser(u string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.user = u
+}
+
+// SetHeuristic selects the audit-operator placement algorithm.
+func (e *Engine) SetHeuristic(h core.Heuristic) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.heuristic = h
+}
+
+// Heuristic returns the active placement algorithm.
+func (e *Engine) Heuristic() core.Heuristic {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.heuristic
+}
+
+// SetAuditAll makes every SELECT instrumented for every compiled audit
+// expression even without ON ACCESS triggers; benchmarks and the
+// offline-auditor pipeline use this.
+func (e *Engine) SetAuditAll(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.auditAll = on
+}
+
+// OnNotify installs the callback invoked by NOTIFY actions (the
+// paper's SEND EMAIL stand-in).
+func (e *Engine) OnNotify(fn func(msg string)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.notify = fn
+}
+
+// AccessEvent describes one query's accesses to one audit expression,
+// delivered synchronously before the query's results are returned to
+// the caller — the "warn before returning results" trigger variant the
+// paper sketches as future work (§II), and the basis for real-time
+// feedback scenarios (§I).
+type AccessEvent struct {
+	// Expression is the audit expression's name.
+	Expression string
+	// User and SQL identify the access.
+	User, SQL string
+	// IDs are the partition-by keys recorded in ACCESSED, sorted.
+	IDs []value.Value
+}
+
+// OnAccess installs a callback invoked for every audited SELECT that
+// recorded at least one sensitive ID, after the ON ACCESS triggers and
+// before the result is handed back.
+func (e *Engine) OnAccess(fn func(ev AccessEvent)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onAccess = fn
+}
+
+// Exec parses and executes a single statement.
+func (e *Engine) Exec(sql string) (*Result, error) {
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.execStmt(stmt, sql, rootActionEnv())
+}
+
+// ExecScript executes a semicolon-separated script, returning the last
+// statement's result.
+func (e *Engine) ExecScript(sql string) (*Result, error) {
+	stmts, err := parser.ParseScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, s := range stmts {
+		r, err := e.execStmt(s, sql, rootActionEnv())
+		if err != nil {
+			return nil, err
+		}
+		last = r
+	}
+	return last, nil
+}
+
+// Query parses and executes a SELECT.
+func (e *Engine) Query(sql string) (*Result, error) {
+	sel, err := parser.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.runSelect(sel, sql, rootActionEnv())
+}
+
+// actionEnv carries trigger-body execution state: the NEW/OLD outer
+// row, the ACCESSED relation, and the cascade depth.
+type actionEnv struct {
+	outerSchema plan.Schema
+	outerRow    value.Row
+	extraSchema map[string]plan.Schema
+	extraRows   map[string][]value.Row
+	params      []value.Value
+	txn         *Txn
+	// lockHeld marks statements running while an enclosing transaction
+	// already holds the writer lock but outside its undo scope (SELECT
+	// trigger actions — the paper's system transactions).
+	lockHeld bool
+	depth    int
+}
+
+func rootActionEnv() *actionEnv { return &actionEnv{} }
+
+func (a *actionEnv) child() *actionEnv {
+	// Classic trigger actions join the enclosing transaction's undo
+	// scope; SELECT-trigger actions clear txn via systemChild.
+	return &actionEnv{depth: a.depth + 1, txn: a.txn, lockHeld: a.lockHeld}
+}
+
+// systemChild derives the environment for a SELECT trigger's action:
+// it runs as its own system transaction (§II of the paper), so a
+// rollback of the reading transaction cannot erase the audit trail.
+func (a *actionEnv) systemChild() *actionEnv {
+	return &actionEnv{depth: a.depth + 1, lockHeld: a.lockHeld || a.txn != nil}
+}
+
+func (e *Engine) execStmt(stmt ast.Stmt, sql string, env *actionEnv) (*Result, error) {
+	if env.depth > MaxCascadeDepth {
+		return nil, fmt.Errorf("trigger cascade exceeds maximum depth %d", MaxCascadeDepth)
+	}
+	e.stats.Statements.Add(1)
+	switch stmt.(type) {
+	case *ast.TxBegin, *ast.TxCommit, *ast.TxRollback:
+		return e.runTxControl(stmt, env)
+	}
+	// Statements issued through Exec while a SQL-level transaction is
+	// open run inside it.
+	if env.txn == nil && env.depth == 0 {
+		e.mu.RLock()
+		env.txn = e.sessionTxn
+		e.mu.RUnlock()
+	}
+	switch s := stmt.(type) {
+	case *ast.Select:
+		return e.runSelect(s, sql, env)
+	case *ast.Insert:
+		return e.runInsert(s, sql, env)
+	case *ast.Update:
+		return e.runUpdate(s, sql, env)
+	case *ast.Delete:
+		return e.runDelete(s, sql, env)
+	case *ast.CreateTable:
+		return e.runCreateTable(s)
+	case *ast.CreateIndex:
+		return e.runCreateIndex(s)
+	case *ast.DropTable:
+		return e.runDropTable(s)
+	case *ast.CreateAuditExpression:
+		return e.runCreateAuditExpression(s)
+	case *ast.DropAuditExpression:
+		return e.runDropAuditExpression(s)
+	case *ast.CreateTrigger:
+		return e.runCreateTrigger(s)
+	case *ast.DropTrigger:
+		return e.runDropTrigger(s)
+	case *ast.If:
+		return e.runIf(s, sql, env)
+	case *ast.Notify:
+		return e.runNotify(s, env)
+	case *ast.Explain:
+		return e.runExplain(s)
+	case *ast.CreateView:
+		return e.runCreateView(s)
+	case *ast.DropView:
+		return e.runDropView(s)
+	case *ast.DropIndex:
+		return e.runDropIndex(s)
+	default:
+		return nil, fmt.Errorf("unsupported statement %T", stmt)
+	}
+}
+
+// planEnv builds the plan environment for a statement executed under
+// the given action environment.
+func (e *Engine) planEnv(env *actionEnv) *plan.Env {
+	pe := &plan.Env{Catalog: e.cat}
+	if env.extraSchema != nil {
+		pe.Extra = env.extraSchema
+	}
+	e.mu.RLock()
+	if len(e.views) > 0 {
+		pe.Views = make(map[string]*ast.Select, len(e.views))
+		for k, v := range e.views {
+			pe.Views[k] = v
+		}
+	}
+	e.mu.RUnlock()
+	return pe
+}
+
+func (e *Engine) execCtx(env *actionEnv, sql string) *exec.Ctx {
+	ctx := exec.NewCtx(e.store)
+	ctx.Eval.Session = plan.SessionInfo{User: e.currentUser(), SQL: sql, Now: time.Now()}
+	ctx.Eval.Params = env.params
+	ctx.Extra = env.extraRows
+	return ctx
+}
+
+func (e *Engine) currentUser() string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.user
+}
+
+// BuildQueryPlan parses, plans, optimizes and (optionally) instruments
+// a SELECT without executing it; used by tests, EXPLAIN-style tooling
+// and the benchmark harness.
+func (e *Engine) BuildQueryPlan(sql string, instrument bool) (plan.Node, *core.Accessed, error) {
+	sel, err := parser.ParseQuery(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, err := plan.Build(e.planEnv(rootActionEnv()), sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	n = opt.Optimize(n)
+	if !instrument {
+		return n, nil, nil
+	}
+	acc := core.NewAccessed()
+	for _, ae := range e.auditTargets() {
+		n = core.Instrument(n, ae, &core.Probe{Expr: ae, Acc: acc}, e.Heuristic())
+	}
+	return n, acc, nil
+}
+
+// auditTargets returns the audit expressions whose accesses must be
+// tracked: all of them in audit-all mode, otherwise those with at
+// least one ON ACCESS trigger.
+func (e *Engine) auditTargets() []*core.AuditExpression {
+	e.mu.RLock()
+	auditAll := e.auditAll
+	e.mu.RUnlock()
+	var out []*core.AuditExpression
+	for _, ae := range e.reg.All() {
+		if auditAll || len(e.cat.TriggersFor(catalog.TriggerOnAccess, ae.Meta.Name)) > 0 {
+			out = append(out, ae)
+		}
+	}
+	return out
+}
+
+func (e *Engine) runSelect(sel *ast.Select, sql string, env *actionEnv) (*Result, error) {
+	e.stats.Queries.Add(1)
+	var (
+		n          plan.Node
+		correlated bool
+		err        error
+	)
+	if env.outerSchema != nil {
+		n, correlated, err = plan.BuildWithOuter(e.planEnv(env), sel, env.outerSchema)
+	} else {
+		n, err = plan.Build(e.planEnv(env), sel)
+	}
+	if err != nil {
+		return nil, err
+	}
+	n = opt.Optimize(n)
+
+	// Instrument with audit operators — after logical optimization,
+	// exactly where the paper's prototype inserts them (§IV-B).
+	targets := e.auditTargets()
+	var acc *core.Accessed
+	if len(targets) > 0 {
+		acc = core.NewAccessed()
+		for _, ae := range targets {
+			n = core.Instrument(n, ae, &core.Probe{Expr: ae, Acc: acc}, e.Heuristic())
+		}
+	}
+
+	ctx := e.execCtx(env, sql)
+	if correlated {
+		ctx.Eval.PushOuter(env.outerRow)
+	}
+	rows, err := exec.Run(n, ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Rows: rows, Accessed: acc}
+	for _, c := range n.Schema() {
+		res.Columns = append(res.Columns, c.Name)
+	}
+
+	// Fire ON ACCESS triggers as their own system transactions after
+	// the query completes (§II).
+	if acc != nil {
+		e.mu.RLock()
+		onAccess := e.onAccess
+		e.mu.RUnlock()
+		for _, ae := range targets {
+			if acc.Len(ae.Meta.Name) == 0 {
+				continue
+			}
+			e.stats.RowsAudited.Add(int64(acc.Len(ae.Meta.Name)))
+			if err := e.fireAccessTriggers(ae, acc, sql, env); err != nil {
+				return nil, fmt.Errorf("SELECT trigger action failed: %w", err)
+			}
+			if onAccess != nil {
+				onAccess(AccessEvent{
+					Expression: ae.Meta.Name,
+					User:       e.currentUser(),
+					SQL:        sql,
+					IDs:        acc.IDs(ae.Meta.Name),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+func (e *Engine) runIf(s *ast.If, sql string, env *actionEnv) (*Result, error) {
+	schema := env.outerSchema
+	if schema == nil {
+		schema = plan.Schema{}
+	}
+	cond, err := plan.BuildScalar(e.planEnv(env), schema, s.Cond)
+	if err != nil {
+		return nil, err
+	}
+	ctx := e.execCtx(env, sql)
+	v, err := cond.Eval(ctx.Eval, env.outerRow)
+	if err != nil {
+		return nil, err
+	}
+	if value.TriFromValue(v) != value.True {
+		return &Result{}, nil
+	}
+	var last *Result
+	for _, t := range s.Then {
+		r, err := e.execStmt(t, sql, env)
+		if err != nil {
+			return nil, err
+		}
+		last = r
+	}
+	if last == nil {
+		last = &Result{}
+	}
+	return last, nil
+}
+
+func (e *Engine) runNotify(s *ast.Notify, env *actionEnv) (*Result, error) {
+	schema := env.outerSchema
+	if schema == nil {
+		schema = plan.Schema{}
+	}
+	msg, err := plan.BuildScalar(e.planEnv(env), schema, s.Message)
+	if err != nil {
+		return nil, err
+	}
+	ctx := e.execCtx(env, "")
+	v, err := msg.Eval(ctx.Eval, env.outerRow)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.Notifications.Add(1)
+	e.mu.RLock()
+	fn := e.notify
+	e.mu.RUnlock()
+	if fn != nil {
+		fn(v.String())
+	}
+	return &Result{}, nil
+}
+
+// runExplain handles the EXPLAIN statement: it plans (and, when
+// auditing is active, instruments) the query without executing it and
+// returns the plan tree one line per row.
+func (e *Engine) runExplain(s *ast.Explain) (*Result, error) {
+	n, err := plan.Build(e.planEnv(rootActionEnv()), s.Query)
+	if err != nil {
+		return nil, err
+	}
+	n = opt.Optimize(n)
+	for _, ae := range e.auditTargets() {
+		n = core.Instrument(n, ae, &core.Probe{Expr: ae, Acc: core.NewAccessed()}, e.Heuristic())
+	}
+	res := &Result{Columns: []string{"plan"}}
+	for _, line := range strings.Split(strings.TrimRight(plan.Explain(n), "\n"), "\n") {
+		res.Rows = append(res.Rows, value.Row{value.NewString(line)})
+	}
+	return res, nil
+}
+
+// Explain returns the (optionally instrumented) plan for a query as an
+// indented tree.
+func (e *Engine) Explain(sql string, instrument bool) (string, error) {
+	n, _, err := e.BuildQueryPlan(sql, instrument)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(n), nil
+}

@@ -1,0 +1,396 @@
+package engine
+
+import (
+	"testing"
+
+	"auditdb/internal/value"
+)
+
+// newHealthDB builds the paper's running-example schema (§II).
+func newHealthDB(t *testing.T) *Engine {
+	t.Helper()
+	e := New()
+	script := `
+		CREATE TABLE Patients (PatientID INT PRIMARY KEY, Name VARCHAR(30), Age INT, Zip VARCHAR(10));
+		CREATE TABLE Disease (PatientID INT, Disease VARCHAR(30));
+		INSERT INTO Patients VALUES
+			(1, 'Alice', 34, '48109'),
+			(2, 'Bob', 21, '48109'),
+			(3, 'Carol', 47, '98052'),
+			(4, 'Dave', 29, '98052'),
+			(5, 'Erin', 62, '10001');
+		INSERT INTO Disease VALUES
+			(1, 'cancer'),
+			(2, 'flu'),
+			(3, 'flu'),
+			(4, 'diabetes'),
+			(5, 'cancer');
+	`
+	if _, err := e.ExecScript(script); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	return e
+}
+
+func mustQuery(t *testing.T, e *Engine, sql string) *Result {
+	t.Helper()
+	r, err := e.Query(sql)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", sql, err)
+	}
+	return r
+}
+
+func mustExec(t *testing.T, e *Engine, sql string) *Result {
+	t.Helper()
+	r, err := e.Exec(sql)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return r
+}
+
+func TestBasicSelect(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustQuery(t, e, "SELECT Name FROM Patients WHERE Age > 30 ORDER BY Name")
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	want := []string{"Alice", "Carol", "Erin"}
+	for i, w := range want {
+		if r.Rows[i][0].Str() != w {
+			t.Errorf("row %d = %v, want %s", i, r.Rows[i], w)
+		}
+	}
+	if r.Columns[0] != "Name" {
+		t.Errorf("columns = %v", r.Columns)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustQuery(t, e, "SELECT * FROM Patients WHERE PatientID = 1")
+	if len(r.Rows) != 1 || len(r.Rows[0]) != 4 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Rows[0][1].Str() != "Alice" {
+		t.Errorf("row = %v", r.Rows[0])
+	}
+}
+
+func TestJoin(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustQuery(t, e, `
+		SELECT P.Name, D.Disease FROM Patients P, Disease D
+		WHERE P.PatientID = D.PatientID AND D.Disease = 'flu'
+		ORDER BY P.Name`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Rows[0][0].Str() != "Bob" || r.Rows[1][0].Str() != "Carol" {
+		t.Errorf("rows = %v", r.Rows)
+	}
+}
+
+func TestExplicitJoinSyntax(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustQuery(t, e, `
+		SELECT P.Name FROM Patients P JOIN Disease D ON P.PatientID = D.PatientID
+		WHERE D.Disease = 'cancer' ORDER BY P.Name`)
+	if len(r.Rows) != 2 || r.Rows[0][0].Str() != "Alice" || r.Rows[1][0].Str() != "Erin" {
+		t.Errorf("rows = %v", r.Rows)
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	e := newHealthDB(t)
+	mustExec(t, e, "INSERT INTO Patients VALUES (6, 'Frank', 50, '10001')")
+	r := mustQuery(t, e, `
+		SELECT P.Name, D.Disease FROM Patients P LEFT JOIN Disease D ON P.PatientID = D.PatientID
+		ORDER BY P.Name`)
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	last := r.Rows[5]
+	if last[0].Str() != "Frank" || !last[1].IsNull() {
+		t.Errorf("unmatched row = %v", last)
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustQuery(t, e, `
+		SELECT Disease, COUNT(*) AS n FROM Disease
+		GROUP BY Disease HAVING COUNT(*) >= 2 ORDER BY Disease`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Rows[0][0].Str() != "cancer" || r.Rows[0][1].Int() != 2 {
+		t.Errorf("rows = %v", r.Rows)
+	}
+	if r.Rows[1][0].Str() != "flu" || r.Rows[1][1].Int() != 2 {
+		t.Errorf("rows = %v", r.Rows)
+	}
+}
+
+func TestAggregatesGlobal(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustQuery(t, e, "SELECT COUNT(*), MIN(Age), MAX(Age), AVG(Age), SUM(Age) FROM Patients")
+	row := r.Rows[0]
+	if row[0].Int() != 5 || row[1].Int() != 21 || row[2].Int() != 62 {
+		t.Errorf("aggregates = %v", row)
+	}
+	if row[3].Float() != 38.6 || row[4].Int() != 193 {
+		t.Errorf("avg/sum = %v", row)
+	}
+}
+
+func TestAggregateEmptyInput(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustQuery(t, e, "SELECT COUNT(*), SUM(Age) FROM Patients WHERE Age > 1000")
+	if len(r.Rows) != 1 || r.Rows[0][0].Int() != 0 || !r.Rows[0][1].IsNull() {
+		t.Errorf("empty aggregate = %v", r.Rows)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustQuery(t, e, "SELECT COUNT(DISTINCT Disease) FROM Disease")
+	if r.Rows[0][0].Int() != 3 {
+		t.Errorf("count distinct = %v", r.Rows[0])
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustQuery(t, e, "SELECT DISTINCT Zip FROM Patients ORDER BY Zip")
+	if len(r.Rows) != 3 {
+		t.Errorf("distinct rows = %v", r.Rows)
+	}
+}
+
+func TestOrderByLimit(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustQuery(t, e, "SELECT Name, Age FROM Patients ORDER BY Age LIMIT 2")
+	if len(r.Rows) != 2 || r.Rows[0][0].Str() != "Bob" || r.Rows[1][0].Str() != "Dave" {
+		t.Errorf("top-2 youngest = %v", r.Rows)
+	}
+}
+
+func TestOrderByHiddenColumn(t *testing.T) {
+	e := newHealthDB(t)
+	// ORDER BY a column not in the select list.
+	r := mustQuery(t, e, "SELECT Name FROM Patients ORDER BY Age DESC LIMIT 1")
+	if len(r.Rows) != 1 || len(r.Rows[0]) != 1 || r.Rows[0][0].Str() != "Erin" {
+		t.Errorf("rows = %v", r.Rows)
+	}
+}
+
+func TestExistsSubquery(t *testing.T) {
+	e := newHealthDB(t)
+	// Example 1.2's second query: infer Alice has cancer via EXISTS.
+	r := mustQuery(t, e, `
+		SELECT 1 FROM Patients WHERE exists
+		(SELECT * FROM Patients P, Disease D
+		 WHERE P.PatientID = D.PatientID AND Name = 'Alice' AND Disease = 'cancer')`)
+	if len(r.Rows) != 5 {
+		t.Errorf("exists query rows = %d, want 5", len(r.Rows))
+	}
+}
+
+func TestCorrelatedSubquery(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustQuery(t, e, `
+		SELECT Name FROM Patients P
+		WHERE EXISTS (SELECT 1 FROM Disease D WHERE D.PatientID = P.PatientID AND D.Disease = 'cancer')
+		ORDER BY Name`)
+	if len(r.Rows) != 2 || r.Rows[0][0].Str() != "Alice" || r.Rows[1][0].Str() != "Erin" {
+		t.Errorf("rows = %v", r.Rows)
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustQuery(t, e, `
+		SELECT Name FROM Patients
+		WHERE PatientID IN (SELECT PatientID FROM Disease WHERE Disease = 'flu')
+		ORDER BY Name`)
+	if len(r.Rows) != 2 || r.Rows[0][0].Str() != "Bob" {
+		t.Errorf("rows = %v", r.Rows)
+	}
+}
+
+func TestScalarSubquery(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustQuery(t, e, "SELECT Name FROM Patients WHERE Age > (SELECT AVG(Age) FROM Patients) ORDER BY Name")
+	if len(r.Rows) != 2 || r.Rows[0][0].Str() != "Carol" || r.Rows[1][0].Str() != "Erin" {
+		t.Errorf("rows = %v", r.Rows)
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustQuery(t, e, `
+		SELECT Z.Zip, Z.n FROM
+		(SELECT Zip, COUNT(*) AS n FROM Patients GROUP BY Zip) AS Z
+		WHERE Z.n >= 2 ORDER BY Z.Zip`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Rows[0][0].Str() != "48109" || r.Rows[0][1].Int() != 2 {
+		t.Errorf("rows = %v", r.Rows)
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustExec(t, e, "UPDATE Patients SET Age = Age + 1 WHERE Zip = '48109'")
+	if r.RowsAffected != 2 {
+		t.Fatalf("affected = %d", r.RowsAffected)
+	}
+	q := mustQuery(t, e, "SELECT Age FROM Patients WHERE Name = 'Alice'")
+	if q.Rows[0][0].Int() != 35 {
+		t.Errorf("age = %v", q.Rows[0])
+	}
+	r = mustExec(t, e, "DELETE FROM Patients WHERE Name = 'Erin'")
+	if r.RowsAffected != 1 {
+		t.Fatalf("affected = %d", r.RowsAffected)
+	}
+	q = mustQuery(t, e, "SELECT COUNT(*) FROM Patients")
+	if q.Rows[0][0].Int() != 4 {
+		t.Errorf("count = %v", q.Rows[0])
+	}
+}
+
+func TestInsertColumnList(t *testing.T) {
+	e := newHealthDB(t)
+	mustExec(t, e, "INSERT INTO Patients (PatientID, Name) VALUES (10, 'Zed')")
+	r := mustQuery(t, e, "SELECT Age, Zip FROM Patients WHERE PatientID = 10")
+	if !r.Rows[0][0].IsNull() || !r.Rows[0][1].IsNull() {
+		t.Errorf("unlisted columns should be NULL: %v", r.Rows[0])
+	}
+}
+
+func TestInsertSelect(t *testing.T) {
+	e := newHealthDB(t)
+	mustExec(t, e, "CREATE TABLE Names (N VARCHAR(30))")
+	r := mustExec(t, e, "INSERT INTO Names SELECT Name FROM Patients WHERE Age < 30")
+	if r.RowsAffected != 2 {
+		t.Errorf("affected = %d", r.RowsAffected)
+	}
+}
+
+func TestPrimaryKeyViolation(t *testing.T) {
+	e := newHealthDB(t)
+	if _, err := e.Exec("INSERT INTO Patients VALUES (1, 'Dup', 1, 'x')"); err == nil {
+		t.Fatal("duplicate pk should fail")
+	}
+	// Statement atomicity: a multi-row insert that fails midway must
+	// leave nothing behind.
+	if _, err := e.Exec("INSERT INTO Patients VALUES (20, 'Ok', 1, 'x'), (1, 'Dup', 1, 'x')"); err == nil {
+		t.Fatal("expected failure")
+	}
+	r := mustQuery(t, e, "SELECT COUNT(*) FROM Patients WHERE PatientID = 20")
+	if r.Rows[0][0].Int() != 0 {
+		t.Error("failed statement leaked a row")
+	}
+}
+
+func TestDMLTriggerNewOld(t *testing.T) {
+	e := newHealthDB(t)
+	mustExec(t, e, "CREATE TABLE AgeLog (PatientID INT, OldAge INT, NewAge INT)")
+	mustExec(t, e, `CREATE TRIGGER track_age ON Patients AFTER UPDATE AS
+		INSERT INTO AgeLog VALUES (NEW.PatientID, OLD.Age, NEW.Age)`)
+	mustExec(t, e, "UPDATE Patients SET Age = Age + 10 WHERE Name = 'Bob'")
+	r := mustQuery(t, e, "SELECT PatientID, OldAge, NewAge FROM AgeLog")
+	if len(r.Rows) != 1 {
+		t.Fatalf("log rows = %v", r.Rows)
+	}
+	row := r.Rows[0]
+	if row[0].Int() != 2 || row[1].Int() != 21 || row[2].Int() != 31 {
+		t.Errorf("log row = %v", row)
+	}
+}
+
+func TestInsertTriggerCascadeDepthLimit(t *testing.T) {
+	e := New()
+	mustExec(t, e, "CREATE TABLE T (x INT)")
+	mustExec(t, e, "CREATE TRIGGER loop ON T AFTER INSERT AS INSERT INTO T VALUES (NEW.x + 1)")
+	if _, err := e.Exec("INSERT INTO T VALUES (1)"); err == nil {
+		t.Fatal("self-triggering insert should hit the cascade depth limit")
+	}
+}
+
+func TestNotifyStatement(t *testing.T) {
+	e := New()
+	var got []string
+	e.OnNotify(func(m string) { got = append(got, m) })
+	mustExec(t, e, "CREATE TABLE T (x INT)")
+	mustExec(t, e, "CREATE TRIGGER n ON T AFTER INSERT AS NOTIFY 'row arrived'")
+	mustExec(t, e, "INSERT INTO T VALUES (1)")
+	if len(got) != 1 || got[0] != "row arrived" {
+		t.Errorf("notifications = %v", got)
+	}
+}
+
+func TestCaseExpression(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustQuery(t, e, `
+		SELECT Name, CASE WHEN Age >= 40 THEN 'senior' ELSE 'junior' END AS band
+		FROM Patients WHERE Name = 'Carol'`)
+	if r.Rows[0][1].Str() != "senior" {
+		t.Errorf("case = %v", r.Rows[0])
+	}
+}
+
+func TestSessionFunctions(t *testing.T) {
+	e := newHealthDB(t)
+	e.SetUser("dr_mallory")
+	r := mustQuery(t, e, "SELECT userid(), sqltext() FROM Patients WHERE PatientID = 1")
+	if r.Rows[0][0].Str() != "dr_mallory" {
+		t.Errorf("userid = %v", r.Rows[0][0])
+	}
+	if r.Rows[0][1].Str() == "" {
+		t.Error("sqltext empty")
+	}
+}
+
+func TestNullThreeValuedLogic(t *testing.T) {
+	e := New()
+	mustExec(t, e, "CREATE TABLE T (a INT, b INT)")
+	mustExec(t, e, "INSERT INTO T VALUES (1, NULL), (2, 5), (NULL, NULL)")
+	r := mustQuery(t, e, "SELECT COUNT(*) FROM T WHERE b > 1")
+	if r.Rows[0][0].Int() != 1 {
+		t.Errorf("3VL filter = %v", r.Rows[0])
+	}
+	r = mustQuery(t, e, "SELECT COUNT(*) FROM T WHERE a IS NULL")
+	if r.Rows[0][0].Int() != 1 {
+		t.Errorf("is null = %v", r.Rows[0])
+	}
+	r = mustQuery(t, e, "SELECT COUNT(a), COUNT(*) FROM T")
+	if r.Rows[0][0].Int() != 2 || r.Rows[0][1].Int() != 3 {
+		t.Errorf("count null handling = %v", r.Rows[0])
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	e := newHealthDB(t)
+	before := e.StatsSnapshot()["queries"]
+	mustQuery(t, e, "SELECT 1 FROM Patients")
+	if e.StatsSnapshot()["queries"] != before+1 {
+		t.Error("query counter did not advance")
+	}
+}
+
+func TestValueOrderingInResults(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustQuery(t, e, "SELECT Age FROM Patients ORDER BY Age DESC")
+	prev := int64(1 << 60)
+	for _, row := range r.Rows {
+		if row[0].Int() > prev {
+			t.Fatalf("not sorted desc: %v", r.Rows)
+		}
+		prev = row[0].Int()
+	}
+	_ = value.Null
+}

@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainStatement(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustExec(t, e, "EXPLAIN SELECT Name FROM Patients WHERE Age > 30 ORDER BY Name LIMIT 2")
+	if len(r.Columns) != 1 || r.Columns[0] != "plan" {
+		t.Fatalf("columns = %v", r.Columns)
+	}
+	text := ""
+	for _, row := range r.Rows {
+		text += row[0].Str() + "\n"
+	}
+	for _, want := range []string{"Limit(2)", "Sort(", "Scan(Patients"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explain missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExplainShowsAuditWhenActive(t *testing.T) {
+	e := newHealthDB(t)
+	if _, err := e.ExecScript(`
+		CREATE AUDIT EXPRESSION Audit_All AS
+			SELECT * FROM Patients WHERE PatientID > 0
+			FOR SENSITIVE TABLE Patients, PARTITION BY PatientID`); err != nil {
+		t.Fatal(err)
+	}
+	e.SetAuditAll(true)
+	r := mustExec(t, e, "EXPLAIN SELECT * FROM Patients")
+	text := ""
+	for _, row := range r.Rows {
+		text += row[0].Str() + "\n"
+	}
+	if !strings.Contains(text, "Audit(Audit_All") {
+		t.Errorf("explain should show the audit operator:\n%s", text)
+	}
+	// EXPLAIN itself must not record accesses or fire triggers.
+	if got := e.StatsSnapshot()["rows_audited"]; got != 0 {
+		t.Errorf("EXPLAIN audited rows: %d", got)
+	}
+}

@@ -1,0 +1,107 @@
+package engine
+
+import "testing"
+
+func TestHavingAggregateNotInSelect(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustQuery(t, e, "SELECT Zip FROM Patients GROUP BY Zip HAVING COUNT(*) > 1 ORDER BY Zip")
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Rows[0][0].Str() != "48109" || r.Rows[1][0].Str() != "98052" {
+		t.Errorf("rows = %v", r.Rows)
+	}
+	if len(r.Rows[0]) != 1 {
+		t.Errorf("hidden aggregate leaked into output: %v", r.Rows[0])
+	}
+}
+
+func TestOrderByAggregate(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustQuery(t, e, "SELECT Zip FROM Patients GROUP BY Zip ORDER BY COUNT(*) DESC, Zip")
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	// 48109 and 98052 have 2 each (tie broken by Zip), 10001 has 1.
+	if r.Rows[0][0].Str() != "48109" || r.Rows[2][0].Str() != "10001" {
+		t.Errorf("rows = %v", r.Rows)
+	}
+}
+
+func TestGroupByExpression(t *testing.T) {
+	e := newHealthDB(t)
+	// Group by a computed expression, selecting the same expression.
+	r := mustQuery(t, e, "SELECT Age / 10, COUNT(*) FROM Patients GROUP BY Age / 10 ORDER BY 1")
+	if len(r.Rows) < 3 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+}
+
+func TestGroupByWithWhereAndAlias(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustQuery(t, e, `SELECT Zip AS z, MIN(Age) AS youngest FROM Patients
+		WHERE Age > 21 GROUP BY Zip ORDER BY z`)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Rows[0][0].Str() != "10001" || r.Rows[0][1].Int() != 62 {
+		t.Errorf("rows = %v", r.Rows)
+	}
+	if r.Rows[1][1].Int() != 34 {
+		t.Errorf("48109 youngest over 21 = %v", r.Rows[1])
+	}
+}
+
+func TestAvgOfInts(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustQuery(t, e, "SELECT AVG(Age) FROM Patients WHERE Zip = '48109'")
+	if r.Rows[0][0].Float() != 27.5 {
+		t.Errorf("avg = %v", r.Rows[0])
+	}
+}
+
+func TestDateStringComparison(t *testing.T) {
+	e := New()
+	if _, err := e.ExecScript(`
+		CREATE TABLE Ev (d DATE);
+		INSERT INTO Ev VALUES (DATE '1995-01-01'), (DATE '1996-06-15'), (DATE '1997-12-31');
+	`); err != nil {
+		t.Fatal(err)
+	}
+	// Plain string literal coerces against the DATE column.
+	r := mustQuery(t, e, "SELECT COUNT(*) FROM Ev WHERE d > '1996-01-01'")
+	if r.Rows[0][0].Int() != 2 {
+		t.Errorf("count = %v", r.Rows[0])
+	}
+	r = mustQuery(t, e, "SELECT YEAR(d) FROM Ev ORDER BY d LIMIT 1")
+	if r.Rows[0][0].Int() != 1995 {
+		t.Errorf("year = %v", r.Rows[0])
+	}
+}
+
+func TestNestedAggregateOverDerivedTable(t *testing.T) {
+	e := newHealthDB(t)
+	// Aggregate over an aggregate via a derived table (the Q13 shape).
+	r := mustQuery(t, e, `
+		SELECT n, COUNT(*) FROM
+			(SELECT Zip, COUNT(*) AS n FROM Patients GROUP BY Zip) AS z
+		GROUP BY n ORDER BY n`)
+	// Zip sizes: 10001 -> 1 patient; 48109, 98052 -> 2 patients each.
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Rows[0][0].Int() != 1 || r.Rows[0][1].Int() != 1 {
+		t.Errorf("row0 = %v", r.Rows[0])
+	}
+	if r.Rows[1][0].Int() != 2 || r.Rows[1][1].Int() != 2 {
+		t.Errorf("row1 = %v", r.Rows[1])
+	}
+}
+
+func TestMinMaxOnStringsAndDates(t *testing.T) {
+	e := newHealthDB(t)
+	r := mustQuery(t, e, "SELECT MIN(Name), MAX(Name) FROM Patients")
+	if r.Rows[0][0].Str() != "Alice" || r.Rows[0][1].Str() != "Erin" {
+		t.Errorf("min/max strings = %v", r.Rows[0])
+	}
+}

@@ -1,0 +1,47 @@
+package engine
+
+import (
+	"fmt"
+
+	"auditdb/internal/ast"
+	"auditdb/internal/parser"
+	"auditdb/internal/value"
+)
+
+// Prepared is a parsed statement with positional ? parameters. Each
+// Run binds a fresh parameter vector, so a Prepared is safe to reuse
+// (parsing happens once; planning reflects the catalog at run time,
+// which keeps audit instrumentation current).
+type Prepared struct {
+	eng    *Engine
+	stmt   ast.Stmt
+	sql    string
+	params int
+}
+
+// Prepare parses a single statement containing ? placeholders.
+func (e *Engine) Prepare(sql string) (*Prepared, error) {
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	n, err := parser.CountParams(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{eng: e, stmt: stmt, sql: sql, params: n}, nil
+}
+
+// NumParams reports how many ? placeholders the statement declares.
+func (p *Prepared) NumParams() int { return p.params }
+
+// Run executes the statement with the given parameter values bound in
+// source order.
+func (p *Prepared) Run(params ...value.Value) (*Result, error) {
+	if len(params) != p.params {
+		return nil, fmt.Errorf("statement expects %d parameters, got %d", p.params, len(params))
+	}
+	env := rootActionEnv()
+	env.params = params
+	return p.eng.execStmt(p.stmt, p.sql, env)
+}

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"auditdb/internal/catalog"
+	"auditdb/internal/core"
+	"auditdb/internal/plan"
+	"auditdb/internal/value"
+)
+
+// accessedName is the pseudo-relation exposed to SELECT-trigger
+// actions (the paper's ACCESSED internal state, §II).
+const accessedName = "accessed"
+
+// fireAccessTriggers runs the actions of every ON ACCESS trigger bound
+// to the audit expression, with the ACCESSED relation holding the IDs
+// the audit operators recorded for this query. Each action runs as its
+// own system transaction after the query completes.
+func (e *Engine) fireAccessTriggers(ae *core.AuditExpression, acc *core.Accessed, sql string, env *actionEnv) error {
+	triggers := e.cat.TriggersFor(catalog.TriggerOnAccess, ae.Meta.Name)
+	if len(triggers) == 0 {
+		return nil
+	}
+
+	// Bind ACCESSED: one column named after the partition-by key.
+	tbl, ok := e.cat.Table(ae.Meta.SensitiveTable)
+	if !ok {
+		return fmt.Errorf("sensitive table %q disappeared", ae.Meta.SensitiveTable)
+	}
+	keyKind := tbl.Columns[ae.KeyOrdinal()].Type
+	schema := plan.Schema{{Qual: "ACCESSED", Name: ae.Meta.PartitionBy, Kind: keyKind}}
+	ids := acc.IDs(ae.Meta.Name)
+	rows := make([]value.Row, len(ids))
+	for i, id := range ids {
+		rows[i] = value.Row{id}
+	}
+
+	for _, meta := range triggers {
+		ct := e.compiled(meta.Name)
+		if ct == nil {
+			return fmt.Errorf("trigger %q has no compiled body", meta.Name)
+		}
+		// The action is its own system transaction (§II): its writes do
+		// not roll back with a reading transaction, keeping the audit
+		// trail tamper-resistant.
+		sub := env.systemChild()
+		sub.extraSchema = map[string]plan.Schema{accessedName: schema}
+		sub.extraRows = map[string][]value.Row{accessedName: rows}
+		e.stats.TriggersFired.Add(1)
+		for _, stmt := range ct.body {
+			if _, err := e.execStmt(stmt, sql, sub); err != nil {
+				return fmt.Errorf("trigger %s: %w", meta.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// fireDMLTriggers runs row-level AFTER triggers for each applied
+// change, binding NEW/OLD as an implicit outer row for the body's
+// statements (mirrors SQL's NEW./OLD. references).
+func (e *Engine) fireDMLTriggers(meta *catalog.TableMeta, applied []change, sql string, env *actionEnv, kind catalog.TriggerKind) error {
+	triggers := e.cat.TriggersFor(kind, meta.Name)
+	if len(triggers) == 0 {
+		return nil
+	}
+	newSchema := tableSchema(meta, "NEW")
+	oldSchema := tableSchema(meta, "OLD")
+
+	for _, c := range applied {
+		var schema plan.Schema
+		var row value.Row
+		switch kind {
+		case catalog.TriggerAfterInsert:
+			schema, row = newSchema, c.new
+		case catalog.TriggerAfterDelete:
+			schema, row = oldSchema, c.old
+		case catalog.TriggerAfterUpdate:
+			schema = append(append(plan.Schema{}, newSchema...), oldSchema...)
+			row = c.new.Concat(c.old)
+		default:
+			return fmt.Errorf("unexpected trigger kind %v", kind)
+		}
+		for _, tm := range triggers {
+			ct := e.compiled(tm.Name)
+			if ct == nil {
+				return fmt.Errorf("trigger %q has no compiled body", tm.Name)
+			}
+			sub := env.child()
+			sub.outerSchema = schema
+			sub.outerRow = row
+			e.stats.TriggersFired.Add(1)
+			for _, stmt := range ct.body {
+				if _, err := e.execStmt(stmt, sql, sub); err != nil {
+					return fmt.Errorf("trigger %s: %w", tm.Name, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Engine) compiled(name string) *compiledTrigger {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.triggers[strings.ToLower(name)]
+}

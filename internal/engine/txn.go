@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"fmt"
+
+	"auditdb/internal/ast"
+	"auditdb/internal/parser"
+)
+
+// Txn is an explicit transaction: the engine's writer lock is held for
+// its whole lifetime (other writers block; readers continue against
+// snapshots and see the transaction's changes immediately —
+// read-uncommitted visibility). Rollback undoes every row change the
+// transaction applied, including changes made by triggers it fired,
+// and re-materializes the audit-expression ID sets.
+type Txn struct {
+	e    *Engine
+	undo []change
+	done bool
+}
+
+// Begin opens a transaction, blocking until any other writer or
+// transaction finishes. Every Txn must end in Commit or Rollback.
+func (e *Engine) Begin() *Txn {
+	e.dmlMu.Lock()
+	return &Txn{e: e}
+}
+
+// Exec runs one statement inside the transaction.
+func (t *Txn) Exec(sql string) (*Result, error) {
+	if t.done {
+		return nil, fmt.Errorf("transaction already finished")
+	}
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch stmt.(type) {
+	case *ast.TxBegin, *ast.TxCommit, *ast.TxRollback:
+		return nil, fmt.Errorf("nested transaction control inside Txn.Exec; use Commit/Rollback")
+	}
+	env := rootActionEnv()
+	env.txn = t
+	return t.e.execStmt(stmt, sql, env)
+}
+
+// Query runs a SELECT inside the transaction (audited as usual).
+func (t *Txn) Query(sql string) (*Result, error) { return t.Exec(sql) }
+
+// Commit makes the transaction's changes permanent and releases the
+// writer lock.
+func (t *Txn) Commit() error {
+	if t.done {
+		return fmt.Errorf("transaction already finished")
+	}
+	t.done = true
+	t.undo = nil
+	t.e.dmlMu.Unlock()
+	return nil
+}
+
+// Rollback undoes the transaction's changes (reverse order), restores
+// the audit-expression ID sets, and releases the writer lock.
+func (t *Txn) Rollback() error {
+	if t.done {
+		return fmt.Errorf("transaction already finished")
+	}
+	t.done = true
+	undo(t.undo)
+	t.undo = nil
+	err := t.e.reg.RefreshAll()
+	t.e.dmlMu.Unlock()
+	return err
+}
+
+// record registers applied changes for rollback.
+func (t *Txn) record(applied []change) {
+	t.undo = append(t.undo, applied...)
+}
+
+// sessionTxn supports SQL-level BEGIN/COMMIT/ROLLBACK through
+// Exec/ExecScript. SQL transactions are per-engine (one at a time);
+// use Begin() for programmatic control from multiple goroutines.
+func (e *Engine) runTxControl(stmt ast.Stmt, env *actionEnv) (*Result, error) {
+	if env.depth > 0 {
+		return nil, fmt.Errorf("transaction control is not allowed inside trigger actions")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch stmt.(type) {
+	case *ast.TxBegin:
+		if e.sessionTxn != nil {
+			return nil, fmt.Errorf("a transaction is already open")
+		}
+		e.mu.Unlock()
+		txn := e.Begin()
+		e.mu.Lock()
+		e.sessionTxn = txn
+		return &Result{}, nil
+	case *ast.TxCommit:
+		if e.sessionTxn == nil {
+			return nil, fmt.Errorf("no open transaction")
+		}
+		err := e.sessionTxn.Commit()
+		e.sessionTxn = nil
+		return &Result{}, err
+	case *ast.TxRollback:
+		if e.sessionTxn == nil {
+			return nil, fmt.Errorf("no open transaction")
+		}
+		err := e.sessionTxn.Rollback()
+		e.sessionTxn = nil
+		return &Result{}, err
+	}
+	return nil, fmt.Errorf("not a transaction-control statement")
+}

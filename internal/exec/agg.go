@@ -1,0 +1,215 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"auditdb/internal/plan"
+	"auditdb/internal/value"
+)
+
+// ---- Aggregation ----
+
+type aggState struct {
+	count   int64
+	sumI    int64
+	sumF    float64
+	isFloat bool
+	min     value.Value
+	max     value.Value
+	seen    map[string]struct{} // DISTINCT values
+	any     bool
+}
+
+type aggGroup struct {
+	keys   value.Row
+	states []aggState
+}
+
+// openAggregate performs hash aggregation: consume the entire child,
+// bucket by group-by keys, fold each aggregate, then emit one row per
+// group (or exactly one row for a global aggregate over empty input).
+func openAggregate(a *plan.Aggregate, ctx *Ctx) (Iterator, error) {
+	child, err := Open(a.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer child.Close()
+
+	groups := make(map[string]*aggGroup)
+	var order []string // deterministic output order: first appearance
+	for {
+		row, ok, err := child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		keys := make(value.Row, len(a.GroupBy))
+		buf := make([]byte, 0, 16*len(a.GroupBy))
+		for i, g := range a.GroupBy {
+			v, err := g.Eval(ctx.Eval, row)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+			buf = value.EncodeKey(buf, v)
+		}
+		k := string(buf)
+		grp, ok := groups[k]
+		if !ok {
+			grp = &aggGroup{keys: keys, states: make([]aggState, len(a.Aggs))}
+			groups[k] = grp
+			order = append(order, k)
+		}
+		for i, spec := range a.Aggs {
+			if err := fold(&grp.states[i], spec, ctx, row); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// A global aggregate (no GROUP BY) over empty input yields one row.
+	if len(groups) == 0 && len(a.GroupBy) == 0 {
+		grp := &aggGroup{states: make([]aggState, len(a.Aggs))}
+		groups[""] = grp
+		order = append(order, "")
+	}
+
+	rows := make([]value.Row, 0, len(groups))
+	for _, k := range order {
+		grp := groups[k]
+		out := make(value.Row, 0, len(a.GroupBy)+len(a.Aggs))
+		out = append(out, grp.keys...)
+		for i, spec := range a.Aggs {
+			out = append(out, finish(&grp.states[i], spec))
+		}
+		rows = append(rows, out)
+	}
+	return &scanIter{rows: rows, ctx: ctx}, nil
+}
+
+func fold(st *aggState, spec plan.AggSpec, ctx *Ctx, row value.Row) error {
+	// COUNT(*) counts rows unconditionally.
+	if spec.Arg == nil {
+		st.count++
+		return nil
+	}
+	v, err := spec.Arg.Eval(ctx.Eval, row)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil // NULLs are ignored by all aggregates
+	}
+	if spec.Distinct {
+		if st.seen == nil {
+			st.seen = make(map[string]struct{})
+		}
+		k := value.KeyOf(v)
+		if _, dup := st.seen[k]; dup {
+			return nil
+		}
+		st.seen[k] = struct{}{}
+	}
+	st.any = true
+	st.count++
+	switch spec.Func {
+	case plan.AggSum, plan.AggAvg:
+		switch v.Kind {
+		case value.KindFloat:
+			st.isFloat = true
+			st.sumF += v.F
+		case value.KindInt, value.KindBool:
+			st.sumI += v.I
+		default:
+			return fmt.Errorf("%s: non-numeric argument %s", spec.Func, v.Kind)
+		}
+	case plan.AggMin:
+		if st.min.IsNull() || value.Compare(v, st.min) < 0 {
+			st.min = v
+		}
+	case plan.AggMax:
+		if st.max.IsNull() || value.Compare(v, st.max) > 0 {
+			st.max = v
+		}
+	}
+	return nil
+}
+
+func finish(st *aggState, spec plan.AggSpec) value.Value {
+	switch spec.Func {
+	case plan.AggCount:
+		return value.NewInt(st.count)
+	case plan.AggSum:
+		if !st.any {
+			return value.Null
+		}
+		if st.isFloat {
+			return value.NewFloat(st.sumF + float64(st.sumI))
+		}
+		return value.NewInt(st.sumI)
+	case plan.AggAvg:
+		if !st.any || st.count == 0 {
+			return value.Null
+		}
+		return value.NewFloat((st.sumF + float64(st.sumI)) / float64(st.count))
+	case plan.AggMin:
+		return st.min
+	case plan.AggMax:
+		return st.max
+	}
+	return value.Null
+}
+
+// ---- Sort ----
+
+func openSort(s *plan.Sort, ctx *Ctx) (Iterator, error) {
+	child, err := Open(s.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer child.Close()
+	type keyed struct {
+		row  value.Row
+		keys value.Row
+	}
+	var rows []keyed
+	for {
+		row, ok, err := child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		keys := make(value.Row, len(s.Keys))
+		for i, k := range s.Keys {
+			v, err := k.Expr.Eval(ctx.Eval, row)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		rows = append(rows, keyed{row: row, keys: keys})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k, key := range s.Keys {
+			c := value.Compare(rows[i].keys[k], rows[j].keys[k])
+			if c == 0 {
+				continue
+			}
+			if key.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	out := make([]value.Row, len(rows))
+	for i, r := range rows {
+		out[i] = r.row
+	}
+	return &scanIter{rows: out, ctx: ctx}, nil
+}

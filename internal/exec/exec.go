@@ -1,0 +1,412 @@
+// Package exec interprets logical plans with Volcano-style (getNext)
+// iterators: scans with pushed predicates and visibility masks, hash
+// and nested-loops joins, hash aggregation, sorting, limits, distinct,
+// and the audit operator (a pass-through that feeds partition-by
+// values to its sink, paper §IV-A.2).
+package exec
+
+import (
+	"fmt"
+
+	"auditdb/internal/plan"
+	"auditdb/internal/storage"
+	"auditdb/internal/value"
+)
+
+// Ctx is the execution context of one statement.
+type Ctx struct {
+	// Store provides table data.
+	Store *storage.Store
+	// Mask optionally hides rows (tuple-deletion re-execution for the
+	// offline auditor). Nil hides nothing.
+	Mask *storage.Mask
+	// Eval is the expression evaluation context (session functions,
+	// correlation stack). Run installs its RunSubquery callback.
+	Eval *plan.EvalCtx
+	// Extra supplies transient named relations (ACCESSED, NEW, OLD);
+	// keys are lower-case.
+	Extra map[string][]value.Row
+}
+
+// NewCtx returns a context over the given store with a fresh
+// evaluation context whose subquery runner is already installed, so
+// standalone expression evaluation (trigger IF conditions, DML
+// predicates) can run subplans too.
+func NewCtx(store *storage.Store) *Ctx {
+	ctx := &Ctx{Store: store, Eval: &plan.EvalCtx{}}
+	ctx.Eval.RunSubquery = func(sub plan.Node, _ *plan.EvalCtx) ([]value.Row, error) {
+		return collect(sub, ctx)
+	}
+	return ctx
+}
+
+// Iterator produces rows one at a time. After Next returns ok=false
+// the iterator is exhausted; Close releases resources.
+type Iterator interface {
+	Next() (value.Row, bool, error)
+	Close()
+}
+
+// Run materializes the full result of a plan.
+func Run(n plan.Node, ctx *Ctx) ([]value.Row, error) {
+	if ctx.Eval == nil {
+		ctx.Eval = &plan.EvalCtx{}
+	}
+	if ctx.Eval.RunSubquery == nil {
+		ctx.Eval.RunSubquery = func(sub plan.Node, _ *plan.EvalCtx) ([]value.Row, error) {
+			return collect(sub, ctx)
+		}
+	}
+	return collect(n, ctx)
+}
+
+// Drain executes the plan to completion, discarding rows, and returns
+// the row count. It exists for measurement and side-effect-only runs
+// (audit probes fire as usual); the rows are never retained, so the
+// garbage collector sees far less pressure than under Run.
+func Drain(n plan.Node, ctx *Ctx) (int, error) {
+	if ctx.Eval == nil {
+		ctx.Eval = &plan.EvalCtx{}
+	}
+	if ctx.Eval.RunSubquery == nil {
+		ctx.Eval.RunSubquery = func(sub plan.Node, _ *plan.EvalCtx) ([]value.Row, error) {
+			return collect(sub, ctx)
+		}
+	}
+	it, err := Open(n, ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer it.Close()
+	count := 0
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			return count, err
+		}
+		if !ok {
+			return count, nil
+		}
+		count++
+	}
+}
+
+func collect(n plan.Node, ctx *Ctx) ([]value.Row, error) {
+	it, err := Open(n, ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out []value.Row
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
+// Open builds the iterator tree for a plan node.
+func Open(n plan.Node, ctx *Ctx) (Iterator, error) {
+	switch x := n.(type) {
+	case *plan.Scan:
+		return openScan(x, ctx)
+	case *plan.ValuesScan:
+		return openValues(x, ctx)
+	case *plan.Filter:
+		child, err := Open(x.Child, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &filterIter{child: child, pred: x.Pred, ctx: ctx}, nil
+	case *plan.Project:
+		child, err := Open(x.Child, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &projectIter{child: child, exprs: x.Exprs, ctx: ctx}, nil
+	case *plan.Join:
+		return openJoin(x, ctx)
+	case *plan.Aggregate:
+		return openAggregate(x, ctx)
+	case *plan.Sort:
+		return openSort(x, ctx)
+	case *plan.Limit:
+		child, err := Open(x.Child, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &limitIter{child: child, n: x.N}, nil
+	case *plan.Distinct:
+		child, err := Open(x.Child, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &distinctIter{child: child, seen: make(map[string]struct{})}, nil
+	case *plan.Audit:
+		child, err := Open(x.Child, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &auditIter{child: child, idIdx: x.IDIdx, sink: x.Sink}, nil
+	default:
+		return nil, fmt.Errorf("exec: unsupported plan node %T", n)
+	}
+}
+
+// ---- Scans ----
+
+type scanIter struct {
+	rows []value.Row
+	pos  int
+	pred plan.Expr
+	ctx  *Ctx
+}
+
+func openScan(s *plan.Scan, ctx *Ctx) (Iterator, error) {
+	tbl, ok := ctx.Store.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("exec: table %q does not exist", s.Table)
+	}
+	masked := ctx.Mask.HidesTable(s.Table)
+
+	// Index-assisted access path: if the pushed predicate contains an
+	// equality between a column and a constant and the table has a
+	// usable index, fetch just the matching rows. The full predicate
+	// still runs over them, so this is purely physical — which is why
+	// audit cardinalities are independent of it (the paper's point
+	// that false positives do not depend on physical operators).
+	if s.Pushed != nil {
+		if col, v, found := equalityProbe(s.Pushed, ctx); found {
+			if ids, usable := tbl.LookupEq(col, v); usable {
+				rows := make([]value.Row, 0, len(ids))
+				for _, id := range ids {
+					if masked && ctx.Mask.Hidden(s.Table, id) {
+						continue
+					}
+					if row, live := tbl.Get(id); live {
+						rows = append(rows, row)
+					}
+				}
+				return &scanIter{rows: rows, pred: s.Pushed, ctx: ctx}, nil
+			}
+		}
+	}
+
+	rows := make([]value.Row, 0, tbl.Len())
+	tbl.Snapshot(func(id storage.RowID, row value.Row) bool {
+		if masked && ctx.Mask.Hidden(s.Table, id) {
+			return true
+		}
+		rows = append(rows, row)
+		return true
+	})
+	return &scanIter{rows: rows, pred: s.Pushed, ctx: ctx}, nil
+}
+
+// equalityProbe finds a conjunct of the form col = constant (or
+// constant = col) whose constant side is evaluable without a row.
+func equalityProbe(pred plan.Expr, ctx *Ctx) (col int, v value.Value, ok bool) {
+	switch e := pred.(type) {
+	case *plan.And:
+		if c, val, found := equalityProbe(e.L, ctx); found {
+			return c, val, true
+		}
+		return equalityProbe(e.R, ctx)
+	case *plan.Cmp:
+		if e.Op != plan.CmpEq {
+			return 0, value.Null, false
+		}
+		if c, cok := e.L.(*plan.Col); cok {
+			if val, vok := constValue(e.R, ctx); vok {
+				return c.Idx, val, true
+			}
+		}
+		if c, cok := e.R.(*plan.Col); cok {
+			if val, vok := constValue(e.L, ctx); vok {
+				return c.Idx, val, true
+			}
+		}
+	}
+	return 0, value.Null, false
+}
+
+// constValue evaluates a row-independent expression (literals,
+// prepared-statement parameters and outer references; anything
+// touching the current row is rejected).
+func constValue(e plan.Expr, ctx *Ctx) (value.Value, bool) {
+	switch x := e.(type) {
+	case *plan.Const:
+		return x.V, true
+	case *plan.Param, *plan.Outer:
+		v, err := x.Eval(ctx.Eval, nil)
+		if err != nil {
+			return value.Null, false
+		}
+		return v, true
+	default:
+		return value.Null, false
+	}
+}
+
+func (it *scanIter) Next() (value.Row, bool, error) {
+	for it.pos < len(it.rows) {
+		row := it.rows[it.pos]
+		it.pos++
+		if it.pred != nil {
+			v, err := it.pred.Eval(it.ctx.Eval, row)
+			if err != nil {
+				return nil, false, err
+			}
+			if value.TriFromValue(v) != value.True {
+				continue
+			}
+		}
+		return row, true, nil
+	}
+	return nil, false, nil
+}
+
+func (it *scanIter) Close() {}
+
+func openValues(s *plan.ValuesScan, ctx *Ctx) (Iterator, error) {
+	if s.Name == plan.DualName {
+		return &scanIter{rows: []value.Row{{}}, ctx: ctx}, nil
+	}
+	rows, ok := ctx.Extra[s.Name]
+	if !ok {
+		return nil, fmt.Errorf("exec: transient relation %q is not bound", s.Name)
+	}
+	return &scanIter{rows: rows, ctx: ctx}, nil
+}
+
+// ---- Filter / Project ----
+
+type filterIter struct {
+	child Iterator
+	pred  plan.Expr
+	ctx   *Ctx
+}
+
+func (it *filterIter) Next() (value.Row, bool, error) {
+	for {
+		row, ok, err := it.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		v, err := it.pred.Eval(it.ctx.Eval, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if value.TriFromValue(v) == value.True {
+			return row, true, nil
+		}
+	}
+}
+
+func (it *filterIter) Close() { it.child.Close() }
+
+type projectIter struct {
+	child Iterator
+	exprs []plan.Expr
+	ctx   *Ctx
+}
+
+func (it *projectIter) Next() (value.Row, bool, error) {
+	row, ok, err := it.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(value.Row, len(it.exprs))
+	for i, e := range it.exprs {
+		v, err := e.Eval(it.ctx.Eval, row)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+func (it *projectIter) Close() { it.child.Close() }
+
+// ---- Audit operator ----
+
+// auditIter is deliberately minimal: it forwards rows unchanged and
+// feeds the partition-by column to the sink. The sink performs the
+// sensitive-ID hash probe (paper: a "hash join" whose build side is
+// the materialized audit expression).
+type auditIter struct {
+	child Iterator
+	idIdx int
+	sink  plan.AuditSink
+}
+
+func (it *auditIter) Next() (value.Row, bool, error) {
+	row, ok, err := it.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if it.idIdx >= 0 && it.idIdx < len(row) {
+		it.sink.Observe(row[it.idIdx])
+	}
+	return row, true, nil
+}
+
+func (it *auditIter) Close() { it.child.Close() }
+
+// ---- Limit / Distinct ----
+
+type limitIter struct {
+	child Iterator
+	n     int64
+	count int64
+}
+
+func (it *limitIter) Next() (value.Row, bool, error) {
+	if it.count >= it.n {
+		return nil, false, nil
+	}
+	row, ok, err := it.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	it.count++
+	return row, true, nil
+}
+
+func (it *limitIter) Close() { it.child.Close() }
+
+type distinctIter struct {
+	child Iterator
+	seen  map[string]struct{}
+}
+
+func (it *distinctIter) Next() (value.Row, bool, error) {
+	for {
+		row, ok, err := it.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		key := rowKey(row)
+		if _, dup := it.seen[key]; dup {
+			continue
+		}
+		it.seen[key] = struct{}{}
+		return row, true, nil
+	}
+}
+
+func (it *distinctIter) Close() { it.child.Close() }
+
+func rowKey(row value.Row) string {
+	buf := make([]byte, 0, 16*len(row))
+	for _, v := range row {
+		buf = value.EncodeKey(buf, v)
+	}
+	return string(buf)
+}

@@ -1,0 +1,223 @@
+package exec
+
+import (
+	"auditdb/internal/plan"
+	"auditdb/internal/value"
+)
+
+func openJoin(j *plan.Join, ctx *Ctx) (Iterator, error) {
+	left, err := Open(j.Left, ctx)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Open(j.Right, ctx)
+	if err != nil {
+		left.Close()
+		return nil, err
+	}
+	rightWidth := len(j.Right.Schema())
+	if len(j.LeftKeys) > 0 {
+		return newHashJoin(j, left, right, rightWidth, ctx)
+	}
+	return newNLJoin(j, left, right, rightWidth, ctx)
+}
+
+// ---- Hash join ----
+
+// hashJoinIter builds a hash table over the right input keyed by the
+// equi-join keys and probes it with left rows, applying the residual
+// predicate to each candidate pair. Left-outer rows with no surviving
+// match are null-extended.
+type hashJoinIter struct {
+	j          *plan.Join
+	left       Iterator
+	ctx        *Ctx
+	table      map[string][]value.Row
+	rightWidth int
+
+	cur     value.Row // current left row
+	matches []value.Row
+	mi      int
+	matched bool
+	done    bool
+}
+
+func newHashJoin(j *plan.Join, left, right Iterator, rightWidth int, ctx *Ctx) (Iterator, error) {
+	defer right.Close()
+	table := make(map[string][]value.Row)
+	for {
+		row, ok, err := right.Next()
+		if err != nil {
+			left.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		key, null, err := joinKey(j.RightKeys, ctx, row)
+		if err != nil {
+			left.Close()
+			return nil, err
+		}
+		if null {
+			continue // NULL keys never join
+		}
+		table[key] = append(table[key], row)
+	}
+	return &hashJoinIter{j: j, left: left, ctx: ctx, table: table, rightWidth: rightWidth}, nil
+}
+
+func joinKey(keys []plan.Expr, ctx *Ctx, row value.Row) (string, bool, error) {
+	buf := make([]byte, 0, 16*len(keys))
+	for _, k := range keys {
+		v, err := k.Eval(ctx.Eval, row)
+		if err != nil {
+			return "", false, err
+		}
+		if v.IsNull() {
+			return "", true, nil
+		}
+		buf = value.EncodeKey(buf, v)
+	}
+	return string(buf), false, nil
+}
+
+func (it *hashJoinIter) Next() (value.Row, bool, error) {
+	for {
+		// Drain pending matches for the current left row.
+		for it.mi < len(it.matches) {
+			r := it.matches[it.mi]
+			it.mi++
+			pair := it.cur.Concat(r)
+			if it.j.Residual != nil {
+				v, err := it.j.Residual.Eval(it.ctx.Eval, pair)
+				if err != nil {
+					return nil, false, err
+				}
+				if value.TriFromValue(v) != value.True {
+					continue
+				}
+			}
+			it.matched = true
+			return pair, true, nil
+		}
+		// Left-outer null extension.
+		if it.cur != nil && !it.matched && it.j.Kind == plan.JoinLeft {
+			it.matched = true // emit once
+			return it.cur.Concat(nullRow(it.rightWidth)), true, nil
+		}
+		if it.done {
+			return nil, false, nil
+		}
+		row, ok, err := it.left.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			it.done = true
+			it.cur = nil
+			continue
+		}
+		it.cur = row
+		it.matched = false
+		it.mi = 0
+		key, null, err := joinKey(it.j.LeftKeys, it.ctx, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if null {
+			it.matches = nil
+		} else {
+			it.matches = it.table[key]
+		}
+	}
+}
+
+func (it *hashJoinIter) Close() { it.left.Close() }
+
+// ---- Nested loops join ----
+
+// nlJoinIter materializes the right input and scans it per left row,
+// evaluating the full join condition on each pair. Used for non-equi
+// conditions and cross joins.
+type nlJoinIter struct {
+	j          *plan.Join
+	left       Iterator
+	rightRows  []value.Row
+	rightWidth int
+	ctx        *Ctx
+
+	cur     value.Row
+	ri      int
+	matched bool
+	done    bool
+}
+
+func newNLJoin(j *plan.Join, left, right Iterator, rightWidth int, ctx *Ctx) (Iterator, error) {
+	defer right.Close()
+	var rows []value.Row
+	for {
+		row, ok, err := right.Next()
+		if err != nil {
+			left.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, row)
+	}
+	return &nlJoinIter{j: j, left: left, rightRows: rows, rightWidth: rightWidth, ctx: ctx}, nil
+}
+
+func (it *nlJoinIter) Next() (value.Row, bool, error) {
+	for {
+		if it.cur != nil {
+			for it.ri < len(it.rightRows) {
+				r := it.rightRows[it.ri]
+				it.ri++
+				pair := it.cur.Concat(r)
+				if it.j.Cond != nil {
+					v, err := it.j.Cond.Eval(it.ctx.Eval, pair)
+					if err != nil {
+						return nil, false, err
+					}
+					if value.TriFromValue(v) != value.True {
+						continue
+					}
+				}
+				it.matched = true
+				return pair, true, nil
+			}
+			if !it.matched && it.j.Kind == plan.JoinLeft {
+				it.matched = true
+				return it.cur.Concat(nullRow(it.rightWidth)), true, nil
+			}
+			it.cur = nil
+		}
+		if it.done {
+			return nil, false, nil
+		}
+		row, ok, err := it.left.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			it.done = true
+			continue
+		}
+		it.cur = row
+		it.ri = 0
+		it.matched = false
+	}
+}
+
+func (it *nlJoinIter) Close() { it.left.Close() }
+
+func nullRow(n int) value.Row {
+	row := make(value.Row, n)
+	for i := range row {
+		row[i] = value.Null
+	}
+	return row
+}

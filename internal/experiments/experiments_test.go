@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"auditdb/internal/tpch"
+)
+
+// The experiment tests run at a very small scale factor; they verify
+// the *shapes* the paper reports, not absolute numbers.
+
+var (
+	benchMu    sync.Mutex
+	benchCache = map[float64]*Workbench{}
+)
+
+// newBench returns a shared workbench for the scale factor. Tests that
+// mutate Params receive their own shallow copy; the engine itself is
+// shared, so tests must leave its audit-expression set as they found
+// it.
+func newBench(t *testing.T, sf float64) *Workbench {
+	t.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if w, ok := benchCache[sf]; ok {
+		cp := *w
+		cp.Params = tpch.DefaultParams()
+		return &cp
+	}
+	w, err := NewWorkbench(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	benchCache[sf] = w
+	cp := *w
+	return &cp
+}
+
+func TestCutoffForSelectivity(t *testing.T) {
+	if got := CutoffForSelectivity(1.0); got != "1992-01-01" {
+		t.Errorf("sel 1.0 -> %s", got)
+	}
+	lo := CutoffForSelectivity(0.1)
+	hi := CutoffForSelectivity(0.9)
+	if lo <= hi {
+		t.Errorf("higher selectivity should give earlier cutoff: %s vs %s", hi, lo)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	w := newBench(t, 0.002)
+	pts, err := w.Fig6([]float64{0.1, 0.5, 1.0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		// The micro query is SJ: hcn must equal offline exactly
+		// (Theorem 3.7); leaf-node must never under-count (Claim 3.5).
+		if p.HCN != p.Offline {
+			t.Errorf("sel %.1f: hcn=%d offline=%d (must match on SJ)", p.Selectivity, p.HCN, p.Offline)
+		}
+		if p.Leaf < p.Offline {
+			t.Errorf("sel %.1f: leaf=%d < offline=%d (false negative!)", p.Selectivity, p.Leaf, p.Offline)
+		}
+	}
+	// Offline cardinality grows with selectivity; leaf stays flat.
+	if pts[0].Offline > pts[2].Offline {
+		t.Errorf("offline should grow with selectivity: %+v", pts)
+	}
+	if pts[0].Leaf != pts[2].Leaf {
+		t.Errorf("leaf cardinality should be selectivity-independent: %+v", pts)
+	}
+	// At low selectivity the leaf heuristic false-positives heavily.
+	if pts[0].Leaf <= pts[0].Offline {
+		t.Errorf("expected leaf false positives at 10%% selectivity: %+v", pts[0])
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	w := newBench(t, 0.002)
+	rows, err := w.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("want 7 queries, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.HCN < r.Offline {
+			t.Errorf("%s: hcn=%d < offline=%d (false negative!)", r.Query, r.HCN, r.Offline)
+		}
+		if r.Leaf < r.HCN {
+			t.Errorf("%s: leaf=%d < hcn=%d (leaf must be the superset)", r.Query, r.Leaf, r.HCN)
+		}
+	}
+	// TPC-H queries carry no customer predicate except Q3, so the
+	// leaf-node heuristic audits (nearly) the whole segment for at
+	// least some queries while hcn stays close to ground truth.
+	leafBlowup := false
+	for _, r := range rows {
+		if r.Offline >= 0 && r.Leaf > 2*r.HCN && r.Leaf > 10 {
+			leafBlowup = true
+		}
+	}
+	if !leafBlowup {
+		t.Errorf("expected leaf-node false-positive blowup on some query: %+v", rows)
+	}
+}
+
+func TestFGAStudyShape(t *testing.T) {
+	w := newBench(t, 0.002)
+	rows, err := w.FGAStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every workload query genuinely touches customer rows of the
+	// segment, so static analysis flags them all; the point of the
+	// study is Example 6.1-style precision, shown in the fga package
+	// tests. Here we verify the audit-operator cardinalities give the
+	// per-tuple precision FGA cannot.
+	for _, r := range rows {
+		if !r.Flagged {
+			// Q3 is the only query the analysis can ever clear, and
+			// only when its segment parameter differs from the audited
+			// one (not the default setup).
+			if r.Query != "Q3" {
+				t.Errorf("%s: static analysis should flag conservatively", r.Query)
+			}
+		}
+		if r.HCN < r.Offline {
+			t.Errorf("%s: hcn=%d < offline=%d", r.Query, r.HCN, r.Offline)
+		}
+	}
+}
+
+func TestFGADisjointSegmentClearsQ3(t *testing.T) {
+	// Re-run the study with Q3 parameterized to a different segment
+	// from the audited one: static analysis proves the contradiction
+	// and clears Q3 — the paper's "all queries except Query 3".
+	w := newBench(t, 0.002)
+	w.Params.Segment = "AUTOMOBILE" // queries now target AUTOMOBILE; audit stays BUILDING
+	rows, err := w.FGAStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defCleared := false
+	for _, r := range rows {
+		if r.Query == "Q3" && !r.Flagged {
+			defCleared = true
+		}
+		if r.Query != "Q3" && !r.Flagged {
+			t.Errorf("%s: should remain flagged (no customer predicate)", r.Query)
+		}
+	}
+	if !defCleared {
+		t.Error("Q3 with a disjoint segment must be cleared by static analysis")
+	}
+}
+
+func TestFig7And8Run(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep skipped in -short mode")
+	}
+	w := newBench(t, 0.002)
+	pts, err := w.Fig7([]float64{0.4}, 0, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("pts = %+v", pts)
+	}
+	// At this microscopic scale the measurement is pure noise; the
+	// real sweep runs at a larger SF in cmd/benchaudit and the bench
+	// tests. Here we only require finite numbers.
+	if math.IsNaN(pts[0].LeafPct) || math.IsInf(pts[0].LeafPct, 0) ||
+		math.IsNaN(pts[0].HCNPct) || math.IsInf(pts[0].HCNPct, 0) {
+		t.Errorf("overhead not finite: %+v", pts[0])
+	}
+	c8, err := w.Fig8([]int{1, 100}, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c8) != 2 {
+		t.Fatalf("fig8 = %+v", c8)
+	}
+	// The sweep must clean up its temporary audit expressions.
+	if _, ok := w.Engine.Registry().Get("Audit_Card_0"); ok {
+		t.Error("temporary audit expression leaked")
+	}
+}
+
+func TestFig10Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep skipped in -short mode")
+	}
+	w := newBench(t, 0.002)
+	rows, err := w.Fig10(2 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	_ = tpch.DefaultParams()
+}

@@ -1,0 +1,316 @@
+// Package fga implements the related-work baseline of §VI: a static
+// analysis in the style of Oracle Fine Grained Auditing. A query is
+// flagged as possibly accessing an audit expression if the conjunction
+// of the query's selection condition and the audit expression's
+// condition is satisfiable over the sensitive table's columns
+// (instance-independent semantics). The analysis is deliberately
+// conservative — anything it cannot reason about counts as
+// satisfiable — which is exactly why it false-positives on queries
+// like Example 6.1's "DeptID = 10".
+package fga
+
+import (
+	"strings"
+
+	"auditdb/internal/ast"
+	"auditdb/internal/catalog"
+	"auditdb/internal/value"
+)
+
+// Analyzer checks queries against audit expressions statically.
+type Analyzer struct {
+	cat *catalog.Catalog
+}
+
+// New creates an analyzer over a catalog.
+func New(cat *catalog.Catalog) *Analyzer {
+	return &Analyzer{cat: cat}
+}
+
+// Flagged reports whether static analysis would audit the query for
+// the audit expression: true unless the combined selection conditions
+// on the sensitive table's columns are provably contradictory.
+func (a *Analyzer) Flagged(query *ast.Select, aeMeta *catalog.AuditExprMeta, aeQuery *ast.Select) bool {
+	tbl, ok := a.cat.Table(aeMeta.SensitiveTable)
+	if !ok {
+		return true
+	}
+	// If the query never references the sensitive table, it cannot
+	// access it.
+	if !referencesTable(query, aeMeta.SensitiveTable) {
+		return false
+	}
+	cols := map[string]bool{}
+	for _, c := range tbl.Columns {
+		cols[strings.ToLower(c.Name)] = true
+	}
+	queryCons := collectConstraints(query.Where, cols)
+	auditCons := collectConstraints(aeQuery.Where, cols)
+
+	merged := map[string]*constraint{}
+	for col, c := range auditCons {
+		merged[col] = c.clone()
+	}
+	for col, c := range queryCons {
+		if prev, ok := merged[col]; ok {
+			if !prev.merge(c) {
+				return false // provable contradiction
+			}
+		} else {
+			merged[col] = c.clone()
+		}
+	}
+	for _, c := range merged {
+		if !c.satisfiable() {
+			return false
+		}
+	}
+	return true
+}
+
+func referencesTable(q *ast.Select, table string) bool {
+	found := false
+	var visit func(ref ast.TableRef)
+	visit = func(ref ast.TableRef) {
+		switch r := ref.(type) {
+		case *ast.BaseTable:
+			if strings.EqualFold(r.Name, table) {
+				found = true
+			}
+		case *ast.JoinRef:
+			visit(r.Left)
+			visit(r.Right)
+		case *ast.SubqueryRef:
+			if referencesTable(r.Sub, table) {
+				found = true
+			}
+		}
+	}
+	for _, ref := range q.From {
+		visit(ref)
+	}
+	// Subqueries in WHERE can also read the table.
+	ast.WalkExprs(q.Where, func(e ast.Expr) {
+		switch x := e.(type) {
+		case *ast.Exists:
+			if referencesTable(x.Sub, table) {
+				found = true
+			}
+		case *ast.InSubquery:
+			if referencesTable(x.Sub, table) {
+				found = true
+			}
+		case *ast.ScalarSubquery:
+			if referencesTable(x.Sub, table) {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// constraint is the value set a column is restricted to: an optional
+// equality set intersected with an optional range.
+type constraint struct {
+	eqs    map[string]value.Value // nil = unconstrained by equality
+	lo, hi *bound
+}
+
+type bound struct {
+	v    value.Value
+	open bool // strict inequality
+}
+
+func (c *constraint) clone() *constraint {
+	out := &constraint{lo: c.lo, hi: c.hi}
+	if c.eqs != nil {
+		out.eqs = make(map[string]value.Value, len(c.eqs))
+		for k, v := range c.eqs {
+			out.eqs[k] = v
+		}
+	}
+	return out
+}
+
+// merge intersects o into c, reporting false on contradiction.
+func (c *constraint) merge(o *constraint) bool {
+	if o.eqs != nil {
+		if c.eqs == nil {
+			c.eqs = make(map[string]value.Value, len(o.eqs))
+			for k, v := range o.eqs {
+				c.eqs[k] = v
+			}
+		} else {
+			for k := range c.eqs {
+				if _, ok := o.eqs[k]; !ok {
+					delete(c.eqs, k)
+				}
+			}
+		}
+	}
+	if o.lo != nil && (c.lo == nil || value.Compare(o.lo.v, c.lo.v) > 0 || (value.Compare(o.lo.v, c.lo.v) == 0 && o.lo.open)) {
+		c.lo = o.lo
+	}
+	if o.hi != nil && (c.hi == nil || value.Compare(o.hi.v, c.hi.v) < 0 || (value.Compare(o.hi.v, c.hi.v) == 0 && o.hi.open)) {
+		c.hi = o.hi
+	}
+	return c.satisfiable()
+}
+
+func (c *constraint) satisfiable() bool {
+	if c.eqs != nil {
+		if len(c.eqs) == 0 {
+			return false
+		}
+		for _, v := range c.eqs {
+			if c.inRange(v) {
+				return true
+			}
+		}
+		return false
+	}
+	if c.lo != nil && c.hi != nil {
+		cmp := value.Compare(c.lo.v, c.hi.v)
+		if cmp > 0 {
+			return false
+		}
+		if cmp == 0 && (c.lo.open || c.hi.open) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *constraint) inRange(v value.Value) bool {
+	if c.lo != nil {
+		cmp := value.Compare(v, c.lo.v)
+		if cmp < 0 || (cmp == 0 && c.lo.open) {
+			return false
+		}
+	}
+	if c.hi != nil {
+		cmp := value.Compare(v, c.hi.v)
+		if cmp > 0 || (cmp == 0 && c.hi.open) {
+			return false
+		}
+	}
+	return true
+}
+
+// collectConstraints extracts per-column constraints from the
+// top-level conjuncts of a predicate, considering only simple
+// column-vs-literal comparisons over the given columns. Everything
+// else (ORs, functions, joins, subqueries) contributes nothing, which
+// keeps the analysis conservative.
+func collectConstraints(e ast.Expr, cols map[string]bool) map[string]*constraint {
+	out := map[string]*constraint{}
+	for _, conj := range conjuncts(e) {
+		col, c := constraintOf(conj, cols)
+		if c == nil {
+			continue
+		}
+		if prev, ok := out[col]; ok {
+			prev.merge(c)
+		} else {
+			out[col] = c
+		}
+	}
+	return out
+}
+
+func conjuncts(e ast.Expr) []ast.Expr {
+	if b, ok := e.(*ast.Binary); ok && b.Op == ast.OpAnd {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	if e == nil {
+		return nil
+	}
+	return []ast.Expr{e}
+}
+
+func constraintOf(e ast.Expr, cols map[string]bool) (string, *constraint) {
+	switch x := e.(type) {
+	case *ast.Binary:
+		col, lit, op, ok := columnVsLiteral(x, cols)
+		if !ok {
+			return "", nil
+		}
+		switch op {
+		case ast.OpEq:
+			return col, &constraint{eqs: map[string]value.Value{value.KeyOf(lit): lit}}
+		case ast.OpLt:
+			return col, &constraint{hi: &bound{v: lit, open: true}}
+		case ast.OpLe:
+			return col, &constraint{hi: &bound{v: lit}}
+		case ast.OpGt:
+			return col, &constraint{lo: &bound{v: lit, open: true}}
+		case ast.OpGe:
+			return col, &constraint{lo: &bound{v: lit}}
+		}
+		return "", nil
+	case *ast.InList:
+		if x.Negate {
+			return "", nil
+		}
+		cr, ok := x.X.(*ast.ColumnRef)
+		if !ok || !cols[strings.ToLower(cr.Name)] {
+			return "", nil
+		}
+		eqs := map[string]value.Value{}
+		for _, item := range x.List {
+			lit, ok := item.(*ast.Literal)
+			if !ok {
+				return "", nil
+			}
+			eqs[value.KeyOf(lit.Val)] = lit.Val
+		}
+		return strings.ToLower(cr.Name), &constraint{eqs: eqs}
+	case *ast.Between:
+		if x.Negate {
+			return "", nil
+		}
+		cr, ok := x.X.(*ast.ColumnRef)
+		if !ok || !cols[strings.ToLower(cr.Name)] {
+			return "", nil
+		}
+		lo, lok := x.Lo.(*ast.Literal)
+		hi, hok := x.Hi.(*ast.Literal)
+		if !lok || !hok {
+			return "", nil
+		}
+		return strings.ToLower(cr.Name), &constraint{lo: &bound{v: lo.Val}, hi: &bound{v: hi.Val}}
+	}
+	return "", nil
+}
+
+func columnVsLiteral(b *ast.Binary, cols map[string]bool) (col string, lit value.Value, op ast.BinaryOp, ok bool) {
+	if !b.Op.IsComparison() {
+		return "", value.Null, 0, false
+	}
+	if cr, lok := b.L.(*ast.ColumnRef); lok {
+		if l, rok := b.R.(*ast.Literal); rok && cols[strings.ToLower(cr.Name)] {
+			return strings.ToLower(cr.Name), l.Val, b.Op, true
+		}
+	}
+	if cr, rok := b.R.(*ast.ColumnRef); rok {
+		if l, lok := b.L.(*ast.Literal); lok && cols[strings.ToLower(cr.Name)] {
+			return strings.ToLower(cr.Name), l.Val, flip(b.Op), true
+		}
+	}
+	return "", value.Null, 0, false
+}
+
+func flip(op ast.BinaryOp) ast.BinaryOp {
+	switch op {
+	case ast.OpLt:
+		return ast.OpGt
+	case ast.OpLe:
+		return ast.OpGe
+	case ast.OpGt:
+		return ast.OpLt
+	case ast.OpGe:
+		return ast.OpLe
+	default:
+		return op
+	}
+}

@@ -1,0 +1,149 @@
+package fga
+
+import (
+	"testing"
+
+	"auditdb/internal/ast"
+	"auditdb/internal/catalog"
+	"auditdb/internal/parser"
+	"auditdb/internal/value"
+)
+
+func setup(t *testing.T) (*Analyzer, *catalog.AuditExprMeta, *ast.Select) {
+	t.Helper()
+	cat := catalog.New()
+	if err := cat.AddTable(&catalog.TableMeta{
+		Name: "DepartmentNames",
+		Columns: []catalog.Column{
+			{Name: "DeptID", Type: value.KindInt},
+			{Name: "DeptName", Type: value.KindString},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	meta := &catalog.AuditExprMeta{
+		Name:           "Audit_Derm",
+		SensitiveTable: "DepartmentNames",
+		PartitionBy:    "DeptID",
+	}
+	def, err := parser.ParseQuery("SELECT * FROM DepartmentNames WHERE DeptName = 'Dermatology'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(cat), meta, def
+}
+
+func flagged(t *testing.T, a *Analyzer, meta *catalog.AuditExprMeta, def *ast.Select, sql string) bool {
+	t.Helper()
+	q, err := parser.ParseQuery(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return a.Flagged(q, meta, def)
+}
+
+func TestExample61(t *testing.T) {
+	a, meta, def := setup(t)
+	// First query: provable contradiction — not flagged.
+	if flagged(t, a, meta, def, "SELECT * FROM DepartmentNames WHERE DeptName = 'Oncology'") {
+		t.Error("Oncology query should NOT be flagged (contradiction with Dermatology)")
+	}
+	// Second query: same semantics but via DeptID — static analysis
+	// cannot prove disjointness, so it false-positives. This is the
+	// paper's core criticism of the static approach.
+	if !flagged(t, a, meta, def, "SELECT * FROM DepartmentNames WHERE DeptID = 10") {
+		t.Error("DeptID query SHOULD be flagged (conservative false positive)")
+	}
+}
+
+func TestMatchingPredicateFlagged(t *testing.T) {
+	a, meta, def := setup(t)
+	if !flagged(t, a, meta, def, "SELECT * FROM DepartmentNames WHERE DeptName = 'Dermatology'") {
+		t.Error("exact match must be flagged")
+	}
+}
+
+func TestUnreferencedTableNotFlagged(t *testing.T) {
+	a, meta, def := setup(t)
+	cat := a.cat
+	if err := cat.AddTable(&catalog.TableMeta{
+		Name:    "Other",
+		Columns: []catalog.Column{{Name: "x", Type: value.KindInt}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if flagged(t, a, meta, def, "SELECT * FROM Other WHERE x = 1") {
+		t.Error("query that never reads the sensitive table must not be flagged")
+	}
+}
+
+func TestSensitiveTableInSubqueryFlagged(t *testing.T) {
+	a, meta, def := setup(t)
+	if err := a.cat.AddTable(&catalog.TableMeta{
+		Name:    "Other",
+		Columns: []catalog.Column{{Name: "x", Type: value.KindInt}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !flagged(t, a, meta, def, `SELECT * FROM Other WHERE x IN
+		(SELECT DeptID FROM DepartmentNames)`) {
+		t.Error("sensitive table read inside a subquery must be flagged")
+	}
+}
+
+func TestRangeContradiction(t *testing.T) {
+	a, _, _ := setup(t)
+	meta := &catalog.AuditExprMeta{Name: "a", SensitiveTable: "DepartmentNames", PartitionBy: "DeptID"}
+	def, _ := parser.ParseQuery("SELECT * FROM DepartmentNames WHERE DeptID < 10")
+	if flagged(t, a, meta, def, "SELECT * FROM DepartmentNames WHERE DeptID > 20") {
+		t.Error("disjoint ranges should not be flagged")
+	}
+	if !flagged(t, a, meta, def, "SELECT * FROM DepartmentNames WHERE DeptID > 5") {
+		t.Error("overlapping ranges should be flagged")
+	}
+	// Touching open bounds are empty: < 10 and >= 10.
+	if flagged(t, a, meta, def, "SELECT * FROM DepartmentNames WHERE DeptID >= 10") {
+		t.Error("touching open/closed bounds with strict < should not be flagged")
+	}
+}
+
+func TestInListIntersection(t *testing.T) {
+	a, _, _ := setup(t)
+	meta := &catalog.AuditExprMeta{Name: "a", SensitiveTable: "DepartmentNames", PartitionBy: "DeptID"}
+	def, _ := parser.ParseQuery("SELECT * FROM DepartmentNames WHERE DeptID IN (1, 2, 3)")
+	if flagged(t, a, meta, def, "SELECT * FROM DepartmentNames WHERE DeptID IN (4, 5)") {
+		t.Error("disjoint IN lists should not be flagged")
+	}
+	if !flagged(t, a, meta, def, "SELECT * FROM DepartmentNames WHERE DeptID IN (3, 4)") {
+		t.Error("overlapping IN lists should be flagged")
+	}
+}
+
+func TestEqualityWithinRange(t *testing.T) {
+	a, _, _ := setup(t)
+	meta := &catalog.AuditExprMeta{Name: "a", SensitiveTable: "DepartmentNames", PartitionBy: "DeptID"}
+	def, _ := parser.ParseQuery("SELECT * FROM DepartmentNames WHERE DeptID BETWEEN 10 AND 20")
+	if flagged(t, a, meta, def, "SELECT * FROM DepartmentNames WHERE DeptID = 30") {
+		t.Error("equality outside range should not be flagged")
+	}
+	if !flagged(t, a, meta, def, "SELECT * FROM DepartmentNames WHERE DeptID = 15") {
+		t.Error("equality inside range should be flagged")
+	}
+}
+
+func TestConservativeOnComplexPredicates(t *testing.T) {
+	a, meta, def := setup(t)
+	// OR disjunctions are not analyzed: conservative flag.
+	if !flagged(t, a, meta, def, `SELECT * FROM DepartmentNames
+		WHERE DeptName = 'Oncology' OR DeptID = 1`) {
+		t.Error("OR predicates must be flagged conservatively")
+	}
+	// Literal-on-left comparisons are normalized.
+	if flagged(t, a, meta, def, "SELECT * FROM DepartmentNames WHERE 'Oncology' = DeptName") {
+		t.Error("flipped comparison should still prove the contradiction")
+	}
+	// No predicate at all: flagged.
+	if !flagged(t, a, meta, def, "SELECT * FROM DepartmentNames") {
+		t.Error("predicate-free scan must be flagged")
+	}
+}

@@ -1,0 +1,359 @@
+// Package offline implements the exact offline auditing system the
+// paper assumes as its verifier of record (§II-B, §V): a tuple t is
+// accessed by query Q iff Q(D) differs from Q(D - t) (Definition 2.3,
+// applied per Definition 2.5 to the tuples matched by an audit
+// expression).
+//
+// Two things make the literal definition tractable here:
+//
+//   - Candidate pruning. By Claim 3.5 the leaf-node heuristic's
+//     auditIDs are a superset of accessedIDs, so only tuples flagged by
+//     a leaf-node instrumented run need the deletion test; everything
+//     else is provably not accessed.
+//   - Tuple masking. Q(D - t) is evaluated by re-running Q with t
+//     hidden behind a storage visibility mask — no real delete, no
+//     rollback, no past-state reconstruction (the paper's offline
+//     systems rebuild past database states; we audit in place, which
+//     preserves the semantics because the engine is quiesced during
+//     the audit).
+package offline
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"auditdb/internal/catalog"
+	"auditdb/internal/core"
+	"auditdb/internal/exec"
+	"auditdb/internal/opt"
+	"auditdb/internal/parser"
+	"auditdb/internal/plan"
+	"auditdb/internal/storage"
+	"auditdb/internal/value"
+)
+
+// Auditor computes exact accessedIDs for queries against one database.
+type Auditor struct {
+	cat   *catalog.Catalog
+	store *storage.Store
+}
+
+// New creates an offline auditor over the given catalog and store.
+func New(cat *catalog.Catalog, store *storage.Store) *Auditor {
+	return &Auditor{cat: cat, store: store}
+}
+
+// Report is the outcome of auditing one query against one audit
+// expression.
+type Report struct {
+	// AccessedIDs are the partition-by keys whose tuples influence the
+	// query (Definition 2.5), sorted.
+	AccessedIDs []value.Value
+	// Candidates is how many sensitive tuples needed the deletion test
+	// (the leaf-superset size).
+	Candidates int
+	// Executions counts full query re-executions performed.
+	Executions int
+}
+
+// Audit computes the exact accessed set of the query for the audit
+// expression.
+func (a *Auditor) Audit(sql string, ae *core.AuditExpression) (*Report, error) {
+	sel, err := parser.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	env := &plan.Env{Catalog: a.cat}
+	root, err := plan.Build(env, sel)
+	if err != nil {
+		return nil, err
+	}
+	root = opt.Optimize(root)
+	return a.AuditPlan(root, ae)
+}
+
+// AuditPlan is Audit for an already-built plan. The plan must not be
+// executed concurrently elsewhere.
+func (a *Auditor) AuditPlan(root plan.Node, ae *core.AuditExpression) (*Report, error) {
+	rep := &Report{}
+
+	// Baseline digest of Q(D).
+	base, err := a.runDigest(root, nil)
+	if err != nil {
+		return nil, err
+	}
+	rep.Executions++
+
+	// Candidate set: leaf-node instrumented run (Claim 3.5 superset).
+	candidates, err := a.leafCandidates(root, ae)
+	if err != nil {
+		return nil, err
+	}
+	rep.Executions++
+	rep.Candidates = len(candidates)
+
+	// Map candidate IDs to their row IDs in the sensitive table.
+	tbl, ok := a.store.Table(ae.Meta.SensitiveTable)
+	if !ok {
+		return nil, fmt.Errorf("sensitive table %q does not exist", ae.Meta.SensitiveTable)
+	}
+	keyOrd := ae.KeyOrdinal()
+	rowOf := make(map[string]storage.RowID, len(candidates))
+	want := make(map[string]value.Value, len(candidates))
+	for _, id := range candidates {
+		want[value.KeyOf(id)] = id
+	}
+	tbl.Snapshot(func(rid storage.RowID, row value.Row) bool {
+		k := value.KeyOf(row[keyOrd])
+		if _, ok := want[k]; ok {
+			rowOf[k] = rid
+		}
+		return true
+	})
+
+	// Deletion test per candidate: digest(Q(D - t)) != digest(Q(D)).
+	// Tests are independent read-only executions, so they run in
+	// parallel across a small worker pool.
+	type task struct {
+		id  value.Value
+		rid storage.RowID
+		ok  bool
+	}
+	tasks := make([]task, 0, len(want))
+	for k, id := range want {
+		rid, ok := rowOf[k]
+		tasks = append(tasks, task{id: id, rid: rid, ok: ok})
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		mu      sync.Mutex
+		firstEr error
+		wg      sync.WaitGroup
+		next    atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				t := tasks[i]
+				if !t.ok {
+					// The tuple vanished since the query ran; treat it
+					// as accessed so the report errs on the safe side.
+					mu.Lock()
+					rep.AccessedIDs = append(rep.AccessedIDs, t.id)
+					mu.Unlock()
+					continue
+				}
+				mask := storage.NewMask()
+				mask.Hide(ae.Meta.SensitiveTable, t.rid)
+				digest, err := a.runDigest(root, mask)
+				mu.Lock()
+				rep.Executions++
+				if err != nil {
+					if firstEr == nil {
+						firstEr = err
+					}
+				} else if digest != base {
+					rep.AccessedIDs = append(rep.AccessedIDs, t.id)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	sort.Slice(rep.AccessedIDs, func(i, j int) bool {
+		return value.Compare(rep.AccessedIDs[i], rep.AccessedIDs[j]) < 0
+	})
+	return rep, nil
+}
+
+// runDigest executes the plan under an optional mask and returns an
+// order-insensitive multiset digest of the result. Order-insensitivity
+// matters: removing a tuple must not read as a change merely because a
+// hash join emitted rows in a different order. Queries whose row ORDER
+// is semantically significant (ORDER BY ... LIMIT) are still handled
+// correctly because a changed top-k membership changes the multiset.
+func (a *Auditor) runDigest(root plan.Node, mask *storage.Mask) (uint64, error) {
+	ctx := exec.NewCtx(a.store)
+	ctx.Mask = mask
+	rows, err := exec.Run(root, ctx)
+	if err != nil {
+		return 0, err
+	}
+	var digest uint64
+	for _, row := range rows {
+		// Sum of per-row hashes is commutative: multiset semantics.
+		digest += value.HashRow(row)
+	}
+	digest ^= uint64(len(rows)) << 1
+	return digest, nil
+}
+
+// leafCandidates runs the plan once with leaf-node audit operators and
+// returns the observed sensitive IDs.
+func (a *Auditor) leafCandidates(root plan.Node, ae *core.AuditExpression) ([]value.Value, error) {
+	acc := core.NewAccessed()
+	instrumented := core.Instrument(clonePlanForInstrumentation(root), ae, &core.Probe{Expr: ae, Acc: acc}, core.LeafNode)
+	ctx := exec.NewCtx(a.store)
+	if _, err := exec.Run(instrumented, ctx); err != nil {
+		return nil, err
+	}
+	return acc.IDs(ae.Meta.Name), nil
+}
+
+// clonePlanForInstrumentation isolates the caller's plan from the
+// audit operators the candidate pass inserts. Nodes are shallow-copied
+// along the spine; expressions are shared (instrumentation never
+// mutates them). Subquery plans are cloned too since Instrument
+// recurses into them.
+func clonePlanForInstrumentation(n plan.Node) plan.Node {
+	cloned := cloneNode(n)
+	for i, c := range cloned.Children() {
+		cloned.SetChild(i, clonePlanForInstrumentation(c))
+	}
+	return cloned
+}
+
+func cloneNode(n plan.Node) plan.Node {
+	switch x := n.(type) {
+	case *plan.Scan:
+		c := *x
+		return &c
+	case *plan.ValuesScan:
+		c := *x
+		return &c
+	case *plan.Filter:
+		c := *x
+		c.Pred = cloneSubqueries(c.Pred)
+		return &c
+	case *plan.Project:
+		c := *x
+		c.Exprs = cloneExprSlice(c.Exprs)
+		return &c
+	case *plan.Join:
+		c := *x
+		c.Cond = cloneSubqueries(c.Cond)
+		c.Residual = cloneSubqueries(c.Residual)
+		return &c
+	case *plan.Aggregate:
+		c := *x
+		c.GroupBy = cloneExprSlice(c.GroupBy)
+		aggs := make([]plan.AggSpec, len(c.Aggs))
+		for i, a := range c.Aggs {
+			aggs[i] = a
+			aggs[i].Arg = cloneSubqueries(a.Arg)
+		}
+		c.Aggs = aggs
+		return &c
+	case *plan.Sort:
+		c := *x
+		keys := make([]plan.SortKey, len(c.Keys))
+		for i, k := range c.Keys {
+			keys[i] = plan.SortKey{Expr: cloneSubqueries(k.Expr), Desc: k.Desc}
+		}
+		c.Keys = keys
+		return &c
+	case *plan.Limit:
+		c := *x
+		return &c
+	case *plan.Distinct:
+		c := *x
+		return &c
+	case *plan.Audit:
+		c := *x
+		return &c
+	default:
+		return n
+	}
+}
+
+func cloneExprSlice(es []plan.Expr) []plan.Expr {
+	out := make([]plan.Expr, len(es))
+	for i, e := range es {
+		out[i] = cloneSubqueries(e)
+	}
+	return out
+}
+
+// cloneSubqueries rewrites an expression tree so that each Subquery
+// node is a fresh struct with a cloned plan; leaf expression nodes are
+// immutable under instrumentation and stay shared. Composite nodes are
+// rebuilt only where a subquery might hide beneath them.
+func cloneSubqueries(e plan.Expr) plan.Expr {
+	if e == nil {
+		return nil
+	}
+	hasSubq := false
+	plan.WalkExprTree(e, func(x plan.Expr) {
+		if _, ok := x.(*plan.Subquery); ok {
+			hasSubq = true
+		}
+	})
+	if !hasSubq {
+		return e
+	}
+	switch x := e.(type) {
+	case *plan.Subquery:
+		c := *x
+		c.Plan = clonePlanForInstrumentation(x.Plan)
+		c.Probe = cloneSubqueries(x.Probe)
+		return &c
+	case *plan.And:
+		return &plan.And{L: cloneSubqueries(x.L), R: cloneSubqueries(x.R)}
+	case *plan.Or:
+		return &plan.Or{L: cloneSubqueries(x.L), R: cloneSubqueries(x.R)}
+	case *plan.Not:
+		return &plan.Not{X: cloneSubqueries(x.X)}
+	case *plan.Cmp:
+		return &plan.Cmp{Op: x.Op, L: cloneSubqueries(x.L), R: cloneSubqueries(x.R)}
+	case *plan.Arith:
+		return &plan.Arith{Op: x.Op, L: cloneSubqueries(x.L), R: cloneSubqueries(x.R)}
+	case *plan.Concat:
+		return &plan.Concat{L: cloneSubqueries(x.L), R: cloneSubqueries(x.R)}
+	case *plan.Like:
+		return &plan.Like{L: cloneSubqueries(x.L), R: cloneSubqueries(x.R)}
+	case *plan.Neg:
+		return &plan.Neg{X: cloneSubqueries(x.X)}
+	case *plan.IsNull:
+		return &plan.IsNull{X: cloneSubqueries(x.X), Negate: x.Negate}
+	case *plan.Between:
+		return &plan.Between{X: cloneSubqueries(x.X), Lo: cloneSubqueries(x.Lo), Hi: cloneSubqueries(x.Hi), Negate: x.Negate}
+	case *plan.InList:
+		list := make([]plan.Expr, len(x.List))
+		for i, item := range x.List {
+			list[i] = cloneSubqueries(item)
+		}
+		return &plan.InList{X: cloneSubqueries(x.X), List: list, Negate: x.Negate}
+	case *plan.Func:
+		args := make([]plan.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = cloneSubqueries(a)
+		}
+		return &plan.Func{Name: x.Name, Args: args}
+	case *plan.Case:
+		out := &plan.Case{Operand: cloneSubqueries(x.Operand), Else: cloneSubqueries(x.Else)}
+		for _, w := range x.Whens {
+			out.Whens = append(out.Whens, plan.CaseWhen{Cond: cloneSubqueries(w.Cond), Result: cloneSubqueries(w.Result)})
+		}
+		return out
+	default:
+		return e
+	}
+}

@@ -1,0 +1,266 @@
+package offline
+
+import (
+	"testing"
+
+	"auditdb/internal/core"
+	"auditdb/internal/engine"
+	"auditdb/internal/value"
+)
+
+func setup(t *testing.T) (*engine.Engine, *Auditor, *core.AuditExpression) {
+	t.Helper()
+	e := engine.New()
+	script := `
+		CREATE TABLE Patients (PatientID INT PRIMARY KEY, Name VARCHAR(30), Age INT, Zip VARCHAR(10));
+		CREATE TABLE Disease (PatientID INT, Disease VARCHAR(30));
+		INSERT INTO Patients VALUES
+			(1, 'Alice', 34, '48109'),
+			(2, 'Bob', 21, '48109'),
+			(3, 'Carol', 47, '98052'),
+			(4, 'Dave', 29, '98052'),
+			(5, 'Erin', 62, '10001');
+		INSERT INTO Disease VALUES
+			(1, 'cancer'), (2, 'flu'), (3, 'flu'), (4, 'diabetes'), (5, 'cancer');
+		CREATE AUDIT EXPRESSION Audit_All AS
+			SELECT * FROM Patients WHERE PatientID > 0
+			FOR SENSITIVE TABLE Patients, PARTITION BY PatientID;
+	`
+	if _, err := e.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+	ae, ok := e.Registry().Get("Audit_All")
+	if !ok {
+		t.Fatal("audit expression missing")
+	}
+	return e, New(e.Catalog(), e.Store()), ae
+}
+
+func ids(rep *Report) []int64 {
+	out := make([]int64, len(rep.AccessedIDs))
+	for i, v := range rep.AccessedIDs {
+		out[i] = v.Int()
+	}
+	return out
+}
+
+func eq(a []int64, b ...int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOfflineSimpleFilter(t *testing.T) {
+	_, aud, ae := setup(t)
+	rep, err := aud.Audit("SELECT * FROM Patients WHERE Name = 'Alice'", ae)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(ids(rep), 1) {
+		t.Errorf("accessed = %v, want [1]", ids(rep))
+	}
+}
+
+func TestOfflineJoinMatchesOutput(t *testing.T) {
+	_, aud, ae := setup(t)
+	rep, err := aud.Audit(`SELECT P.Name FROM Patients P, Disease D
+		WHERE P.PatientID = D.PatientID AND D.Disease = 'flu'`, ae)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(ids(rep), 2, 3) {
+		t.Errorf("accessed = %v, want [2 3] (Bob, Carol)", ids(rep))
+	}
+	// Candidate pruning: only the 5 patients enter the leaf; deletion
+	// tests bounded by that.
+	if rep.Candidates != 5 {
+		t.Errorf("candidates = %d", rep.Candidates)
+	}
+}
+
+func TestOfflineExistsSubquery(t *testing.T) {
+	// Example 2.4: Alice influences the EXISTS query even though her
+	// record is not in the output rows.
+	_, aud, ae := setup(t)
+	rep, err := aud.Audit(`SELECT 1 FROM Patients WHERE exists
+		(SELECT * FROM Patients P, Disease D
+		 WHERE P.PatientID = D.PatientID AND Name = 'Alice' AND Disease = 'cancer')`, ae)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ids(rep)
+	foundAlice := false
+	for _, id := range got {
+		if id == 1 {
+			foundAlice = true
+		}
+	}
+	if !foundAlice {
+		t.Errorf("Alice must be accessed, got %v", got)
+	}
+}
+
+func TestOfflineHavingClearsFalsePositive(t *testing.T) {
+	// Example 3.9: Dave's diabetes group is filtered by HAVING, so
+	// deleting Dave does not change the result: not accessed.
+	_, aud, ae := setup(t)
+	rep, err := aud.Audit(`SELECT D.Disease, COUNT(*) FROM Patients P, Disease D
+		WHERE P.PatientID = D.PatientID
+		GROUP BY D.Disease HAVING COUNT(*) >= 2`, ae)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids(rep) {
+		if id == 4 {
+			t.Errorf("Dave (4) must not be accessed: %v", ids(rep))
+		}
+	}
+	// Alice, Bob, Carol, Erin all influence surviving groups.
+	if !eq(ids(rep), 1, 2, 3, 5) {
+		t.Errorf("accessed = %v, want [1 2 3 5]", ids(rep))
+	}
+}
+
+func TestOfflineTopK(t *testing.T) {
+	// Top-2 youngest: Bob (21) and Dave (29). Erin (62) does not
+	// influence the result; Carol (47) is the next-youngest — deleting
+	// Dave pulls her in, so Dave influences; deleting Carol changes
+	// nothing.
+	_, aud, ae := setup(t)
+	rep, err := aud.Audit("SELECT Name FROM Patients ORDER BY Age LIMIT 2", ae)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(ids(rep), 2, 4) {
+		t.Errorf("accessed = %v, want [2 4]", ids(rep))
+	}
+}
+
+func TestOfflineAggregate(t *testing.T) {
+	// Every patient influences COUNT(*) over the whole table.
+	_, aud, ae := setup(t)
+	rep, err := aud.Audit("SELECT COUNT(*) FROM Patients", ae)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(ids(rep), 1, 2, 3, 4, 5) {
+		t.Errorf("accessed = %v", ids(rep))
+	}
+}
+
+func TestOfflineDistinctDuplicates(t *testing.T) {
+	// §II-B limitation made concrete: with two Alices and DISTINCT
+	// names, removing either Alice leaves the result unchanged, so
+	// neither is "accessed" under Definition 2.3.
+	e, aud, ae := setup(t)
+	if _, err := e.Exec("INSERT INTO Patients VALUES (6, 'Alice', 50, '99999')"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := aud.Audit("SELECT DISTINCT Name FROM Patients", ae)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids(rep) {
+		if id == 1 || id == 6 {
+			t.Errorf("duplicated Alice rows should not be accessed under set semantics: %v", ids(rep))
+		}
+	}
+	if !eq(ids(rep), 2, 3, 4, 5) {
+		t.Errorf("accessed = %v, want [2 3 4 5]", ids(rep))
+	}
+}
+
+func TestOfflineAgainstHCNNoFalseNegatives(t *testing.T) {
+	// Claim 3.6 checked empirically: offline accessedIDs must be a
+	// subset of hcn auditIDs for a battery of query shapes.
+	e, aud, ae := setup(t)
+	e.SetAuditAll(true)
+	queries := []string{
+		"SELECT * FROM Patients WHERE Age > 25",
+		`SELECT P.Name FROM Patients P, Disease D
+		 WHERE P.PatientID = D.PatientID AND D.Disease = 'cancer'`,
+		"SELECT Zip, COUNT(*) FROM Patients GROUP BY Zip",
+		"SELECT Name FROM Patients ORDER BY Age LIMIT 2",
+		"SELECT DISTINCT Zip FROM Patients",
+		`SELECT Name FROM Patients WHERE PatientID IN
+		 (SELECT PatientID FROM Disease WHERE Disease = 'flu')`,
+		`SELECT D.Disease, COUNT(*) FROM Patients P, Disease D
+		 WHERE P.PatientID = D.PatientID GROUP BY D.Disease HAVING COUNT(*) >= 2`,
+	}
+	for _, q := range queries {
+		rep, err := aud.Audit(q, ae)
+		if err != nil {
+			t.Fatalf("offline %q: %v", q, err)
+		}
+		r, err := e.Query(q)
+		if err != nil {
+			t.Fatalf("online %q: %v", q, err)
+		}
+		audited := map[int64]bool{}
+		for _, v := range r.Accessed.IDs("Audit_All") {
+			audited[v.Int()] = true
+		}
+		for _, v := range rep.AccessedIDs {
+			if !audited[v.Int()] {
+				t.Errorf("query %q: accessed ID %v missing from hcn auditIDs %v (false negative!)", q, v, r.Accessed.IDs("Audit_All"))
+			}
+		}
+	}
+}
+
+func TestOfflineSJEqualsHCN(t *testing.T) {
+	// Theorem 3.7 checked empirically: on select-join queries hcn
+	// auditIDs equal offline accessedIDs exactly.
+	e, aud, ae := setup(t)
+	e.SetAuditAll(true)
+	queries := []string{
+		"SELECT * FROM Patients WHERE Age BETWEEN 25 AND 50",
+		`SELECT * FROM Patients P, Disease D
+		 WHERE P.PatientID = D.PatientID AND D.Disease = 'flu'`,
+		`SELECT P.Name, D.Disease FROM Patients P JOIN Disease D ON P.PatientID = D.PatientID`,
+	}
+	for _, q := range queries {
+		rep, err := aud.Audit(q, ae)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := e.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		online := r.Accessed.IDs("Audit_All")
+		if len(online) != len(rep.AccessedIDs) {
+			t.Errorf("query %q: hcn=%v offline=%v", q, online, rep.AccessedIDs)
+			continue
+		}
+		for i := range online {
+			if value.Compare(online[i], rep.AccessedIDs[i]) != 0 {
+				t.Errorf("query %q: hcn=%v offline=%v", q, online, rep.AccessedIDs)
+				break
+			}
+		}
+	}
+}
+
+func TestOfflineCandidatePruning(t *testing.T) {
+	// A query whose leaf predicate excludes most sensitive tuples must
+	// only deletion-test the survivors.
+	_, aud, ae := setup(t)
+	rep, err := aud.Audit("SELECT * FROM Patients WHERE Zip = '48109'", ae)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Candidates != 2 {
+		t.Errorf("candidates = %d, want 2", rep.Candidates)
+	}
+	// 1 baseline + 1 leaf pass + 2 deletion tests.
+	if rep.Executions != 4 {
+		t.Errorf("executions = %d, want 4", rep.Executions)
+	}
+}

@@ -1,0 +1,214 @@
+package offline
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"auditdb/internal/core"
+	"auditdb/internal/engine"
+	"auditdb/internal/value"
+)
+
+// These property tests check the paper's two central claims on
+// randomly generated queries against a randomly generated database:
+//
+//   - Claim 3.6 (no false negatives): for ANY query, offline
+//     accessedIDs ⊆ hcn auditIDs.
+//   - Theorem 3.7 (SJ exactness): for select-join queries, offline
+//     accessedIDs == hcn auditIDs.
+
+// randomDB builds a Patients/Disease database with randomized contents.
+func randomDB(t *testing.T, rng *rand.Rand) (*engine.Engine, *core.AuditExpression) {
+	t.Helper()
+	e := engine.New()
+	if _, err := e.ExecScript(`
+		CREATE TABLE Patients (PatientID INT PRIMARY KEY, Name VARCHAR(30), Age INT, Zip VARCHAR(10));
+		CREATE TABLE Disease (PatientID INT, Disease VARCHAR(30));
+	`); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"Alice", "Bob", "Carol", "Dave", "Erin", "Frank"}
+	zips := []string{"48109", "98052", "10001"}
+	diseases := []string{"cancer", "flu", "diabetes"}
+	n := 8 + rng.Intn(12)
+	var ins []string
+	for i := 1; i <= n; i++ {
+		ins = append(ins, fmt.Sprintf("(%d, '%s', %d, '%s')",
+			i, names[rng.Intn(len(names))], 18+rng.Intn(60), zips[rng.Intn(len(zips))]))
+	}
+	if _, err := e.Exec("INSERT INTO Patients VALUES " + strings.Join(ins, ", ")); err != nil {
+		t.Fatal(err)
+	}
+	ins = ins[:0]
+	for i := 1; i <= n; i++ {
+		for d := 0; d < rng.Intn(3); d++ {
+			ins = append(ins, fmt.Sprintf("(%d, '%s')", i, diseases[rng.Intn(len(diseases))]))
+		}
+	}
+	if len(ins) > 0 {
+		if _, err := e.Exec("INSERT INTO Disease VALUES " + strings.Join(ins, ", ")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Exec(`CREATE AUDIT EXPRESSION Audit_All AS
+		SELECT * FROM Patients WHERE PatientID > 0
+		FOR SENSITIVE TABLE Patients, PARTITION BY PatientID`); err != nil {
+		t.Fatal(err)
+	}
+	e.SetAuditAll(true)
+	ae, _ := e.Registry().Get("Audit_All")
+	return e, ae
+}
+
+// randomPredicate emits a predicate over the joined schema.
+func randomPredicate(rng *rand.Rand, joined bool) string {
+	var preds []string
+	if rng.Intn(2) == 0 {
+		preds = append(preds, fmt.Sprintf("P.Age %s %d",
+			[]string{"<", "<=", ">", ">=", "="}[rng.Intn(5)], 18+rng.Intn(60)))
+	}
+	if rng.Intn(2) == 0 {
+		preds = append(preds, fmt.Sprintf("P.Name = '%s'",
+			[]string{"Alice", "Bob", "Carol"}[rng.Intn(3)]))
+	}
+	if rng.Intn(3) == 0 {
+		preds = append(preds, fmt.Sprintf("P.Zip IN ('%s', '%s')",
+			[]string{"48109", "98052"}[rng.Intn(2)], "10001"))
+	}
+	if joined && rng.Intn(2) == 0 {
+		preds = append(preds, fmt.Sprintf("D.Disease = '%s'",
+			[]string{"cancer", "flu", "diabetes"}[rng.Intn(3)]))
+	}
+	if len(preds) == 0 {
+		return ""
+	}
+	return " AND " + strings.Join(preds, " AND ")
+}
+
+// randomSJQuery emits a select-join query (no aggregates, no top-k, no
+// distinct, no subqueries): the Theorem 3.7 class.
+func randomSJQuery(rng *rand.Rand) string {
+	if rng.Intn(3) == 0 {
+		pred := randomPredicate(rng, false)
+		if pred == "" {
+			return "SELECT * FROM Patients P WHERE P.PatientID > 0"
+		}
+		return "SELECT * FROM Patients P WHERE P.PatientID > 0" + pred
+	}
+	return `SELECT P.PatientID, P.Name, D.Disease FROM Patients P, Disease D
+		WHERE P.PatientID = D.PatientID` + randomPredicate(rng, true)
+}
+
+// randomComplexQuery adds an aggregate, top-k or distinct layer: the
+// Claim 3.6 class where hcn may over- but never under-report.
+func randomComplexQuery(rng *rand.Rand) string {
+	base := randomSJQuery(rng)
+	switch rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf(`SELECT Zip, COUNT(*) FROM Patients P WHERE P.PatientID > 0 %s GROUP BY Zip`,
+			randomPredicate(rng, false))
+	case 1:
+		return fmt.Sprintf(`SELECT P.Name FROM Patients P, Disease D
+			WHERE P.PatientID = D.PatientID %s ORDER BY P.Age LIMIT %d`,
+			randomPredicate(rng, true), 1+rng.Intn(4))
+	case 2:
+		return fmt.Sprintf(`SELECT DISTINCT P.Zip FROM Patients P WHERE P.PatientID > 0 %s`,
+			randomPredicate(rng, false))
+	default:
+		return base
+	}
+}
+
+func idSet(vals []value.Value) map[int64]bool {
+	out := make(map[int64]bool, len(vals))
+	for _, v := range vals {
+		out[v.Int()] = true
+	}
+	return out
+}
+
+func TestPropertySJExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		e, ae := randomDB(t, rng)
+		aud := New(e.Catalog(), e.Store())
+		for q := 0; q < 5; q++ {
+			sql := randomSJQuery(rng)
+			r, err := e.Query(sql)
+			if err != nil {
+				t.Fatalf("trial %d query %q: %v", trial, sql, err)
+			}
+			online := idSet(r.Accessed.IDs("Audit_All"))
+			rep, err := aud.Audit(sql, ae)
+			if err != nil {
+				t.Fatalf("offline %q: %v", sql, err)
+			}
+			exact := idSet(rep.AccessedIDs)
+			if len(online) != len(exact) {
+				t.Fatalf("trial %d: SJ exactness violated for %q:\n hcn=%v\n offline=%v",
+					trial, sql, online, exact)
+			}
+			for id := range exact {
+				if !online[id] {
+					t.Fatalf("trial %d: id %d accessed but not audited for %q", trial, id, sql)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		e, ae := randomDB(t, rng)
+		aud := New(e.Catalog(), e.Store())
+		for q := 0; q < 5; q++ {
+			sql := randomComplexQuery(rng)
+			r, err := e.Query(sql)
+			if err != nil {
+				t.Fatalf("trial %d query %q: %v", trial, sql, err)
+			}
+			online := idSet(r.Accessed.IDs("Audit_All"))
+			rep, err := aud.Audit(sql, ae)
+			if err != nil {
+				t.Fatalf("offline %q: %v", sql, err)
+			}
+			for _, v := range rep.AccessedIDs {
+				if !online[v.Int()] {
+					t.Fatalf("trial %d: FALSE NEGATIVE — id %d accessed by %q but absent from hcn auditIDs %v",
+						trial, v.Int(), sql, online)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyLeafSuperset(t *testing.T) {
+	// Claim 3.5: leaf-node auditIDs ⊇ hcn auditIDs ⊇ offline.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 15; trial++ {
+		e, _ := randomDB(t, rng)
+		for q := 0; q < 4; q++ {
+			sql := randomComplexQuery(rng)
+			e.SetHeuristic(core.HighestCommutativeNode)
+			r1, err := e.Query(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hcn := idSet(r1.Accessed.IDs("Audit_All"))
+			e.SetHeuristic(core.LeafNode)
+			r2, err := e.Query(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			leaf := idSet(r2.Accessed.IDs("Audit_All"))
+			for id := range hcn {
+				if !leaf[id] {
+					t.Fatalf("trial %d: leaf missing id %d present under hcn for %q", trial, id, sql)
+				}
+			}
+		}
+	}
+}

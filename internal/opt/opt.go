@@ -1,0 +1,334 @@
+// Package opt implements the rule-based logical optimizer: conjunct
+// splitting, predicate pushdown into scans and join inputs, cross-join
+// to inner-join conversion, equi-key extraction for hash joins, and
+// light constant folding. Like the system in the paper (§IV-B), audit
+// instrumentation runs *after* these rules, so none of them can
+// misinterpret an audit operator as a real filter (the paper's
+// Examples 4.1/4.2 pathology); Audit nodes encountered here are
+// treated as opaque barriers regardless.
+package opt
+
+import (
+	"auditdb/internal/plan"
+	"auditdb/internal/value"
+)
+
+// Optimize rewrites the plan in place and returns the (possibly new)
+// root. Subquery plans referenced from expressions are optimized
+// recursively.
+func Optimize(n plan.Node) plan.Node {
+	n = rewrite(n)
+	// Optimize subquery plans embedded in expressions anywhere in the
+	// tree.
+	plan.Walk(n, func(node plan.Node) {
+		plan.WalkNodeExprs(node, func(e plan.Expr) {
+			if sq, ok := e.(*plan.Subquery); ok {
+				sq.Plan = Optimize(sq.Plan)
+			}
+		})
+	})
+	return n
+}
+
+func rewrite(n plan.Node) plan.Node {
+	// Bottom-up.
+	for i, c := range n.Children() {
+		n.SetChild(i, rewrite(c))
+	}
+	switch x := n.(type) {
+	case *plan.Filter:
+		return rewriteFilter(x)
+	case *plan.Join:
+		splitJoinKeys(x)
+		return x
+	default:
+		return n
+	}
+}
+
+// rewriteFilter splits the predicate into conjuncts, pushes each as
+// deep as possible, and reassembles what remains.
+func rewriteFilter(f *plan.Filter) plan.Node {
+	conjuncts := splitConjuncts(foldConstants(f.Pred))
+	child := f.Child
+	var remaining []plan.Expr
+	for _, c := range conjuncts {
+		if isTrueConst(c) {
+			continue
+		}
+		pushed, newChild := push(c, child)
+		child = newChild
+		if !pushed {
+			remaining = append(remaining, c)
+		}
+	}
+	if len(remaining) == 0 {
+		return child
+	}
+	return &plan.Filter{Child: child, Pred: conjoin(remaining)}
+}
+
+// push attempts to sink one conjunct into the subtree rooted at n,
+// returning whether it was absorbed and the (possibly rewritten) node.
+func push(c plan.Expr, n plan.Node) (bool, plan.Node) {
+	if !pushable(c) {
+		return false, n
+	}
+	switch x := n.(type) {
+	case *plan.Scan:
+		x.Pushed = andWith(x.Pushed, c)
+		return true, x
+	case *plan.Filter:
+		ok, newChild := push(c, x.Child)
+		if ok {
+			x.Child = newChild
+			return true, x
+		}
+		x.Pred = &plan.And{L: x.Pred, R: c}
+		return true, x
+	case *plan.Audit:
+		// Never push a real predicate through an audit operator: rows
+		// must be observed before any further filtering the predicate
+		// would have applied at this height.
+		return false, n
+	case *plan.Join:
+		leftWidth := len(x.Left.Schema())
+		totalWidth := leftWidth + len(x.Right.Schema())
+		cols := colsOf(c)
+		left := allBelow(cols, leftWidth)
+		right := allAtOrAbove(cols, leftWidth) && allBelow(cols, totalWidth)
+		switch {
+		case left && (x.Kind == plan.JoinInner || x.Kind == plan.JoinCross || x.Kind == plan.JoinLeft):
+			ok, newChild := push(c, x.Left)
+			if ok {
+				x.Left = newChild
+				return true, x
+			}
+		case right && (x.Kind == plan.JoinInner || x.Kind == plan.JoinCross):
+			shifted := shiftCols(c, -leftWidth)
+			ok, newChild := push(shifted, x.Right)
+			if ok {
+				x.Right = newChild
+				return true, x
+			}
+		}
+		// A predicate spanning both sides of an inner/cross join joins
+		// them: attach to the condition and upgrade cross to inner.
+		if x.Kind == plan.JoinInner || x.Kind == plan.JoinCross {
+			x.Cond = andWith(x.Cond, c)
+			x.Kind = plan.JoinInner
+			splitJoinKeys(x)
+			return true, x
+		}
+		return false, n
+	default:
+		return false, n
+	}
+}
+
+// splitJoinKeys decomposes an inner or left join condition into
+// hash-join equi-keys plus a residual predicate.
+func splitJoinKeys(j *plan.Join) {
+	j.LeftKeys, j.RightKeys, j.Residual = nil, nil, nil
+	if j.Cond == nil || j.Kind == plan.JoinCross {
+		return
+	}
+	leftWidth := len(j.Left.Schema())
+	var residual []plan.Expr
+	for _, c := range splitConjuncts(j.Cond) {
+		cmp, ok := c.(*plan.Cmp)
+		if ok && cmp.Op == plan.CmpEq && pushable(c) {
+			lcols, rcols := colsOf(cmp.L), colsOf(cmp.R)
+			switch {
+			case allBelow(lcols, leftWidth) && allAtOrAbove(rcols, leftWidth):
+				j.LeftKeys = append(j.LeftKeys, cmp.L)
+				j.RightKeys = append(j.RightKeys, shiftCols(cmp.R, -leftWidth))
+				continue
+			case allBelow(rcols, leftWidth) && allAtOrAbove(lcols, leftWidth):
+				j.LeftKeys = append(j.LeftKeys, cmp.R)
+				j.RightKeys = append(j.RightKeys, shiftCols(cmp.L, -leftWidth))
+				continue
+			}
+		}
+		residual = append(residual, c)
+	}
+	if len(j.LeftKeys) == 0 {
+		// No equi keys: leave the full condition for nested loops.
+		j.Residual = nil
+		return
+	}
+	j.Residual = conjoin(residual)
+}
+
+// ---- Expression utilities ----
+
+func splitConjuncts(e plan.Expr) []plan.Expr {
+	if a, ok := e.(*plan.And); ok {
+		return append(splitConjuncts(a.L), splitConjuncts(a.R)...)
+	}
+	return []plan.Expr{e}
+}
+
+func conjoin(es []plan.Expr) plan.Expr {
+	if len(es) == 0 {
+		return nil
+	}
+	out := es[0]
+	for _, e := range es[1:] {
+		out = &plan.And{L: out, R: e}
+	}
+	return out
+}
+
+func andWith(existing, extra plan.Expr) plan.Expr {
+	if existing == nil {
+		return extra
+	}
+	return &plan.And{L: existing, R: extra}
+}
+
+func isTrueConst(e plan.Expr) bool {
+	c, ok := e.(*plan.Const)
+	return ok && value.TriFromValue(c.V) == value.True
+}
+
+// foldConstants evaluates constant comparisons and prunes trivial
+// AND/OR arms.
+func foldConstants(e plan.Expr) plan.Expr {
+	switch x := e.(type) {
+	case *plan.And:
+		l, r := foldConstants(x.L), foldConstants(x.R)
+		if isTrueConst(l) {
+			return r
+		}
+		if isTrueConst(r) {
+			return l
+		}
+		return &plan.And{L: l, R: r}
+	case *plan.Or:
+		l, r := foldConstants(x.L), foldConstants(x.R)
+		if isTrueConst(l) || isTrueConst(r) {
+			return &plan.Const{V: value.NewBool(true)}
+		}
+		return &plan.Or{L: l, R: r}
+	case *plan.Cmp:
+		lc, lok := x.L.(*plan.Const)
+		rc, rok := x.R.(*plan.Const)
+		if lok && rok {
+			if v, err := (&plan.Cmp{Op: x.Op, L: &plan.Const{V: lc.V}, R: &plan.Const{V: rc.V}}).Eval(&plan.EvalCtx{}, nil); err == nil {
+				return &plan.Const{V: v}
+			}
+		}
+		return x
+	default:
+		return e
+	}
+}
+
+// pushable reports whether moving the expression to a different plan
+// position is safe: correlated subqueries embed outer references whose
+// meaning depends on the evaluation site, so they pin the expression.
+func pushable(e plan.Expr) bool {
+	ok := true
+	plan.WalkExprTree(e, func(x plan.Expr) {
+		if sq, isSq := x.(*plan.Subquery); isSq && sq.Correlated {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// colsOf returns the set of input-column ordinals referenced.
+func colsOf(e plan.Expr) map[int]bool {
+	out := map[int]bool{}
+	plan.WalkExprTree(e, func(x plan.Expr) {
+		if c, ok := x.(*plan.Col); ok {
+			out[c.Idx] = true
+		}
+	})
+	return out
+}
+
+func allBelow(cols map[int]bool, bound int) bool {
+	for c := range cols {
+		if c >= bound {
+			return false
+		}
+	}
+	return len(cols) > 0
+}
+
+func allAtOrAbove(cols map[int]bool, bound int) bool {
+	for c := range cols {
+		if c < bound {
+			return false
+		}
+	}
+	return len(cols) > 0
+}
+
+// shiftCols returns a deep copy of e with every column ordinal moved
+// by delta. Subquery plans are shared (their internal references are
+// subplan-local); probe expressions are shifted.
+func shiftCols(e plan.Expr, delta int) plan.Expr {
+	switch x := e.(type) {
+	case *plan.Col:
+		return &plan.Col{Idx: x.Idx + delta, Name: x.Name}
+	case *plan.Outer:
+		return x
+	case *plan.Const:
+		return x
+	case *plan.Cmp:
+		return &plan.Cmp{Op: x.Op, L: shiftCols(x.L, delta), R: shiftCols(x.R, delta)}
+	case *plan.And:
+		return &plan.And{L: shiftCols(x.L, delta), R: shiftCols(x.R, delta)}
+	case *plan.Or:
+		return &plan.Or{L: shiftCols(x.L, delta), R: shiftCols(x.R, delta)}
+	case *plan.Not:
+		return &plan.Not{X: shiftCols(x.X, delta)}
+	case *plan.Arith:
+		return &plan.Arith{Op: x.Op, L: shiftCols(x.L, delta), R: shiftCols(x.R, delta)}
+	case *plan.Neg:
+		return &plan.Neg{X: shiftCols(x.X, delta)}
+	case *plan.Concat:
+		return &plan.Concat{L: shiftCols(x.L, delta), R: shiftCols(x.R, delta)}
+	case *plan.Like:
+		return &plan.Like{L: shiftCols(x.L, delta), R: shiftCols(x.R, delta)}
+	case *plan.IsNull:
+		return &plan.IsNull{X: shiftCols(x.X, delta), Negate: x.Negate}
+	case *plan.Between:
+		return &plan.Between{X: shiftCols(x.X, delta), Lo: shiftCols(x.Lo, delta), Hi: shiftCols(x.Hi, delta), Negate: x.Negate}
+	case *plan.InList:
+		list := make([]plan.Expr, len(x.List))
+		for i, item := range x.List {
+			list[i] = shiftCols(item, delta)
+		}
+		return &plan.InList{X: shiftCols(x.X, delta), List: list, Negate: x.Negate}
+	case *plan.Func:
+		args := make([]plan.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = shiftCols(a, delta)
+		}
+		return &plan.Func{Name: x.Name, Args: args}
+	case *plan.Case:
+		out := &plan.Case{}
+		if x.Operand != nil {
+			out.Operand = shiftCols(x.Operand, delta)
+		}
+		for _, w := range x.Whens {
+			out.Whens = append(out.Whens, plan.CaseWhen{Cond: shiftCols(w.Cond, delta), Result: shiftCols(w.Result, delta)})
+		}
+		if x.Else != nil {
+			out.Else = shiftCols(x.Else, delta)
+		}
+		return out
+	case *plan.Subquery:
+		out := *x
+		if x.Probe != nil {
+			out.Probe = shiftCols(x.Probe, delta)
+		}
+		return &out
+	default:
+		return e
+	}
+}

@@ -1,0 +1,418 @@
+package parser
+
+import (
+	"strconv"
+	"strings"
+
+	"auditdb/internal/ast"
+	"auditdb/internal/lexer"
+	"auditdb/internal/value"
+)
+
+// parseExpr parses a full expression with standard SQL precedence:
+// OR < AND < NOT < comparison/IN/BETWEEN/LIKE/IS < +,- < *,/,% < unary.
+func (p *parser) parseExpr() (ast.Expr, error) {
+	return p.parseOr()
+}
+
+// parseExprOrSelect accepts either an expression or a bare SELECT
+// (which becomes a scalar subquery); used for IF (...) conditions where
+// the paper writes IF (SELECT count(...) > 10 FROM ...).
+func (p *parser) parseExprOrSelect() (ast.Expr, error) {
+	if p.peekKeyword("SELECT") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.ScalarSubquery{Sub: sub}, nil
+	}
+	return p.parseExpr()
+}
+
+func (p *parser) parseOr() (ast.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.matchKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.Binary{Op: ast.OpOr, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (ast.Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.matchKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.Binary{Op: ast.OpAnd, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (ast.Expr, error) {
+	if p.matchKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{Op: '!', X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+var compOps = map[string]ast.BinaryOp{
+	"=": ast.OpEq, "<>": ast.OpNe, "<": ast.OpLt,
+	"<=": ast.OpLe, ">": ast.OpGt, ">=": ast.OpGe,
+}
+
+func (p *parser) parseComparison() (ast.Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.matchKeyword("IS") {
+		neg := p.matchKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &ast.IsNull{X: left, Negate: neg}, nil
+	}
+	neg := false
+	if p.peekKeyword("NOT") {
+		// Only treat NOT as infix negation when followed by IN, BETWEEN
+		// or LIKE.
+		nxt := p.peek2()
+		if nxt.Kind == lexer.TokKeyword && (nxt.Text == "IN" || nxt.Text == "BETWEEN" || nxt.Text == "LIKE") {
+			p.next()
+			neg = true
+		}
+	}
+	switch {
+	case p.matchKeyword("IN"):
+		return p.parseInTail(left, neg)
+	case p.matchKeyword("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Between{X: left, Lo: lo, Hi: hi, Negate: neg}, nil
+	case p.matchKeyword("LIKE"):
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		like := ast.Expr(&ast.Binary{Op: ast.OpLike, L: left, R: pat})
+		if neg {
+			like = &ast.Unary{Op: '!', X: like}
+		}
+		return like, nil
+	}
+	if t := p.peek(); t.Kind == lexer.TokOp {
+		if op, ok := compOps[t.Text]; ok {
+			p.next()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.Binary{Op: op, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseInTail(left ast.Expr, neg bool) (ast.Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	if p.peekKeyword("SELECT") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &ast.InSubquery{X: left, Sub: sub, Negate: neg}, nil
+	}
+	var list []ast.Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, e)
+		if !p.matchOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &ast.InList{X: left, List: list, Negate: neg}, nil
+}
+
+func (p *parser) parseAdditive() (ast.Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ast.BinaryOp
+		switch {
+		case p.matchOp("+"):
+			op = ast.OpAdd
+		case p.matchOp("-"):
+			op = ast.OpSub
+		case p.matchOp("||"):
+			op = ast.OpConcat
+		default:
+			return left, nil
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.Binary{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseMultiplicative() (ast.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ast.BinaryOp
+		switch {
+		case p.matchOp("*"):
+			op = ast.OpMul
+		case p.matchOp("/"):
+			op = ast.OpDiv
+		case p.matchOp("%"):
+			op = ast.OpMod
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.Binary{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	if p.matchOp("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{Op: '-', X: x}, nil
+	}
+	p.matchOp("+")
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (ast.Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case lexer.TokNumber:
+		p.next()
+		if strings.ContainsAny(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errf("invalid number %q", t.Text)
+			}
+			return &ast.Literal{Val: value.NewFloat(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("invalid number %q", t.Text)
+		}
+		return &ast.Literal{Val: value.NewInt(i)}, nil
+	case lexer.TokString:
+		p.next()
+		return &ast.Literal{Val: value.NewString(t.Text)}, nil
+	case lexer.TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.next()
+			return &ast.Literal{Val: value.Null}, nil
+		case "TRUE":
+			p.next()
+			return &ast.Literal{Val: value.NewBool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &ast.Literal{Val: value.NewBool(false)}, nil
+		case "DATE":
+			p.next()
+			lit := p.peek()
+			if lit.Kind != lexer.TokString {
+				return nil, p.errf("expected string literal after DATE")
+			}
+			p.next()
+			d, err := value.ParseDate(lit.Text)
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			return &ast.Literal{Val: d}, nil
+		case "CASE":
+			return p.parseCase()
+		case "EXISTS":
+			p.next()
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &ast.Exists{Sub: sub}, nil
+		}
+		return nil, p.errf("unexpected keyword %s in expression", t.Text)
+	case lexer.TokOp:
+		if t.Text == "?" {
+			p.next()
+			ph := &ast.Placeholder{Idx: p.params}
+			p.params++
+			return ph, nil
+		}
+		if t.Text == "(" {
+			p.next()
+			if p.peekKeyword("SELECT") {
+				sub, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &ast.ScalarSubquery{Sub: sub}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errf("unexpected %q in expression", t.Text)
+	case lexer.TokIdent:
+		return p.parseIdentExpr()
+	default:
+		return nil, p.errf("unexpected %s in expression", p.describe(t))
+	}
+}
+
+func (p *parser) parseIdentExpr() (ast.Expr, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	// Function call?
+	if p.peekOp("(") {
+		p.next()
+		fc := &ast.FuncCall{Name: strings.ToUpper(name)}
+		if p.matchOp("*") {
+			fc.Star = true
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		if p.matchKeyword("DISTINCT") {
+			fc.Distinct = true
+		}
+		if !p.peekOp(")") {
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				fc.Args = append(fc.Args, a)
+				if !p.matchOp(",") {
+					break
+				}
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	// Qualified column?
+	if p.peekOp(".") {
+		p.next()
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.ColumnRef{Table: name, Name: col}, nil
+	}
+	return &ast.ColumnRef{Name: name}, nil
+}
+
+func (p *parser) parseCase() (ast.Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	c := &ast.Case{}
+	if !p.peekKeyword("WHEN") {
+		operand, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = operand
+	}
+	for p.matchKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, ast.CaseWhen{Cond: cond, Result: res})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN arm")
+	}
+	if p.matchKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

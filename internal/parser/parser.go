@@ -1,0 +1,911 @@
+// Package parser implements a recursive-descent parser for the
+// engine's SQL dialect: SELECT (joins, grouping, ordering, limits,
+// subqueries), INSERT/UPDATE/DELETE, CREATE TABLE/INDEX, and the
+// auditing DDL from the paper — CREATE AUDIT EXPRESSION and
+// CREATE TRIGGER ... ON ACCESS TO ... — plus IF/NOTIFY action
+// statements for trigger bodies.
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"auditdb/internal/ast"
+	"auditdb/internal/lexer"
+	"auditdb/internal/value"
+)
+
+type parser struct {
+	input  string
+	toks   []lexer.Token
+	pos    int
+	params int // number of ? placeholders seen
+}
+
+// Parse parses a single SQL statement.
+func Parse(input string) (ast.Stmt, error) {
+	stmts, err := ParseScript(input)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("expected exactly one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseScript parses a semicolon-separated sequence of statements.
+func ParseScript(input string) ([]ast.Stmt, error) {
+	toks, err := lexer.Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{input: input, toks: toks}
+	var stmts []ast.Stmt
+	for {
+		for p.matchOp(";") {
+		}
+		if p.peek().Kind == lexer.TokEOF {
+			break
+		}
+		s, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		if !p.matchOp(";") && p.peek().Kind != lexer.TokEOF {
+			return nil, p.errf("expected ';' or end of input, found %s", p.describe(p.peek()))
+		}
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("empty statement")
+	}
+	return stmts, nil
+}
+
+// CountParams reports how many ? placeholders a statement uses.
+func CountParams(input string) (int, error) {
+	toks, err := lexer.Lex(input)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, t := range toks {
+		if t.Kind == lexer.TokOp && t.Text == "?" {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// ParseQuery parses a single SELECT statement.
+func ParseQuery(input string) (*ast.Select, error) {
+	s, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := s.(*ast.Select)
+	if !ok {
+		return nil, fmt.Errorf("expected a SELECT statement")
+	}
+	return sel, nil
+}
+
+func (p *parser) peek() lexer.Token { return p.toks[p.pos] }
+func (p *parser) peek2() lexer.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) next() lexer.Token {
+	t := p.toks[p.pos]
+	if t.Kind != lexer.TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) describe(t lexer.Token) string {
+	if t.Kind == lexer.TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("parse error at offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) matchKeyword(kw string) bool {
+	if t := p.peek(); t.Kind == lexer.TokKeyword && t.Text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.Kind == lexer.TokKeyword && t.Text == kw
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.matchKeyword(kw) {
+		return p.errf("expected %s, found %s", kw, p.describe(p.peek()))
+	}
+	return nil
+}
+
+func (p *parser) matchOp(op string) bool {
+	if t := p.peek(); t.Kind == lexer.TokOp && t.Text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) peekOp(op string) bool {
+	t := p.peek()
+	return t.Kind == lexer.TokOp && t.Text == op
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.matchOp(op) {
+		return p.errf("expected %q, found %s", op, p.describe(p.peek()))
+	}
+	return nil
+}
+
+// ident accepts an identifier token (or, for convenience, any keyword
+// used in an identifier position, e.g. a table named "log").
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.Kind == lexer.TokIdent {
+		p.pos++
+		return t.Text, nil
+	}
+	return "", p.errf("expected identifier, found %s", p.describe(t))
+}
+
+func (p *parser) parseStatement() (ast.Stmt, error) {
+	t := p.peek()
+	// NOTIFY is a soft keyword: recognized at statement start only, so
+	// that triggers and tables may still be named "Notify" (as in the
+	// paper's §II-C example).
+	if t.Kind == lexer.TokIdent && strings.EqualFold(t.Text, "NOTIFY") {
+		return p.parseNotify()
+	}
+	if t.Kind != lexer.TokKeyword {
+		return nil, p.errf("expected statement, found %s", p.describe(t))
+	}
+	switch t.Text {
+	case "SELECT":
+		return p.parseSelect()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	case "IF":
+		return p.parseIf()
+	case "EXPLAIN":
+		p.next()
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Explain{Query: q}, nil
+	case "BEGIN":
+		p.next()
+		return &ast.TxBegin{}, nil
+	case "COMMIT":
+		p.next()
+		return &ast.TxCommit{}, nil
+	case "ROLLBACK":
+		p.next()
+		return &ast.TxRollback{}, nil
+	default:
+		return nil, p.errf("unexpected keyword %s at start of statement", t.Text)
+	}
+}
+
+func (p *parser) parseSelect() (*ast.Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &ast.Select{Limit: -1}
+	if p.matchKeyword("DISTINCT") {
+		sel.Distinct = true
+	} else {
+		p.matchKeyword("ALL")
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.matchOp(",") {
+			break
+		}
+	}
+	if p.matchKeyword("FROM") {
+		for {
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, ref)
+			if !p.matchOp(",") {
+				break
+			}
+		}
+	}
+	if p.matchKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.matchKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.matchOp(",") {
+				break
+			}
+		}
+	}
+	if p.matchKeyword("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = h
+	}
+	if p.matchKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := ast.OrderItem{Expr: e}
+			if p.matchKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.matchKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.matchOp(",") {
+				break
+			}
+		}
+	}
+	if p.matchKeyword("LIMIT") {
+		t := p.peek()
+		if t.Kind != lexer.TokNumber {
+			return nil, p.errf("expected number after LIMIT")
+		}
+		p.pos++
+		var n int64
+		if _, err := fmt.Sscanf(t.Text, "%d", &n); err != nil || n < 0 {
+			return nil, p.errf("invalid LIMIT %q", t.Text)
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (ast.SelectItem, error) {
+	if p.matchOp("*") {
+		return ast.SelectItem{Star: true}, nil
+	}
+	// ident.* form
+	if p.peek().Kind == lexer.TokIdent && p.peek2().Kind == lexer.TokOp && p.peek2().Text == "." {
+		save := p.pos
+		name, _ := p.ident()
+		p.matchOp(".")
+		if p.matchOp("*") {
+			return ast.SelectItem{Star: true, StarTable: name}, nil
+		}
+		p.pos = save
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return ast.SelectItem{}, err
+	}
+	item := ast.SelectItem{Expr: e}
+	if p.matchKeyword("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return ast.SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.peek().Kind == lexer.TokIdent {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+// parseTableRef parses one FROM item with any trailing JOIN chain.
+func (p *parser) parseTableRef() (ast.TableRef, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		kind := ast.JoinInner
+		switch {
+		case p.matchKeyword("JOIN"):
+		case p.peekKeyword("INNER"):
+			p.next()
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		case p.peekKeyword("LEFT"):
+			p.next()
+			p.matchKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = ast.JoinLeft
+		case p.peekKeyword("CROSS"):
+			p.next()
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = ast.JoinCross
+		default:
+			return left, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		j := &ast.JoinRef{Kind: kind, Left: left, Right: right}
+		if kind != ast.JoinCross {
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			j.On = cond
+		}
+		left = j
+	}
+}
+
+func (p *parser) parseTablePrimary() (ast.TableRef, error) {
+	if p.matchOp("(") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		p.matchKeyword("AS")
+		alias, err := p.ident()
+		if err != nil {
+			return nil, fmt.Errorf("derived table requires an alias: %w", err)
+		}
+		return &ast.SubqueryRef{Sub: sub, Alias: alias}, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	bt := &ast.BaseTable{Name: name}
+	if p.matchKeyword("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		bt.Alias = a
+	} else if p.peek().Kind == lexer.TokIdent {
+		bt.Alias = p.next().Text
+	}
+	return bt, nil
+}
+
+func (p *parser) parseInsert() (ast.Stmt, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &ast.Insert{Table: name}
+	if p.peekOp("(") {
+		p.next()
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col)
+			if !p.matchOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case p.matchKeyword("VALUES"):
+		for {
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			var row []ast.Expr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if !p.matchOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			ins.Rows = append(ins.Rows, row)
+			if !p.matchOp(",") {
+				break
+			}
+		}
+	case p.peekKeyword("SELECT"):
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		ins.Query = q
+	default:
+		return nil, p.errf("expected VALUES or SELECT in INSERT")
+	}
+	return ins, nil
+}
+
+func (p *parser) parseUpdate() (ast.Stmt, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	up := &ast.Update{Table: name}
+	if p.peek().Kind == lexer.TokIdent {
+		up.Alias = p.next().Text
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		up.Set = append(up.Set, ast.Assignment{Column: col, Value: e})
+		if !p.matchOp(",") {
+			break
+		}
+	}
+	if p.matchKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		up.Where = w
+	}
+	return up, nil
+}
+
+func (p *parser) parseDelete() (ast.Stmt, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	del := &ast.Delete{Table: name}
+	if p.peek().Kind == lexer.TokIdent {
+		del.Alias = p.next().Text
+	}
+	if p.matchKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = w
+	}
+	return del, nil
+}
+
+func (p *parser) parseCreate() (ast.Stmt, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.matchKeyword("TABLE"):
+		return p.parseCreateTable()
+	case p.matchKeyword("INDEX"), p.matchKeyword("UNIQUE"):
+		p.matchKeyword("INDEX") // after UNIQUE
+		return p.parseCreateIndex()
+	case p.matchKeyword("VIEW"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AS"); err != nil {
+			return nil, err
+		}
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.CreateView{Name: name, Query: q}, nil
+	case p.matchKeyword("AUDIT"):
+		return p.parseCreateAuditExpression()
+	case p.matchKeyword("TRIGGER"):
+		return p.parseCreateTrigger()
+	default:
+		return nil, p.errf("expected TABLE, INDEX, AUDIT or TRIGGER after CREATE")
+	}
+}
+
+func (p *parser) parseCreateTable() (ast.Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ct := &ast.CreateTable{Name: name}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	for {
+		if p.matchKeyword("PRIMARY") {
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			for {
+				col, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				ct.PrimaryKey = append(ct.PrimaryKey, col)
+				if !p.matchOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			col, err := p.parseColumnDef()
+			if err != nil {
+				return nil, err
+			}
+			ct.Columns = append(ct.Columns, col)
+		}
+		if !p.matchOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func (p *parser) parseColumnDef() (ast.ColumnDef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return ast.ColumnDef{}, err
+	}
+	// The type name may lex as an identifier (INT, VARCHAR, ...) or as
+	// the DATE keyword.
+	var typeName string
+	t := p.peek()
+	switch {
+	case t.Kind == lexer.TokIdent:
+		typeName = p.next().Text
+	case t.Kind == lexer.TokKeyword && t.Text == "DATE":
+		p.next()
+		typeName = "DATE"
+	default:
+		return ast.ColumnDef{}, p.errf("expected type name for column %s", name)
+	}
+	// Swallow optional length/precision: VARCHAR(25), DECIMAL(15,2).
+	if p.matchOp("(") {
+		for !p.matchOp(")") {
+			if p.peek().Kind == lexer.TokEOF {
+				return ast.ColumnDef{}, p.errf("unterminated type parameters")
+			}
+			p.next()
+		}
+	}
+	kind, err := value.ParseKind(typeName)
+	if err != nil {
+		return ast.ColumnDef{}, p.errf("%v", err)
+	}
+	def := ast.ColumnDef{Name: name, Type: kind}
+	if p.matchKeyword("PRIMARY") {
+		if err := p.expectKeyword("KEY"); err != nil {
+			return ast.ColumnDef{}, err
+		}
+		def.PrimaryKey = true
+	}
+	p.matchKeyword("NOT") // NOT NULL accepted and ignored
+	// (NULL keyword follows NOT)
+	if p.peekKeyword("NULL") {
+		p.next()
+	}
+	return def, nil
+}
+
+func (p *parser) parseCreateIndex() (ast.Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ci := &ast.CreateIndex{Name: name, Table: table}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ci.Columns = append(ci.Columns, col)
+		if !p.matchOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return ci, nil
+}
+
+// parseCreateAuditExpression parses the paper's audit DDL (§II-A):
+//
+//	CREATE AUDIT EXPRESSION name AS SELECT ...
+//	FOR SENSITIVE TABLE t PARTITION BY col
+func (p *parser) parseCreateAuditExpression() (ast.Stmt, error) {
+	if err := p.expectKeyword("EXPRESSION"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FOR"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SENSITIVE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	// The comma before PARTITION BY in the paper's syntax is optional.
+	p.matchOp(",")
+	if err := p.expectKeyword("PARTITION"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	key, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.CreateAuditExpression{Name: name, Query: q, SensitiveTable: table, PartitionBy: key}, nil
+}
+
+// parseCreateTrigger parses both trigger forms:
+//
+//	CREATE TRIGGER name ON ACCESS TO auditexpr AS <body>   (SELECT trigger)
+//	CREATE TRIGGER name ON table AFTER INSERT|UPDATE|DELETE AS <body>
+func (p *parser) parseCreateTrigger() (ast.Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	tr := &ast.CreateTrigger{Name: name}
+	if p.matchKeyword("ACCESS") {
+		if err := p.expectKeyword("TO"); err != nil {
+			return nil, err
+		}
+		target, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		tr.Event = ast.EventAccess
+		tr.Target = target
+	} else {
+		target, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		tr.Target = target
+		if err := p.expectKeyword("AFTER"); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.matchKeyword("INSERT"):
+			tr.Event = ast.EventInsert
+		case p.matchKeyword("UPDATE"):
+			tr.Event = ast.EventUpdate
+		case p.matchKeyword("DELETE"):
+			tr.Event = ast.EventDelete
+		default:
+			return nil, p.errf("expected INSERT, UPDATE or DELETE after AFTER")
+		}
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	bodyStart := p.peek().Pos
+	if p.matchKeyword("BEGIN") {
+		for !p.matchKeyword("END") {
+			if p.peek().Kind == lexer.TokEOF {
+				return nil, p.errf("unterminated trigger body (missing END)")
+			}
+			s, err := p.parseStatement()
+			if err != nil {
+				return nil, err
+			}
+			tr.Body = append(tr.Body, s)
+			p.matchOp(";")
+		}
+	} else {
+		s, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		tr.Body = append(tr.Body, s)
+	}
+	tr.ActionSQL = strings.TrimSpace(p.input[bodyStart:p.peek().Pos])
+	return tr, nil
+}
+
+func (p *parser) parseDrop() (ast.Stmt, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.matchKeyword("TABLE"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.DropTable{Name: name}, nil
+	case p.matchKeyword("VIEW"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.DropView{Name: name}, nil
+	case p.matchKeyword("INDEX"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.DropIndex{Name: name}, nil
+	case p.matchKeyword("TRIGGER"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.DropTrigger{Name: name}, nil
+	case p.matchKeyword("AUDIT"):
+		if err := p.expectKeyword("EXPRESSION"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.DropAuditExpression{Name: name}, nil
+	default:
+		return nil, p.errf("expected TABLE, TRIGGER or AUDIT EXPRESSION after DROP")
+	}
+}
+
+// parseIf parses a guarded trigger action: IF (cond) <stmt>.
+func (p *parser) parseIf() (ast.Stmt, error) {
+	if err := p.expectKeyword("IF"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExprOrSelect()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.If{Cond: cond, Then: []ast.Stmt{body}}, nil
+}
+
+func (p *parser) parseNotify() (ast.Stmt, error) {
+	if t := p.peek(); t.Kind != lexer.TokIdent || !strings.EqualFold(t.Text, "NOTIFY") {
+		return nil, p.errf("expected NOTIFY, found %s", p.describe(t))
+	}
+	p.next()
+	msg, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Notify{Message: msg}, nil
+}

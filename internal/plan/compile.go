@@ -1,0 +1,253 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+
+	"auditdb/internal/ast"
+	"auditdb/internal/value"
+)
+
+// compileExpr translates an AST expression into a compiled expression
+// against the scope's current schema. In grouped contexts (sc.agg set)
+// textual matches of GROUP BY expressions and collected aggregate calls
+// are rewritten to aggregate-output column references first.
+func (b *builder) compileExpr(e ast.Expr, sc *scope) (Expr, error) {
+	if sc.agg != nil {
+		if idx, ok := sc.agg.keyOf[e.String()]; ok {
+			return &Col{Idx: idx, Name: sc.agg.out[idx].Name}, nil
+		}
+		if fc, ok := e.(*ast.FuncCall); ok && IsAggregateFunc(fc.Name) {
+			idx, ok := sc.agg.aggOf[fc.String()]
+			if !ok {
+				return nil, fmt.Errorf("aggregate %s was not collected during planning", fc.String())
+			}
+			return &Col{Idx: idx, Name: sc.agg.out[idx].Name}, nil
+		}
+	}
+	switch x := e.(type) {
+	case *ast.Literal:
+		return &Const{V: x.Val}, nil
+	case *ast.Placeholder:
+		return &Param{Idx: x.Idx}, nil
+	case *ast.ColumnRef:
+		return b.resolveColumn(x, sc)
+	case *ast.Binary:
+		return b.compileBinary(x, sc)
+	case *ast.Unary:
+		inner, err := b.compileExpr(x.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == '!' {
+			return &Not{X: inner}, nil
+		}
+		return &Neg{X: inner}, nil
+	case *ast.IsNull:
+		inner, err := b.compileExpr(x.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &IsNull{X: inner, Negate: x.Negate}, nil
+	case *ast.Between:
+		cx, err := b.compileExpr(x.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := b.compileExpr(x.Lo, sc)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := b.compileExpr(x.Hi, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &Between{X: cx, Lo: lo, Hi: hi, Negate: x.Negate}, nil
+	case *ast.InList:
+		cx, err := b.compileExpr(x.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]Expr, len(x.List))
+		for i, item := range x.List {
+			c, err := b.compileExpr(item, sc)
+			if err != nil {
+				return nil, err
+			}
+			list[i] = c
+		}
+		return &InList{X: cx, List: list, Negate: x.Negate}, nil
+	case *ast.InSubquery:
+		probe, err := b.compileExpr(x.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		n, corr, err := b.buildSubplan(x.Sub)
+		if err != nil {
+			return nil, err
+		}
+		return &Subquery{Kind: SubqIn, Plan: n, Probe: probe, Negate: x.Negate, Correlated: corr}, nil
+	case *ast.Exists:
+		n, corr, err := b.buildSubplan(x.Sub)
+		if err != nil {
+			return nil, err
+		}
+		return &Subquery{Kind: SubqExists, Plan: n, Negate: x.Negate, Correlated: corr}, nil
+	case *ast.ScalarSubquery:
+		n, corr, err := b.buildSubplan(x.Sub)
+		if err != nil {
+			return nil, err
+		}
+		return &Subquery{Kind: SubqScalar, Plan: n, Correlated: corr}, nil
+	case *ast.FuncCall:
+		if IsAggregateFunc(x.Name) {
+			return nil, fmt.Errorf("aggregate %s is not allowed here", x.Name)
+		}
+		if !IsScalarFunc(x.Name) {
+			return nil, fmt.Errorf("unknown function %s", x.Name)
+		}
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			c, err := b.compileExpr(a, sc)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = c
+		}
+		return &Func{Name: x.Name, Args: args}, nil
+	case *ast.Case:
+		out := &Case{}
+		if x.Operand != nil {
+			op, err := b.compileExpr(x.Operand, sc)
+			if err != nil {
+				return nil, err
+			}
+			out.Operand = op
+		}
+		for _, w := range x.Whens {
+			cond, err := b.compileExpr(w.Cond, sc)
+			if err != nil {
+				return nil, err
+			}
+			res, err := b.compileExpr(w.Result, sc)
+			if err != nil {
+				return nil, err
+			}
+			out.Whens = append(out.Whens, CaseWhen{Cond: cond, Result: res})
+		}
+		if x.Else != nil {
+			els, err := b.compileExpr(x.Else, sc)
+			if err != nil {
+				return nil, err
+			}
+			out.Else = els
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unsupported expression %T", e)
+	}
+}
+
+func (b *builder) compileBinary(x *ast.Binary, sc *scope) (Expr, error) {
+	l, err := b.compileExpr(x.L, sc)
+	if err != nil {
+		return nil, err
+	}
+	r, err := b.compileExpr(x.R, sc)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case ast.OpEq:
+		return &Cmp{Op: CmpEq, L: l, R: r}, nil
+	case ast.OpNe:
+		return &Cmp{Op: CmpNe, L: l, R: r}, nil
+	case ast.OpLt:
+		return &Cmp{Op: CmpLt, L: l, R: r}, nil
+	case ast.OpLe:
+		return &Cmp{Op: CmpLe, L: l, R: r}, nil
+	case ast.OpGt:
+		return &Cmp{Op: CmpGt, L: l, R: r}, nil
+	case ast.OpGe:
+		return &Cmp{Op: CmpGe, L: l, R: r}, nil
+	case ast.OpAnd:
+		return &And{L: l, R: r}, nil
+	case ast.OpOr:
+		return &Or{L: l, R: r}, nil
+	case ast.OpAdd:
+		return &Arith{Op: '+', L: l, R: r}, nil
+	case ast.OpSub:
+		return &Arith{Op: '-', L: l, R: r}, nil
+	case ast.OpMul:
+		return &Arith{Op: '*', L: l, R: r}, nil
+	case ast.OpDiv:
+		return &Arith{Op: '/', L: l, R: r}, nil
+	case ast.OpMod:
+		return &Arith{Op: '%', L: l, R: r}, nil
+	case ast.OpLike:
+		return &Like{L: l, R: r}, nil
+	case ast.OpConcat:
+		return &Concat{L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("unsupported binary operator %v", x.Op)
+	}
+}
+
+// resolveColumn resolves a column reference against the current scope,
+// falling back through enclosing scopes to produce correlated outer
+// references. Every scope a reference escapes is marked correlated so
+// the executor knows to push rows at each level.
+func (b *builder) resolveColumn(cr *ast.ColumnRef, sc *scope) (Expr, error) {
+	idx, err := sc.schema.Resolve(cr.Table, cr.Name)
+	switch {
+	case err == nil:
+		return &Col{Idx: idx, Name: cr.String()}, nil
+	case errors.Is(err, ErrAmbiguous):
+		return nil, err
+	}
+	// Outer scopes, innermost enclosing first. sc is always the top of
+	// the scope stack while compiling.
+	for up := 1; up < len(b.scopes); up++ {
+		osc := b.scopes[len(b.scopes)-1-up]
+		oidx, ok := osc.schema.IndexOf(cr.Table, cr.Name)
+		if !ok {
+			continue
+		}
+		osc.referenced = true
+		for i := len(b.scopes) - up; i < len(b.scopes); i++ {
+			b.scopes[i].correlated = true
+		}
+		return &Outer{Up: up, Idx: oidx, Name: cr.String()}, nil
+	}
+	if sc.agg != nil {
+		return nil, fmt.Errorf("column %q must appear in GROUP BY or be used in an aggregate", cr.String())
+	}
+	return nil, err
+}
+
+// buildSubplan builds a nested query block and reports whether it is
+// correlated with any enclosing scope.
+func (b *builder) buildSubplan(sel *ast.Select) (Node, bool, error) {
+	n, err := b.buildSelect(sel)
+	if err != nil {
+		return nil, false, err
+	}
+	return n, b.lastCorrelated, nil
+}
+
+// inferKind guesses the result kind of a compiled expression for
+// schema display; unknown kinds are KindNull.
+func inferKind(e Expr) value.Kind {
+	switch x := e.(type) {
+	case *Const:
+		return x.V.Kind
+	case *Cmp, *And, *Or, *Not, *IsNull, *Between, *InList, *Like:
+		return value.KindBool
+	case *Arith, *Neg:
+		return value.KindFloat
+	case *Concat:
+		return value.KindString
+	default:
+		return value.KindNull
+	}
+}

@@ -1,0 +1,233 @@
+package plan
+
+import (
+	"testing"
+
+	"auditdb/internal/value"
+)
+
+// runnableSubquery wires a canned row set into a Subquery for isolated
+// evaluation tests.
+func cannedSubquery(kind SubqKind, rows []value.Row, probe Expr, negate bool) (*Subquery, *EvalCtx) {
+	sq := &Subquery{Kind: kind, Plan: &ValuesScan{Name: "canned"}, Probe: probe, Negate: negate}
+	ctx := &EvalCtx{
+		RunSubquery: func(Node, *EvalCtx) ([]value.Row, error) { return rows, nil },
+	}
+	return sq, ctx
+}
+
+func TestSubqueryExists(t *testing.T) {
+	sq, ctx := cannedSubquery(SubqExists, []value.Row{{value.NewInt(1)}}, nil, false)
+	v, err := sq.Eval(ctx, nil)
+	if err != nil || !v.Bool() {
+		t.Errorf("exists = %v, %v", v, err)
+	}
+	sq, ctx = cannedSubquery(SubqExists, nil, nil, true)
+	v, _ = sq.Eval(ctx, nil)
+	if !v.Bool() {
+		t.Errorf("not exists over empty = %v", v)
+	}
+}
+
+func TestSubqueryScalar(t *testing.T) {
+	sq, ctx := cannedSubquery(SubqScalar, []value.Row{{value.NewInt(7)}}, nil, false)
+	v, err := sq.Eval(ctx, nil)
+	if err != nil || v.Int() != 7 {
+		t.Errorf("scalar = %v, %v", v, err)
+	}
+	// Empty -> NULL.
+	sq, ctx = cannedSubquery(SubqScalar, nil, nil, false)
+	v, err = sq.Eval(ctx, nil)
+	if err != nil || !v.IsNull() {
+		t.Errorf("empty scalar = %v, %v", v, err)
+	}
+	// Multiple rows -> error.
+	sq, ctx = cannedSubquery(SubqScalar, []value.Row{{value.NewInt(1)}, {value.NewInt(2)}}, nil, false)
+	if _, err := sq.Eval(ctx, nil); err == nil {
+		t.Error("multi-row scalar should error")
+	}
+	// Multiple columns -> error.
+	sq, ctx = cannedSubquery(SubqScalar, []value.Row{{value.NewInt(1), value.NewInt(2)}}, nil, false)
+	if _, err := sq.Eval(ctx, nil); err == nil {
+		t.Error("multi-column scalar should error")
+	}
+}
+
+func TestSubqueryInSemantics(t *testing.T) {
+	rows := []value.Row{{value.NewInt(1)}, {value.Null}, {value.NewInt(3)}}
+	// 3 IN (1, NULL, 3) -> TRUE.
+	sq, ctx := cannedSubquery(SubqIn, rows, &Const{V: value.NewInt(3)}, false)
+	v, err := sq.Eval(ctx, nil)
+	if err != nil || !v.Bool() {
+		t.Errorf("3 IN = %v, %v", v, err)
+	}
+	// 2 IN (1, NULL, 3) -> UNKNOWN (because of the NULL).
+	sq, ctx = cannedSubquery(SubqIn, rows, &Const{V: value.NewInt(2)}, false)
+	v, _ = sq.Eval(ctx, nil)
+	if !v.IsNull() {
+		t.Errorf("2 IN with NULL member = %v, want NULL", v)
+	}
+	// NULL IN (...) -> UNKNOWN.
+	sq, ctx = cannedSubquery(SubqIn, rows, &Const{V: value.Null}, false)
+	v, _ = sq.Eval(ctx, nil)
+	if !v.IsNull() {
+		t.Errorf("NULL IN = %v", v)
+	}
+	// 2 NOT IN (1, 3) -> TRUE.
+	sq, ctx = cannedSubquery(SubqIn, []value.Row{{value.NewInt(1)}, {value.NewInt(3)}}, &Const{V: value.NewInt(2)}, true)
+	v, _ = sq.Eval(ctx, nil)
+	if !v.Bool() {
+		t.Errorf("2 NOT IN (1,3) = %v", v)
+	}
+}
+
+func TestSubqueryUncorrelatedCaching(t *testing.T) {
+	calls := 0
+	sq := &Subquery{Kind: SubqExists, Plan: &ValuesScan{Name: "x"}}
+	ctx := &EvalCtx{
+		RunSubquery: func(Node, *EvalCtx) ([]value.Row, error) {
+			calls++
+			return []value.Row{{value.NewInt(1)}}, nil
+		},
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := sq.Eval(ctx, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("uncorrelated subquery ran %d times, want 1", calls)
+	}
+	// Correlated: runs per row.
+	sq2 := &Subquery{Kind: SubqExists, Plan: &ValuesScan{Name: "y"}, Correlated: true}
+	calls = 0
+	ctx2 := &EvalCtx{
+		RunSubquery: func(_ Node, c *EvalCtx) ([]value.Row, error) {
+			calls++
+			if len(c.Outer) != 1 {
+				t.Errorf("outer stack depth = %d", len(c.Outer))
+			}
+			return nil, nil
+		},
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := sq2.Eval(ctx2, value.Row{value.NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 3 {
+		t.Errorf("correlated subquery ran %d times, want 3", calls)
+	}
+	if len(ctx2.Outer) != 0 {
+		t.Error("outer stack not popped")
+	}
+}
+
+func TestCaseOperandForm(t *testing.T) {
+	c := &Case{
+		Operand: &Const{V: value.NewInt(2)},
+		Whens: []CaseWhen{
+			{Cond: &Const{V: value.NewInt(1)}, Result: &Const{V: value.NewString("one")}},
+			{Cond: &Const{V: value.NewInt(2)}, Result: &Const{V: value.NewString("two")}},
+		},
+		Else: &Const{V: value.NewString("other")},
+	}
+	v, err := c.Eval(&EvalCtx{}, nil)
+	if err != nil || v.Str() != "two" {
+		t.Errorf("case = %v, %v", v, err)
+	}
+	// No match, no else -> NULL.
+	c2 := &Case{
+		Whens: []CaseWhen{{Cond: &Const{V: value.NewBool(false)}, Result: &Const{V: value.NewInt(1)}}},
+	}
+	v, _ = c2.Eval(&EvalCtx{}, nil)
+	if !v.IsNull() {
+		t.Errorf("unmatched case = %v", v)
+	}
+}
+
+func TestBetweenNegateAndNull(t *testing.T) {
+	b := &Between{
+		X:      &Const{V: value.NewInt(5)},
+		Lo:     &Const{V: value.NewInt(1)},
+		Hi:     &Const{V: value.NewInt(3)},
+		Negate: true,
+	}
+	v, err := b.Eval(&EvalCtx{}, nil)
+	if err != nil || !v.Bool() {
+		t.Errorf("5 NOT BETWEEN 1 AND 3 = %v, %v", v, err)
+	}
+	b.Lo = &Const{V: value.Null}
+	v, _ = b.Eval(&EvalCtx{}, nil)
+	if !v.IsNull() {
+		t.Errorf("NULL bound = %v, want NULL", v)
+	}
+}
+
+func TestConcatAndLikeNulls(t *testing.T) {
+	c := &Concat{L: &Const{V: value.NewString("a")}, R: &Const{V: value.Null}}
+	v, _ := c.Eval(&EvalCtx{}, nil)
+	if !v.IsNull() {
+		t.Errorf("concat with NULL = %v", v)
+	}
+	c2 := &Concat{L: &Const{V: value.NewString("a")}, R: &Const{V: value.NewInt(7)}}
+	v, _ = c2.Eval(&EvalCtx{}, nil)
+	if v.Str() != "a7" {
+		t.Errorf("concat = %v", v)
+	}
+	l := &Like{L: &Const{V: value.Null}, R: &Const{V: value.NewString("%")}}
+	v, _ = l.Eval(&EvalCtx{}, nil)
+	if !v.IsNull() {
+		t.Errorf("NULL LIKE = %v", v)
+	}
+}
+
+func TestColOutOfRange(t *testing.T) {
+	c := &Col{Idx: 5}
+	if _, err := c.Eval(&EvalCtx{}, value.Row{value.NewInt(1)}); err == nil {
+		t.Error("out-of-range column should error")
+	}
+}
+
+func TestNodeLabels(t *testing.T) {
+	scan := &Scan{Table: "t", Alias: "x", Pushed: &Const{V: value.NewBool(true)}}
+	if got := scan.Label(); got != "Scan(t AS x WHERE true)" {
+		t.Errorf("scan label = %q", got)
+	}
+	j := &Join{Kind: JoinLeft, Left: scan, Right: &ValuesScan{Name: "v"}, Cond: &Const{V: value.NewBool(true)}}
+	if got := j.Label(); got != "LeftJoin(true)" {
+		t.Errorf("join label = %q", got)
+	}
+	a := &Audit{Child: scan, Name: "E", IDIdx: 0}
+	_ = a.Label() // must not panic on schema-less scan
+	agg := &Aggregate{Child: scan, Aggs: []AggSpec{{Func: AggCount}}}
+	if got := agg.Label(); got != "Aggregate(COUNT(*))" {
+		t.Errorf("agg label = %q", got)
+	}
+	d := AggSpec{Func: AggSum, Arg: &Col{Idx: 0, Name: "x"}, Distinct: true}
+	if got := d.Label(); got != "SUM(DISTINCT x)" {
+		t.Errorf("spec label = %q", got)
+	}
+}
+
+func TestLeafSetChildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Scan.SetChild should panic")
+		}
+	}()
+	(&Scan{}).SetChild(0, nil)
+}
+
+func TestNegAndArithEval(t *testing.T) {
+	n := &Neg{X: &Const{V: value.NewInt(4)}}
+	v, err := n.Eval(&EvalCtx{}, nil)
+	if err != nil || v.Int() != -4 {
+		t.Errorf("neg = %v, %v", v, err)
+	}
+	a := &Arith{Op: '+', L: &Const{V: value.NewInt(1)}, R: &Const{V: value.NewFloat(0.5)}}
+	v, err = a.Eval(&EvalCtx{}, nil)
+	if err != nil || v.Float() != 1.5 {
+		t.Errorf("arith = %v, %v", v, err)
+	}
+}

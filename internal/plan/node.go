@@ -1,0 +1,386 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"auditdb/internal/value"
+)
+
+// Node is a logical plan operator. Plans are trees; the executor in
+// internal/exec interprets them directly and the placement algorithms
+// in internal/core rewrite them via Children/SetChild.
+type Node interface {
+	// Schema is the node's output column list.
+	Schema() Schema
+	// Children returns the input nodes (empty for leaves).
+	Children() []Node
+	// SetChild replaces input i.
+	SetChild(i int, n Node)
+	// Label names the operator for plan display.
+	Label() string
+}
+
+// ---- Leaves ----
+
+// Scan reads a stored table, applying the pushed-down predicate (if
+// any) at the leaf, which mirrors how real optimizers push single-table
+// filters into the scan (paper §III-C).
+type Scan struct {
+	Table  string // catalog table name
+	Alias  string // exposed qualifier
+	Pushed Expr   // optional leaf predicate
+	Out    Schema
+}
+
+// Schema implements Node.
+func (s *Scan) Schema() Schema { return s.Out }
+
+// Children implements Node.
+func (s *Scan) Children() []Node { return nil }
+
+// SetChild implements Node.
+func (s *Scan) SetChild(int, Node) { panic("plan: Scan has no children") }
+
+// Label implements Node.
+func (s *Scan) Label() string {
+	l := "Scan(" + s.Table
+	if s.Alias != "" && !strings.EqualFold(s.Alias, s.Table) {
+		l += " AS " + s.Alias
+	}
+	if s.Pushed != nil {
+		l += " WHERE " + s.Pushed.String()
+	}
+	return l + ")"
+}
+
+// ValuesScan reads a named transient relation supplied by the
+// execution context: the ACCESSED internal state inside SELECT-trigger
+// actions, and the NEW/OLD pseudo-rows inside DML trigger actions.
+type ValuesScan struct {
+	Name string
+	Out  Schema
+}
+
+// Schema implements Node.
+func (s *ValuesScan) Schema() Schema { return s.Out }
+
+// Children implements Node.
+func (s *ValuesScan) Children() []Node { return nil }
+
+// SetChild implements Node.
+func (s *ValuesScan) SetChild(int, Node) { panic("plan: ValuesScan has no children") }
+
+// Label implements Node.
+func (s *ValuesScan) Label() string { return "Values(" + s.Name + ")" }
+
+// ---- Unary operators ----
+
+// Filter keeps rows whose predicate evaluates to TRUE.
+type Filter struct {
+	Child Node
+	Pred  Expr
+}
+
+// Schema implements Node.
+func (f *Filter) Schema() Schema { return f.Child.Schema() }
+
+// Children implements Node.
+func (f *Filter) Children() []Node { return []Node{f.Child} }
+
+// SetChild implements Node.
+func (f *Filter) SetChild(i int, n Node) { f.Child = n }
+
+// Label implements Node.
+func (f *Filter) Label() string { return "Filter(" + f.Pred.String() + ")" }
+
+// Project computes the output expressions.
+type Project struct {
+	Child Node
+	Exprs []Expr
+	Out   Schema
+}
+
+// Schema implements Node.
+func (p *Project) Schema() Schema { return p.Out }
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.Child} }
+
+// SetChild implements Node.
+func (p *Project) SetChild(i int, n Node) { p.Child = n }
+
+// Label implements Node.
+func (p *Project) Label() string {
+	parts := make([]string, len(p.Exprs))
+	for i, e := range p.Exprs {
+		parts[i] = e.String()
+	}
+	return "Project(" + strings.Join(parts, ", ") + ")"
+}
+
+// JoinKind enumerates join types in plans.
+type JoinKind uint8
+
+// Join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+	JoinCross
+)
+
+// String names the join kind.
+func (k JoinKind) String() string {
+	switch k {
+	case JoinInner:
+		return "InnerJoin"
+	case JoinLeft:
+		return "LeftJoin"
+	default:
+		return "CrossJoin"
+	}
+}
+
+// Join combines two inputs. When LeftKeys/RightKeys are non-empty the
+// executor uses a hash join on those equi-key expressions, applying
+// Residual to each candidate pair; otherwise it falls back to a
+// nested-loops join on Cond.
+type Join struct {
+	Kind        JoinKind
+	Left, Right Node
+	Cond        Expr // full join condition (nil for cross)
+	// Equi-key decomposition, filled by the optimizer. LeftKeys[i] is
+	// evaluated against left rows and must equal RightKeys[i] on right
+	// rows.
+	LeftKeys, RightKeys []Expr
+	Residual            Expr // non-equi remainder of Cond
+}
+
+// Schema implements Node.
+func (j *Join) Schema() Schema { return j.Left.Schema().Concat(j.Right.Schema()) }
+
+// Children implements Node.
+func (j *Join) Children() []Node { return []Node{j.Left, j.Right} }
+
+// SetChild implements Node.
+func (j *Join) SetChild(i int, n Node) {
+	if i == 0 {
+		j.Left = n
+	} else {
+		j.Right = n
+	}
+}
+
+// Label implements Node.
+func (j *Join) Label() string {
+	l := j.Kind.String()
+	if j.Cond != nil {
+		l += "(" + j.Cond.String() + ")"
+	}
+	return l
+}
+
+// AggFunc enumerates aggregate functions.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String names the aggregate.
+func (f AggFunc) String() string {
+	return [...]string{"COUNT", "SUM", "AVG", "MIN", "MAX"}[f]
+}
+
+// AggSpec is one aggregate computation. Arg nil means COUNT(*).
+type AggSpec struct {
+	Func     AggFunc
+	Arg      Expr
+	Distinct bool
+}
+
+// Label renders the aggregate for display.
+func (a AggSpec) Label() string {
+	arg := "*"
+	if a.Arg != nil {
+		arg = a.Arg.String()
+	}
+	d := ""
+	if a.Distinct {
+		d = "DISTINCT "
+	}
+	return a.Func.String() + "(" + d + arg + ")"
+}
+
+// Aggregate groups its input by the GroupBy expressions and computes
+// the aggregates. Output columns are the group-by values followed by
+// the aggregate results. With no GroupBy it produces exactly one row.
+type Aggregate struct {
+	Child   Node
+	GroupBy []Expr
+	Aggs    []AggSpec
+	Out     Schema
+}
+
+// Schema implements Node.
+func (a *Aggregate) Schema() Schema { return a.Out }
+
+// Children implements Node.
+func (a *Aggregate) Children() []Node { return []Node{a.Child} }
+
+// SetChild implements Node.
+func (a *Aggregate) SetChild(i int, n Node) { a.Child = n }
+
+// Label implements Node.
+func (a *Aggregate) Label() string {
+	var parts []string
+	for _, g := range a.GroupBy {
+		parts = append(parts, g.String())
+	}
+	for _, ag := range a.Aggs {
+		parts = append(parts, ag.Label())
+	}
+	return "Aggregate(" + strings.Join(parts, ", ") + ")"
+}
+
+// SortKey is one ORDER BY key.
+type SortKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// Sort orders its input.
+type Sort struct {
+	Child Node
+	Keys  []SortKey
+}
+
+// Schema implements Node.
+func (s *Sort) Schema() Schema { return s.Child.Schema() }
+
+// Children implements Node.
+func (s *Sort) Children() []Node { return []Node{s.Child} }
+
+// SetChild implements Node.
+func (s *Sort) SetChild(i int, n Node) { s.Child = n }
+
+// Label implements Node.
+func (s *Sort) Label() string {
+	parts := make([]string, len(s.Keys))
+	for i, k := range s.Keys {
+		parts[i] = k.Expr.String()
+		if k.Desc {
+			parts[i] += " DESC"
+		}
+	}
+	return "Sort(" + strings.Join(parts, ", ") + ")"
+}
+
+// Limit passes through the first N rows. Combined with Sort it is the
+// paper's top-k operator — the canonical non-commutative operator for
+// audit placement (Example 3.2).
+type Limit struct {
+	Child Node
+	N     int64
+}
+
+// Schema implements Node.
+func (l *Limit) Schema() Schema { return l.Child.Schema() }
+
+// Children implements Node.
+func (l *Limit) Children() []Node { return []Node{l.Child} }
+
+// SetChild implements Node.
+func (l *Limit) SetChild(i int, n Node) { l.Child = n }
+
+// Label implements Node.
+func (l *Limit) Label() string { return fmt.Sprintf("Limit(%d)", l.N) }
+
+// Distinct removes duplicate rows (set semantics), another
+// non-commutative barrier for audit operators.
+type Distinct struct {
+	Child Node
+}
+
+// Schema implements Node.
+func (d *Distinct) Schema() Schema { return d.Child.Schema() }
+
+// Children implements Node.
+func (d *Distinct) Children() []Node { return []Node{d.Child} }
+
+// SetChild implements Node.
+func (d *Distinct) SetChild(i int, n Node) { d.Child = n }
+
+// Label implements Node.
+func (d *Distinct) Label() string { return "Distinct" }
+
+// AuditSink receives the partition-by values that flow past an audit
+// operator during execution. internal/core implements it with a
+// sensitive-ID hash probe that records matches into the query's
+// ACCESSED state (paper §IV-A.2).
+type AuditSink interface {
+	Observe(v value.Value)
+}
+
+// Audit is the paper's audit operator: a no-op "data viewer" derived
+// from the filter operator. It forwards every input row unchanged and
+// feeds the partition-by column (ordinal IDIdx of its input) to the
+// sink. Selectivity is definitionally 1.0.
+type Audit struct {
+	Child Node
+	// Name is the audit expression this operator serves.
+	Name string
+	// IDIdx is the ordinal of the partition-by column in Child's schema.
+	IDIdx int
+	// Sink checks membership in the sensitive-ID set and records hits.
+	Sink AuditSink
+}
+
+// Schema implements Node.
+func (a *Audit) Schema() Schema { return a.Child.Schema() }
+
+// Children implements Node.
+func (a *Audit) Children() []Node { return []Node{a.Child} }
+
+// SetChild implements Node.
+func (a *Audit) SetChild(i int, n Node) { a.Child = n }
+
+// Label implements Node.
+func (a *Audit) Label() string {
+	col := "?"
+	if sch := a.Child.Schema(); a.IDIdx >= 0 && a.IDIdx < len(sch) {
+		col = sch[a.IDIdx].String()
+	}
+	return fmt.Sprintf("Audit(%s on %s)", a.Name, col)
+}
+
+// Explain renders the plan tree as an indented multi-line string, used
+// in tests and the shell's EXPLAIN-style output.
+func Explain(n Node) string {
+	var b strings.Builder
+	explain(&b, n, 0)
+	return b.String()
+}
+
+func explain(b *strings.Builder, n Node, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(n.Label())
+	b.WriteByte('\n')
+	for _, c := range n.Children() {
+		explain(b, c, depth+1)
+	}
+}
+
+// Walk visits every node in the plan tree in pre-order, including
+// subquery plans referenced from expressions when deep is true.
+func Walk(n Node, fn func(Node)) {
+	fn(n)
+	for _, c := range n.Children() {
+		Walk(c, fn)
+	}
+}

@@ -1,0 +1,341 @@
+package plan
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"auditdb/internal/ast"
+
+	"auditdb/internal/catalog"
+	"auditdb/internal/parser"
+	"auditdb/internal/value"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	add := func(name string, cols ...catalog.Column) {
+		if err := cat.AddTable(&catalog.TableMeta{Name: name, Columns: cols}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("patients",
+		catalog.Column{Name: "PatientID", Type: value.KindInt},
+		catalog.Column{Name: "Name", Type: value.KindString},
+		catalog.Column{Name: "Age", Type: value.KindInt},
+	)
+	add("disease",
+		catalog.Column{Name: "PatientID", Type: value.KindInt},
+		catalog.Column{Name: "Disease", Type: value.KindString},
+	)
+	return cat
+}
+
+func buildSQL(t *testing.T, cat *catalog.Catalog, sql string) Node {
+	t.Helper()
+	sel, err := parser.ParseQuery(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Build(&Env{Catalog: cat}, sel)
+	if err != nil {
+		t.Fatalf("Build(%q): %v", sql, err)
+	}
+	return n
+}
+
+func TestSchemaResolve(t *testing.T) {
+	s := Schema{
+		{Qual: "p", Name: "id", Kind: value.KindInt},
+		{Qual: "d", Name: "id", Kind: value.KindInt},
+		{Qual: "p", Name: "name", Kind: value.KindString},
+	}
+	if i, err := s.Resolve("p", "id"); err != nil || i != 0 {
+		t.Errorf("Resolve(p.id) = %d, %v", i, err)
+	}
+	if i, err := s.Resolve("", "name"); err != nil || i != 2 {
+		t.Errorf("Resolve(name) = %d, %v", i, err)
+	}
+	if _, err := s.Resolve("", "id"); !errors.Is(err, ErrAmbiguous) {
+		t.Errorf("unqualified id should be ambiguous, got %v", err)
+	}
+	if _, err := s.Resolve("", "nope"); !errors.Is(err, ErrUnknownColumn) {
+		t.Errorf("missing column error = %v", err)
+	}
+	if _, ok := s.IndexOf("D", "ID"); !ok {
+		t.Error("IndexOf should be case-insensitive")
+	}
+}
+
+func TestSchemaConcatWithQual(t *testing.T) {
+	a := Schema{{Qual: "x", Name: "a"}}
+	b := Schema{{Qual: "y", Name: "b"}}
+	c := a.Concat(b)
+	if len(c) != 2 || c[1].Name != "b" {
+		t.Errorf("concat = %v", c)
+	}
+	q := c.WithQual("z")
+	if q[0].Qual != "z" || q[1].Qual != "z" {
+		t.Errorf("WithQual = %v", q)
+	}
+	if c[0].Qual != "x" {
+		t.Error("WithQual must not mutate the receiver")
+	}
+}
+
+func TestBuildShapes(t *testing.T) {
+	cat := testCatalog(t)
+	n := buildSQL(t, cat, "SELECT Name FROM patients WHERE Age > 30")
+	// Project(Filter(Scan)) before optimization.
+	p, ok := n.(*Project)
+	if !ok {
+		t.Fatalf("root = %T", n)
+	}
+	f, ok := p.Child.(*Filter)
+	if !ok {
+		t.Fatalf("child = %T", p.Child)
+	}
+	if _, ok := f.Child.(*Scan); !ok {
+		t.Fatalf("leaf = %T", f.Child)
+	}
+}
+
+func TestBuildGroupBy(t *testing.T) {
+	cat := testCatalog(t)
+	n := buildSQL(t, cat, "SELECT Age, COUNT(*) FROM patients GROUP BY Age HAVING COUNT(*) > 1")
+	// Project(Filter(Aggregate(Scan)))
+	p := n.(*Project)
+	f := p.Child.(*Filter)
+	a, ok := f.Child.(*Aggregate)
+	if !ok {
+		t.Fatalf("expected aggregate, got %T", f.Child)
+	}
+	if len(a.GroupBy) != 1 || len(a.Aggs) != 1 {
+		t.Errorf("aggregate = %+v", a)
+	}
+	if a.Aggs[0].Func != AggCount || a.Aggs[0].Arg != nil {
+		t.Errorf("agg spec = %+v", a.Aggs[0])
+	}
+}
+
+func TestBuildTopK(t *testing.T) {
+	cat := testCatalog(t)
+	n := buildSQL(t, cat, "SELECT Name FROM patients ORDER BY Age LIMIT 2")
+	l, ok := n.(*Limit)
+	if !ok || l.N != 2 {
+		t.Fatalf("root = %T", n)
+	}
+	// Hidden sort column: Project(Sort(Project)) below the limit.
+	if _, ok := l.Child.(*Project); !ok {
+		t.Fatalf("below limit = %T", l.Child)
+	}
+}
+
+func TestBuildRejects(t *testing.T) {
+	cat := testCatalog(t)
+	bad := []string{
+		"SELECT nope FROM patients",
+		"SELECT * FROM nope",
+		"SELECT Name FROM patients GROUP BY Age",          // name not grouped
+		"SELECT PatientID FROM patients, disease",         // ambiguous
+		"SELECT * FROM patients GROUP BY Age",             // star with group
+		"SELECT SUM(COUNT(*)) FROM patients",              // nested aggregate
+		"SELECT Name FROM patients ORDER BY 5",            // position out of range
+		"SELECT DISTINCT Name FROM patients ORDER BY Age", // distinct + hidden sort col
+		"SELECT UNKNOWNFUNC(Name) FROM patients",          // unknown function
+		"SELECT Name, COUNT(*) FROM patients",             // mixed agg and non-agg
+	}
+	for _, sql := range bad {
+		sel, err := parser.ParseQuery(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		if _, err := Build(&Env{Catalog: cat}, sel); err == nil {
+			t.Errorf("Build(%q) should fail", sql)
+		}
+	}
+}
+
+func TestBuildCorrelationDetection(t *testing.T) {
+	cat := testCatalog(t)
+	sel, err := parser.ParseQuery(`SELECT Name FROM patients P WHERE EXISTS
+		(SELECT 1 FROM disease D WHERE D.PatientID = P.PatientID)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Build(&Env{Catalog: cat}, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sq *Subquery
+	Subplans(n, func(s *Subquery) { sq = s })
+	if sq == nil || !sq.Correlated {
+		t.Fatalf("subquery = %+v", sq)
+	}
+
+	sel, _ = parser.ParseQuery(`SELECT Name FROM patients WHERE PatientID IN
+		(SELECT PatientID FROM disease)`)
+	n, err = Build(&Env{Catalog: cat}, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq = nil
+	Subplans(n, func(s *Subquery) { sq = s })
+	if sq == nil || sq.Correlated {
+		t.Fatalf("uncorrelated subquery misdetected: %+v", sq)
+	}
+}
+
+func TestBuildScalar(t *testing.T) {
+	cat := testCatalog(t)
+	schema := Schema{
+		{Qual: "NEW", Name: "Age", Kind: value.KindInt},
+	}
+	expr, err := parseExprForTest("NEW.Age + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := BuildScalar(&Env{Catalog: cat}, schema, expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := compiled.Eval(&EvalCtx{}, value.Row{value.NewInt(41)})
+	if err != nil || got.Int() != 42 {
+		t.Errorf("eval = %v, %v", got, err)
+	}
+}
+
+func parseExprForTest(s string) (ast.Expr, error) {
+	sel, err := parser.ParseQuery("SELECT " + s)
+	if err != nil {
+		return nil, err
+	}
+	return sel.Items[0].Expr, nil
+}
+
+func TestExplainRendering(t *testing.T) {
+	cat := testCatalog(t)
+	n := buildSQL(t, cat, "SELECT Name FROM patients WHERE Age > 30 ORDER BY Name LIMIT 3")
+	s := Explain(n)
+	for _, want := range []string{"Limit(3)", "Sort(", "Project(", "Filter(", "Scan(patients"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Explain missing %q:\n%s", want, s)
+		}
+	}
+	// Indentation shows nesting.
+	if !strings.Contains(s, "\n  ") {
+		t.Errorf("Explain lacks indentation:\n%s", s)
+	}
+}
+
+func TestEvalThreeValuedShortCircuit(t *testing.T) {
+	// FALSE AND <error> must short-circuit.
+	errExpr := &Func{Name: "YEAR", Args: []Expr{&Const{V: value.NewString("nonsense")}}}
+	e := &And{L: &Const{V: value.NewBool(false)}, R: errExpr}
+	v, err := e.Eval(&EvalCtx{}, nil)
+	if err != nil || v.Bool() {
+		t.Errorf("short-circuit AND = %v, %v", v, err)
+	}
+	o := &Or{L: &Const{V: value.NewBool(true)}, R: errExpr}
+	v, err = o.Eval(&EvalCtx{}, nil)
+	if err != nil || !v.Bool() {
+		t.Errorf("short-circuit OR = %v, %v", v, err)
+	}
+}
+
+func TestEvalNullComparisons(t *testing.T) {
+	cmp := &Cmp{Op: CmpEq, L: &Const{V: value.Null}, R: &Const{V: value.NewInt(1)}}
+	v, err := cmp.Eval(&EvalCtx{}, nil)
+	if err != nil || !v.IsNull() {
+		t.Errorf("NULL = 1 should be NULL, got %v", v)
+	}
+	isn := &IsNull{X: &Const{V: value.Null}}
+	v, _ = isn.Eval(&EvalCtx{}, nil)
+	if !v.Bool() {
+		t.Error("NULL IS NULL should be true")
+	}
+}
+
+func TestEvalInListNullSemantics(t *testing.T) {
+	// 1 IN (2, NULL) is UNKNOWN; 1 IN (1, NULL) is TRUE.
+	in := &InList{X: &Const{V: value.NewInt(1)}, List: []Expr{
+		&Const{V: value.NewInt(2)}, &Const{V: value.Null},
+	}}
+	v, err := in.Eval(&EvalCtx{}, nil)
+	if err != nil || !v.IsNull() {
+		t.Errorf("1 IN (2, NULL) = %v", v)
+	}
+	in.List[0] = &Const{V: value.NewInt(1)}
+	v, _ = in.Eval(&EvalCtx{}, nil)
+	if !v.Bool() {
+		t.Errorf("1 IN (1, NULL) = %v", v)
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	ctx := &EvalCtx{Session: SessionInfo{User: "u1", SQL: "q"}}
+	cases := []struct {
+		name string
+		args []Expr
+		want string
+	}{
+		{"UPPER", []Expr{&Const{V: value.NewString("abc")}}, "ABC"},
+		{"LOWER", []Expr{&Const{V: value.NewString("AbC")}}, "abc"},
+		{"LENGTH", []Expr{&Const{V: value.NewString("abcd")}}, "4"},
+		{"SUBSTRING", []Expr{&Const{V: value.NewString("hello")}, &Const{V: value.NewInt(2)}, &Const{V: value.NewInt(3)}}, "ell"},
+		{"COALESCE", []Expr{&Const{V: value.Null}, &Const{V: value.NewString("x")}}, "x"},
+		{"ABS", []Expr{&Const{V: value.NewInt(-5)}}, "5"},
+		{"USERID", nil, "u1"},
+		{"SQLTEXT", nil, "q"},
+		{"YEAR", []Expr{&Const{V: value.DateFromYMD(1997, 2, 3)}}, "1997"},
+		{"MONTH", []Expr{&Const{V: value.DateFromYMD(1997, 2, 3)}}, "2"},
+		{"DAY", []Expr{&Const{V: value.DateFromYMD(1997, 2, 3)}}, "3"},
+	}
+	for _, c := range cases {
+		f := &Func{Name: c.name, Args: c.args}
+		v, err := f.Eval(ctx, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if v.String() != c.want {
+			t.Errorf("%s = %q, want %q", c.name, v.String(), c.want)
+		}
+	}
+}
+
+func TestScalarFunctionErrors(t *testing.T) {
+	if _, err := (&Func{Name: "YEAR"}).Eval(&EvalCtx{}, nil); err == nil {
+		t.Error("YEAR() arity should fail")
+	}
+	if _, err := (&Func{Name: "NOPE"}).Eval(&EvalCtx{}, nil); err == nil {
+		t.Error("unknown function should fail")
+	}
+	if _, err := (&Func{Name: "ABS", Args: []Expr{&Const{V: value.NewString("x")}}}).Eval(&EvalCtx{}, nil); err == nil {
+		t.Error("ABS(string) should fail")
+	}
+}
+
+func TestSubqueryRequiresExecutor(t *testing.T) {
+	sq := &Subquery{Kind: SubqExists, Plan: &ValuesScan{Name: DualName}}
+	if _, err := sq.Eval(&EvalCtx{}, nil); err == nil {
+		t.Error("subquery without executor should fail")
+	}
+}
+
+func TestOuterRefErrors(t *testing.T) {
+	o := &Outer{Up: 1, Idx: 0, Name: "x"}
+	if _, err := o.Eval(&EvalCtx{}, nil); err == nil {
+		t.Error("outer ref without stack should fail")
+	}
+	ctx := &EvalCtx{}
+	ctx.PushOuter(value.Row{value.NewInt(9)})
+	v, err := o.Eval(ctx, nil)
+	if err != nil || v.Int() != 9 {
+		t.Errorf("outer = %v, %v", v, err)
+	}
+	ctx.PopOuter()
+	if len(ctx.Outer) != 0 {
+		t.Error("pop failed")
+	}
+}

@@ -1,0 +1,98 @@
+// Package plan defines the logical query plan: compiled expressions,
+// plan nodes (scan, filter, project, join, aggregate, sort, limit,
+// distinct, audit), and the builder that translates parsed SELECT
+// statements into plans. The audit operator node lives here so the
+// placement algorithms in internal/core can instrument any plan.
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"auditdb/internal/value"
+)
+
+// Resolution sentinel errors, distinguished so the builder can fall
+// back to outer scopes on ErrUnknownColumn but must fail fast on
+// ErrAmbiguous.
+var (
+	ErrAmbiguous     = errors.New("ambiguous column reference")
+	ErrUnknownColumn = errors.New("unknown column")
+)
+
+// ColInfo describes one column of a plan node's output.
+type ColInfo struct {
+	Qual string // table alias or name; empty for computed columns
+	Name string
+	Kind value.Kind
+}
+
+// String renders the column as qual.name.
+func (c ColInfo) String() string {
+	if c.Qual != "" {
+		return c.Qual + "." + c.Name
+	}
+	return c.Name
+}
+
+// Schema is the ordered output column list of a plan node.
+type Schema []ColInfo
+
+// Resolve finds the ordinal of a column reference. Ambiguous
+// unqualified names and missing columns are errors.
+func (s Schema) Resolve(qual, name string) (int, error) {
+	found := -1
+	for i, c := range s {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if qual != "" && !strings.EqualFold(c.Qual, qual) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("%w: %q", ErrAmbiguous, refString(qual, name))
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownColumn, refString(qual, name))
+	}
+	return found, nil
+}
+
+// IndexOf is like Resolve but reports ok=false instead of an error and
+// returns the first match even if ambiguous.
+func (s Schema) IndexOf(qual, name string) (int, bool) {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) && (qual == "" || strings.EqualFold(c.Qual, qual)) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Concat returns the schema of a join output: left columns then right.
+func (s Schema) Concat(o Schema) Schema {
+	out := make(Schema, 0, len(s)+len(o))
+	out = append(out, s...)
+	out = append(out, o...)
+	return out
+}
+
+// WithQual returns a copy of s with every column's qualifier replaced,
+// as when a derived table is given an alias.
+func (s Schema) WithQual(qual string) Schema {
+	out := make(Schema, len(s))
+	for i, c := range s {
+		out[i] = ColInfo{Qual: qual, Name: c.Name, Kind: c.Kind}
+	}
+	return out
+}
+
+func refString(qual, name string) string {
+	if qual != "" {
+		return qual + "." + name
+	}
+	return name
+}

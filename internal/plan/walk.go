@@ -1,0 +1,105 @@
+package plan
+
+// WalkExprTree visits e and every sub-expression (without descending
+// into subquery plans; use WalkNodeExprs + Subquery handling for that).
+func WalkExprTree(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *Cmp:
+		WalkExprTree(x.L, fn)
+		WalkExprTree(x.R, fn)
+	case *And:
+		WalkExprTree(x.L, fn)
+		WalkExprTree(x.R, fn)
+	case *Or:
+		WalkExprTree(x.L, fn)
+		WalkExprTree(x.R, fn)
+	case *Not:
+		WalkExprTree(x.X, fn)
+	case *Arith:
+		WalkExprTree(x.L, fn)
+		WalkExprTree(x.R, fn)
+	case *Neg:
+		WalkExprTree(x.X, fn)
+	case *Concat:
+		WalkExprTree(x.L, fn)
+		WalkExprTree(x.R, fn)
+	case *Like:
+		WalkExprTree(x.L, fn)
+		WalkExprTree(x.R, fn)
+	case *IsNull:
+		WalkExprTree(x.X, fn)
+	case *Between:
+		WalkExprTree(x.X, fn)
+		WalkExprTree(x.Lo, fn)
+		WalkExprTree(x.Hi, fn)
+	case *InList:
+		WalkExprTree(x.X, fn)
+		for _, item := range x.List {
+			WalkExprTree(item, fn)
+		}
+	case *Func:
+		for _, a := range x.Args {
+			WalkExprTree(a, fn)
+		}
+	case *Case:
+		WalkExprTree(x.Operand, fn)
+		for _, w := range x.Whens {
+			WalkExprTree(w.Cond, fn)
+			WalkExprTree(w.Result, fn)
+		}
+		WalkExprTree(x.Else, fn)
+	case *Subquery:
+		WalkExprTree(x.Probe, fn)
+	}
+}
+
+// WalkNodeExprs visits the expressions attached directly to one plan
+// node (not its children's).
+func WalkNodeExprs(n Node, fn func(Expr)) {
+	switch x := n.(type) {
+	case *Scan:
+		WalkExprTree(x.Pushed, fn)
+	case *Filter:
+		WalkExprTree(x.Pred, fn)
+	case *Project:
+		for _, e := range x.Exprs {
+			WalkExprTree(e, fn)
+		}
+	case *Join:
+		WalkExprTree(x.Cond, fn)
+		for _, e := range x.LeftKeys {
+			WalkExprTree(e, fn)
+		}
+		for _, e := range x.RightKeys {
+			WalkExprTree(e, fn)
+		}
+		WalkExprTree(x.Residual, fn)
+	case *Aggregate:
+		for _, e := range x.GroupBy {
+			WalkExprTree(e, fn)
+		}
+		for _, a := range x.Aggs {
+			WalkExprTree(a.Arg, fn)
+		}
+	case *Sort:
+		for _, k := range x.Keys {
+			WalkExprTree(k.Expr, fn)
+		}
+	}
+}
+
+// Subplans returns every subquery plan referenced by expressions in
+// the tree rooted at n (not recursing into those subplans).
+func Subplans(n Node, fn func(*Subquery)) {
+	Walk(n, func(node Node) {
+		WalkNodeExprs(node, func(e Expr) {
+			if sq, ok := e.(*Subquery); ok {
+				fn(sq)
+			}
+		})
+	})
+}

@@ -1,0 +1,55 @@
+package storage
+
+// Mask hides specific rows from query execution without mutating any
+// table. The offline auditor uses masks to evaluate Q(D - t): it runs
+// the query with tuple t masked and compares results against Q(D)
+// (Definition 2.3 in the paper). A nil *Mask hides nothing.
+type Mask struct {
+	hidden map[string]map[RowID]struct{}
+}
+
+// NewMask returns an empty mask.
+func NewMask() *Mask {
+	return &Mask{hidden: make(map[string]map[RowID]struct{})}
+}
+
+// Hide masks the given row of the named table.
+func (m *Mask) Hide(table string, id RowID) {
+	k := lower(table)
+	set, ok := m.hidden[k]
+	if !ok {
+		set = make(map[RowID]struct{})
+		m.hidden[k] = set
+	}
+	set[id] = struct{}{}
+}
+
+// Unhide removes the row from the mask.
+func (m *Mask) Unhide(table string, id RowID) {
+	if set, ok := m.hidden[lower(table)]; ok {
+		delete(set, id)
+	}
+}
+
+// Hidden reports whether the row is masked. Safe to call on a nil mask.
+func (m *Mask) Hidden(table string, id RowID) bool {
+	if m == nil {
+		return false
+	}
+	set, ok := m.hidden[lower(table)]
+	if !ok {
+		return false
+	}
+	_, hid := set[id]
+	return hid
+}
+
+// HidesTable reports whether any row of the named table is masked,
+// letting scans skip the per-row check entirely. Safe on nil.
+func (m *Mask) HidesTable(table string) bool {
+	if m == nil {
+		return false
+	}
+	set, ok := m.hidden[lower(table)]
+	return ok && len(set) > 0
+}

@@ -1,0 +1,382 @@
+// Package storage implements the in-memory row store: heap tables with
+// stable row IDs and tombstones, a primary-key hash index, optional
+// secondary hash indexes, and visibility masks that let the offline
+// auditor re-execute a query "as if" a tuple had been deleted without
+// mutating the table (the paper's Definition 2.3 check).
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"auditdb/internal/catalog"
+	"auditdb/internal/value"
+)
+
+// RowID identifies a row within one table for its whole lifetime.
+type RowID int64
+
+// Table is a heap of rows plus its indexes. All methods are safe for
+// concurrent use; readers take the read lock for the duration of a scan
+// via Snapshot.
+type Table struct {
+	mu   sync.RWMutex
+	meta *catalog.TableMeta
+
+	rows []value.Row // nil entry = tombstone
+	live int
+
+	pk        map[string]RowID // encoded pk -> row, when a primary key exists
+	secondary map[string]*hashIndex
+}
+
+type hashIndex struct {
+	cols    []int
+	entries map[string][]RowID
+}
+
+// NewTable creates an empty table for the given schema.
+func NewTable(meta *catalog.TableMeta) *Table {
+	t := &Table{meta: meta, secondary: make(map[string]*hashIndex)}
+	if len(meta.PrimaryKey) > 0 {
+		t.pk = make(map[string]RowID)
+	}
+	return t
+}
+
+// Meta returns the table's schema.
+func (t *Table) Meta() *catalog.TableMeta { return t.meta }
+
+// Len returns the number of live rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
+
+// Insert appends a row, enforcing arity, type and primary-key
+// constraints. It returns the new row's ID.
+func (t *Table) Insert(row value.Row) (RowID, error) {
+	if len(row) != len(t.meta.Columns) {
+		return 0, fmt.Errorf("table %s: expected %d values, got %d", t.meta.Name, len(t.meta.Columns), len(row))
+	}
+	coerced, err := t.coerceRow(row)
+	if err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := RowID(len(t.rows))
+	if t.pk != nil {
+		k := value.EncodeRowKey(coerced, t.meta.PrimaryKey)
+		if _, dup := t.pk[k]; dup {
+			return 0, fmt.Errorf("table %s: duplicate primary key %s", t.meta.Name, pkString(coerced, t.meta.PrimaryKey))
+		}
+		t.pk[k] = id
+	}
+	t.rows = append(t.rows, coerced)
+	t.live++
+	for _, idx := range t.secondary {
+		k := value.EncodeRowKey(coerced, idx.cols)
+		idx.entries[k] = append(idx.entries[k], id)
+	}
+	return id, nil
+}
+
+func pkString(row value.Row, cols []int) string {
+	vals := make([]string, len(cols))
+	for i, c := range cols {
+		vals[i] = row[c].String()
+	}
+	return fmt.Sprintf("%v", vals)
+}
+
+// coerceRow converts each value to the declared column type.
+func (t *Table) coerceRow(row value.Row) (value.Row, error) {
+	out := make(value.Row, len(row))
+	for i, v := range row {
+		c, err := value.Coerce(v, t.meta.Columns[i].Type)
+		if err != nil {
+			return nil, fmt.Errorf("table %s column %s: %w", t.meta.Name, t.meta.Columns[i].Name, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// Get returns the row with the given ID, or ok=false if it was deleted
+// or never existed.
+func (t *Table) Get(id RowID) (value.Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if id < 0 || int(id) >= len(t.rows) || t.rows[id] == nil {
+		return nil, false
+	}
+	return t.rows[id], true
+}
+
+// Delete tombstones the row with the given ID. It returns the deleted
+// row so callers (triggers, undo logs) can reference OLD values.
+func (t *Table) Delete(id RowID) (value.Row, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || int(id) >= len(t.rows) || t.rows[id] == nil {
+		return nil, fmt.Errorf("table %s: row %d does not exist", t.meta.Name, id)
+	}
+	old := t.rows[id]
+	t.rows[id] = nil
+	t.live--
+	if t.pk != nil {
+		delete(t.pk, value.EncodeRowKey(old, t.meta.PrimaryKey))
+	}
+	for _, idx := range t.secondary {
+		idx.remove(old, id)
+	}
+	return old, nil
+}
+
+// Update replaces the row with the given ID, returning the old row.
+func (t *Table) Update(id RowID, row value.Row) (value.Row, error) {
+	if len(row) != len(t.meta.Columns) {
+		return nil, fmt.Errorf("table %s: expected %d values, got %d", t.meta.Name, len(t.meta.Columns), len(row))
+	}
+	coerced, err := t.coerceRow(row)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || int(id) >= len(t.rows) || t.rows[id] == nil {
+		return nil, fmt.Errorf("table %s: row %d does not exist", t.meta.Name, id)
+	}
+	old := t.rows[id]
+	if t.pk != nil {
+		oldK := value.EncodeRowKey(old, t.meta.PrimaryKey)
+		newK := value.EncodeRowKey(coerced, t.meta.PrimaryKey)
+		if oldK != newK {
+			if _, dup := t.pk[newK]; dup {
+				return nil, fmt.Errorf("table %s: duplicate primary key %s", t.meta.Name, pkString(coerced, t.meta.PrimaryKey))
+			}
+			delete(t.pk, oldK)
+			t.pk[newK] = id
+		}
+	}
+	t.rows[id] = coerced
+	for _, idx := range t.secondary {
+		idx.remove(old, id)
+		k := value.EncodeRowKey(coerced, idx.cols)
+		idx.entries[k] = append(idx.entries[k], id)
+	}
+	return old, nil
+}
+
+// Restore undoes a delete by reinstating the exact row at the given ID.
+// It is used by the undo log; id must refer to a tombstoned slot.
+func (t *Table) Restore(id RowID, row value.Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || int(id) >= len(t.rows) || t.rows[id] != nil {
+		return fmt.Errorf("table %s: cannot restore row %d", t.meta.Name, id)
+	}
+	t.rows[id] = row
+	t.live++
+	if t.pk != nil {
+		t.pk[value.EncodeRowKey(row, t.meta.PrimaryKey)] = id
+	}
+	for _, idx := range t.secondary {
+		k := value.EncodeRowKey(row, idx.cols)
+		idx.entries[k] = append(idx.entries[k], id)
+	}
+	return nil
+}
+
+// LookupPK returns the row ID for a primary-key value tuple.
+func (t *Table) LookupPK(key value.Row) (RowID, bool) {
+	if t.pk == nil {
+		return 0, false
+	}
+	cols := make([]int, len(key))
+	for i := range key {
+		cols[i] = i
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id, ok := t.pk[value.EncodeRowKey(key, cols)]
+	return id, ok
+}
+
+// AddIndex builds a secondary hash index over the given column
+// ordinals.
+func (t *Table) AddIndex(name string, cols []int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.secondary[name]; dup {
+		return fmt.Errorf("table %s: index %q already exists", t.meta.Name, name)
+	}
+	idx := &hashIndex{cols: cols, entries: make(map[string][]RowID)}
+	for i, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		k := value.EncodeRowKey(row, cols)
+		idx.entries[k] = append(idx.entries[k], RowID(i))
+	}
+	t.secondary[name] = idx
+	return nil
+}
+
+// LookupEq returns the live row IDs whose single column col equals v,
+// using the primary-key index or any single-column secondary index
+// that covers col. ok=false means no usable index exists and the
+// caller must scan.
+func (t *Table) LookupEq(col int, v value.Value) (ids []RowID, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.pk != nil && len(t.meta.PrimaryKey) == 1 && t.meta.PrimaryKey[0] == col {
+		key := value.EncodeRowKey(value.Row{v}, []int{0})
+		if id, hit := t.pk[key]; hit {
+			return []RowID{id}, true
+		}
+		return nil, true
+	}
+	for _, idx := range t.secondary {
+		if len(idx.cols) != 1 || idx.cols[0] != col {
+			continue
+		}
+		key := value.EncodeRowKey(value.Row{v}, []int{0})
+		var out []RowID
+		for _, id := range idx.entries[key] {
+			if t.rows[id] != nil {
+				out = append(out, id)
+			}
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// DropIndex removes a secondary index from the table.
+func (t *Table) DropIndex(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.secondary[name]; !ok {
+		return fmt.Errorf("table %s: no index %q", t.meta.Name, name)
+	}
+	delete(t.secondary, name)
+	return nil
+}
+
+// IndexLookup returns the live row IDs whose indexed columns equal key.
+func (t *Table) IndexLookup(name string, key value.Row) ([]RowID, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.secondary[name]
+	if !ok {
+		return nil, fmt.Errorf("table %s: no index %q", t.meta.Name, name)
+	}
+	cols := make([]int, len(key))
+	for i := range key {
+		cols[i] = i
+	}
+	ids := idx.entries[value.EncodeRowKey(key, cols)]
+	out := make([]RowID, 0, len(ids))
+	for _, id := range ids {
+		if t.rows[id] != nil {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+func (ix *hashIndex) remove(row value.Row, id RowID) {
+	k := value.EncodeRowKey(row, ix.cols)
+	ids := ix.entries[k]
+	for i, x := range ids {
+		if x == id {
+			ids[i] = ids[len(ids)-1]
+			ix.entries[k] = ids[:len(ids)-1]
+			return
+		}
+	}
+}
+
+// Snapshot invokes fn for every live row under the read lock. fn must
+// not call back into mutating table methods. If fn returns false the
+// scan stops early.
+func (t *Table) Snapshot(fn func(id RowID, row value.Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for i, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		if !fn(RowID(i), row) {
+			return
+		}
+	}
+}
+
+// Rows returns a copy of the live rows in row-ID order, for tests and
+// small utilities.
+func (t *Table) Rows() []value.Row {
+	out := make([]value.Row, 0, t.Len())
+	t.Snapshot(func(_ RowID, row value.Row) bool {
+		out = append(out, row)
+		return true
+	})
+	return out
+}
+
+// Store owns the tables of one database.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{tables: make(map[string]*Table)}
+}
+
+// Create adds a table for the given schema.
+func (s *Store) Create(meta *catalog.TableMeta) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := lower(meta.Name)
+	if _, dup := s.tables[k]; dup {
+		return nil, fmt.Errorf("table %q already exists in store", meta.Name)
+	}
+	t := NewTable(meta)
+	s.tables[k] = t
+	return t, nil
+}
+
+// Table looks up a table by name.
+func (s *Store) Table(name string) (*Table, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[lower(name)]
+	return t, ok
+}
+
+// Drop removes a table and its data.
+func (s *Store) Drop(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := lower(name)
+	if _, ok := s.tables[k]; !ok {
+		return fmt.Errorf("table %q does not exist in store", name)
+	}
+	delete(s.tables, k)
+	return nil
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,293 @@
+// Package tpch provides the evaluation substrate of the paper's §V: a
+// deterministic, scale-factor-parameterized TPC-H data generator and
+// the seven-query customer workload (Q3, Q5, Q7, Q8, Q10, Q13, Q18 —
+// every TPC-H query that references the Customer table and contains no
+// self-join on it, the paper's selection rule).
+//
+// The paper ran SF 10 (10 GB, ~1.5 M customers) on a Xeon; this
+// generator defaults to laptop scale. All reported experiment
+// quantities are ratios (false-positive cardinality against offline
+// ground truth; relative overhead against an uninstrumented run), and
+// those ratios are driven by selectivities and plan shapes, which the
+// generator preserves at any scale factor.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"auditdb/internal/value"
+)
+
+// Config parameterizes generation.
+type Config struct {
+	// SF is the scale factor; SF 1 is the standard 150k-customer
+	// database. Defaults to 0.01 when zero.
+	SF float64
+	// Seed makes generation deterministic. Defaults to 19940101.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SF == 0 {
+		c.SF = 0.01
+	}
+	if c.Seed == 0 {
+		c.Seed = 19940101
+	}
+	return c
+}
+
+// Data holds the generated rows per table.
+type Data struct {
+	Config   Config
+	Region   []value.Row
+	Nation   []value.Row
+	Supplier []value.Row
+	Customer []value.Row
+	Part     []value.Row
+	PartSupp []value.Row
+	Orders   []value.Row
+	LineItem []value.Row
+}
+
+// Counts summarizes table sizes.
+func (d *Data) Counts() map[string]int {
+	return map[string]int{
+		"region": len(d.Region), "nation": len(d.Nation),
+		"supplier": len(d.Supplier), "customer": len(d.Customer),
+		"part": len(d.Part), "partsupp": len(d.PartSupp),
+		"orders": len(d.Orders), "lineitem": len(d.LineItem),
+	}
+}
+
+// Segments are the five TPC-H market segments; an audit expression on
+// one segment covers ~20% of customers, matching the paper's setup.
+var Segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
+var regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// nations maps TPC-H nation names to region ordinals.
+var nations = []struct {
+	name   string
+	region int
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+	{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+	{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+	{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+	{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+	{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+}
+
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+var shipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+var shipInstr = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+var partTypes = []string{
+	"ECONOMY ANODIZED STEEL", "STANDARD BRUSHED COPPER", "PROMO BURNISHED NICKEL",
+	"SMALL PLATED BRASS", "LARGE POLISHED TIN", "MEDIUM ANODIZED NICKEL",
+}
+var containers = []string{"SM CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PACK"}
+var commentWords = []string{
+	"carefully", "quickly", "furiously", "slyly", "blithely", "ironic",
+	"final", "special", "pending", "express", "regular", "bold",
+	"requests", "deposits", "accounts", "packages", "instructions",
+	"theodolites", "pinto", "beans", "foxes", "ideas", "platelets",
+}
+
+const (
+	epochStart = "1992-01-01"
+	orderSpan  = 2406 // days: 1992-01-01 .. 1998-08-02
+)
+
+// Generate builds a deterministic TPC-H database at the configured
+// scale factor.
+func Generate(cfg Config) *Data {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &Data{Config: cfg}
+
+	startDate, err := value.ParseDate(epochStart)
+	if err != nil {
+		panic("tpch: bad epoch constant: " + err.Error())
+	}
+	start := startDate.Int()
+
+	for i, r := range regions {
+		d.Region = append(d.Region, value.Row{
+			value.NewInt(int64(i)), value.NewString(r), comment(rng),
+		})
+	}
+	for i, n := range nations {
+		d.Nation = append(d.Nation, value.Row{
+			value.NewInt(int64(i)), value.NewString(n.name),
+			value.NewInt(int64(n.region)), comment(rng),
+		})
+	}
+
+	nSupp := max(2, int(cfg.SF*10000))
+	for i := 1; i <= nSupp; i++ {
+		d.Supplier = append(d.Supplier, value.Row{
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("Supplier#%09d", i)),
+			address(rng),
+			value.NewInt(int64(rng.Intn(len(nations)))),
+			phone(rng),
+			money(rng, -999, 9999),
+			comment(rng),
+		})
+	}
+
+	nCust := max(5, int(cfg.SF*150000))
+	for i := 1; i <= nCust; i++ {
+		d.Customer = append(d.Customer, value.Row{
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("Customer#%09d", i)),
+			address(rng),
+			value.NewInt(int64(rng.Intn(len(nations)))),
+			phone(rng),
+			money(rng, -999, 9999),
+			value.NewString(Segments[rng.Intn(len(Segments))]),
+			comment(rng),
+		})
+	}
+
+	nPart := max(4, int(cfg.SF*200000))
+	for i := 1; i <= nPart; i++ {
+		d.Part = append(d.Part, value.Row{
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("Part %s %s", commentWords[rng.Intn(len(commentWords))], commentWords[rng.Intn(len(commentWords))])),
+			value.NewString(fmt.Sprintf("Manufacturer#%d", 1+rng.Intn(5))),
+			value.NewString(fmt.Sprintf("Brand#%d%d", 1+rng.Intn(5), 1+rng.Intn(5))),
+			value.NewString(partTypes[rng.Intn(len(partTypes))]),
+			value.NewInt(int64(1 + rng.Intn(50))),
+			value.NewString(containers[rng.Intn(len(containers))]),
+			money(rng, 900, 2000),
+			comment(rng),
+		})
+		// Four suppliers per part.
+		for j := 0; j < 4; j++ {
+			sk := 1 + (i+j*(nSupp/4+1))%nSupp
+			d.PartSupp = append(d.PartSupp, value.Row{
+				value.NewInt(int64(i)),
+				value.NewInt(int64(sk)),
+				value.NewInt(int64(1 + rng.Intn(9999))),
+				money(rng, 1, 1000),
+				comment(rng),
+			})
+		}
+	}
+
+	// Orders: like dbgen, two thirds of customers have orders, ~10
+	// orders each on average.
+	nOrders := max(10, int(cfg.SF*1500000))
+	orderKey := int64(0)
+	for i := 0; i < nOrders; i++ {
+		orderKey += int64(1 + rng.Intn(3)) // sparse keys, as in TPC-H
+		custkey := int64(1 + rng.Intn(nCust))
+		if custkey%3 == 0 { // a third of customers never order
+			custkey++
+			if custkey > int64(nCust) {
+				custkey = 1
+			}
+		}
+		odate := start + int64(rng.Intn(orderSpan-151))
+		nLines := 1 + rng.Intn(7)
+		var total float64
+		status := "O"
+		allF := true
+		for l := 1; l <= nLines; l++ {
+			qty := 1 + rng.Intn(50)
+			price := float64(qty) * (900 + float64(rng.Intn(110000))/100)
+			disc := float64(rng.Intn(11)) / 100
+			tax := float64(rng.Intn(9)) / 100
+			ship := odate + int64(1+rng.Intn(121))
+			commit := odate + int64(30+rng.Intn(61))
+			receipt := ship + int64(1+rng.Intn(30))
+			rf := "N"
+			ls := "O"
+			if receipt <= start+int64(orderSpan)-180 {
+				ls = "F"
+				if rng.Intn(2) == 0 {
+					rf = "R"
+				} else {
+					rf = "A"
+				}
+			} else {
+				allF = false
+			}
+			total += price * (1 + tax) * (1 - disc)
+			d.LineItem = append(d.LineItem, value.Row{
+				value.NewInt(orderKey),
+				value.NewInt(int64(1 + rng.Intn(nPart))),
+				value.NewInt(int64(1 + rng.Intn(nSupp))),
+				value.NewInt(int64(l)),
+				value.NewInt(int64(qty)),
+				value.NewFloat(round2(price)),
+				value.NewFloat(disc),
+				value.NewFloat(tax),
+				value.NewString(rf),
+				value.NewString(ls),
+				value.NewDate(ship),
+				value.NewDate(commit),
+				value.NewDate(receipt),
+				value.NewString(shipInstr[rng.Intn(len(shipInstr))]),
+				value.NewString(shipModes[rng.Intn(len(shipModes))]),
+				comment(rng),
+			})
+		}
+		if allF {
+			status = "F"
+		} else if rng.Intn(2) == 0 {
+			status = "P"
+		}
+		d.Orders = append(d.Orders, value.Row{
+			value.NewInt(orderKey),
+			value.NewInt(custkey),
+			value.NewString(status),
+			value.NewFloat(round2(total)),
+			value.NewDate(odate),
+			value.NewString(priorities[rng.Intn(len(priorities))]),
+			value.NewString(fmt.Sprintf("Clerk#%09d", 1+rng.Intn(max(1, nCust/100)))),
+			value.NewInt(0),
+			comment(rng),
+		})
+	}
+	return d
+}
+
+func comment(rng *rand.Rand) value.Value {
+	n := 3 + rng.Intn(5)
+	out := make([]byte, 0, 64)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, commentWords[rng.Intn(len(commentWords))]...)
+	}
+	return value.NewString(string(out))
+}
+
+func address(rng *rand.Rand) value.Value {
+	return value.NewString(fmt.Sprintf("%d %s st", 1+rng.Intn(9999), commentWords[rng.Intn(len(commentWords))]))
+}
+
+func phone(rng *rand.Rand) value.Value {
+	return value.NewString(fmt.Sprintf("%02d-%03d-%03d-%04d", 10+rng.Intn(25), rng.Intn(1000), rng.Intn(1000), rng.Intn(10000)))
+}
+
+func money(rng *rand.Rand, lo, hi int) value.Value {
+	return value.NewFloat(round2(float64(lo) + rng.Float64()*float64(hi-lo)))
+}
+
+func round2(f float64) float64 {
+	return float64(int64(f*100+0.5)) / 100
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

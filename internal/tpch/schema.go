@@ -1,0 +1,133 @@
+package tpch
+
+import (
+	"fmt"
+
+	"auditdb/internal/engine"
+)
+
+// SchemaDDL is the TPC-H schema in the engine's dialect.
+const SchemaDDL = `
+CREATE TABLE region (
+	r_regionkey INT PRIMARY KEY,
+	r_name VARCHAR(25),
+	r_comment VARCHAR(152)
+);
+CREATE TABLE nation (
+	n_nationkey INT PRIMARY KEY,
+	n_name VARCHAR(25),
+	n_regionkey INT,
+	n_comment VARCHAR(152)
+);
+CREATE TABLE supplier (
+	s_suppkey INT PRIMARY KEY,
+	s_name VARCHAR(25),
+	s_address VARCHAR(40),
+	s_nationkey INT,
+	s_phone VARCHAR(15),
+	s_acctbal DECIMAL(15,2),
+	s_comment VARCHAR(101)
+);
+CREATE TABLE customer (
+	c_custkey INT PRIMARY KEY,
+	c_name VARCHAR(25),
+	c_address VARCHAR(40),
+	c_nationkey INT,
+	c_phone VARCHAR(15),
+	c_acctbal DECIMAL(15,2),
+	c_mktsegment VARCHAR(10),
+	c_comment VARCHAR(117)
+);
+CREATE TABLE part (
+	p_partkey INT PRIMARY KEY,
+	p_name VARCHAR(55),
+	p_mfgr VARCHAR(25),
+	p_brand VARCHAR(10),
+	p_type VARCHAR(25),
+	p_size INT,
+	p_container VARCHAR(10),
+	p_retailprice DECIMAL(15,2),
+	p_comment VARCHAR(23)
+);
+CREATE TABLE partsupp (
+	ps_partkey INT,
+	ps_suppkey INT,
+	ps_availqty INT,
+	ps_supplycost DECIMAL(15,2),
+	ps_comment VARCHAR(199),
+	PRIMARY KEY (ps_partkey, ps_suppkey)
+);
+CREATE TABLE orders (
+	o_orderkey INT PRIMARY KEY,
+	o_custkey INT,
+	o_orderstatus VARCHAR(1),
+	o_totalprice DECIMAL(15,2),
+	o_orderdate DATE,
+	o_orderpriority VARCHAR(15),
+	o_clerk VARCHAR(15),
+	o_shippriority INT,
+	o_comment VARCHAR(79)
+);
+CREATE TABLE lineitem (
+	l_orderkey INT,
+	l_partkey INT,
+	l_suppkey INT,
+	l_linenumber INT,
+	l_quantity INT,
+	l_extendedprice DECIMAL(15,2),
+	l_discount DECIMAL(15,2),
+	l_tax DECIMAL(15,2),
+	l_returnflag VARCHAR(1),
+	l_linestatus VARCHAR(1),
+	l_shipdate DATE,
+	l_commitdate DATE,
+	l_receiptdate DATE,
+	l_shipinstruct VARCHAR(25),
+	l_shipmode VARCHAR(10),
+	l_comment VARCHAR(44),
+	PRIMARY KEY (l_orderkey, l_linenumber)
+);
+`
+
+// Load creates the TPC-H schema in the engine and bulk-loads the data.
+func Load(e *engine.Engine, d *Data) error {
+	if _, err := e.ExecScript(SchemaDDL); err != nil {
+		return fmt.Errorf("tpch schema: %w", err)
+	}
+	if err := e.LoadRows("region", d.Region); err != nil {
+		return err
+	}
+	if err := e.LoadRows("nation", d.Nation); err != nil {
+		return err
+	}
+	if err := e.LoadRows("supplier", d.Supplier); err != nil {
+		return err
+	}
+	if err := e.LoadRows("customer", d.Customer); err != nil {
+		return err
+	}
+	if err := e.LoadRows("part", d.Part); err != nil {
+		return err
+	}
+	if err := e.LoadRows("partsupp", d.PartSupp); err != nil {
+		return err
+	}
+	if err := e.LoadRows("orders", d.Orders); err != nil {
+		return err
+	}
+	if err := e.LoadRows("lineitem", d.LineItem); err != nil {
+		return err
+	}
+	return nil
+}
+
+// NewEngine generates data at the given scale factor and returns a
+// loaded engine.
+func NewEngine(cfg Config) (*engine.Engine, *Data, error) {
+	d := Generate(cfg)
+	e := engine.New()
+	if err := Load(e, d); err != nil {
+		return nil, nil, err
+	}
+	return e, d, nil
+}

@@ -1,0 +1,151 @@
+package auditdb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPreparedQuery(t *testing.T) {
+	db := openHealth(t)
+	stmt, err := db.Prepare("SELECT Name FROM Patients WHERE Zip = ? AND Age > ? ORDER BY Name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.NumParams() != 2 {
+		t.Fatalf("params = %d", stmt.NumParams())
+	}
+	r, err := stmt.Run("48109", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0][0].Str() != "Alice" {
+		t.Errorf("rows = %v", r.Rows)
+	}
+	// Rebind with different values; same statement object.
+	r, err = stmt.Run("98052", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Errorf("rebind rows = %v", r.Rows)
+	}
+}
+
+func TestPreparedAudited(t *testing.T) {
+	db := openHealth(t)
+	stmt, err := db.Prepare("SELECT * FROM Patients WHERE Name = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := stmt.Run("Alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AccessedCount("Audit_Alice") != 1 {
+		t.Errorf("prepared query not audited: %v", r.AccessedIDs("Audit_Alice"))
+	}
+	lg, _ := db.Query("SELECT COUNT(*) FROM Log")
+	if lg.Rows[0][0].Int() != 1 {
+		t.Errorf("trigger did not fire for prepared query: %v", lg.Rows)
+	}
+	// A non-matching bind leaves no trace.
+	if _, err := stmt.Run("Bob"); err != nil {
+		t.Fatal(err)
+	}
+	lg, _ = db.Query("SELECT COUNT(*) FROM Log")
+	if lg.Rows[0][0].Int() != 1 {
+		t.Errorf("non-sensitive bind logged: %v", lg.Rows)
+	}
+}
+
+func TestPreparedDML(t *testing.T) {
+	db := openHealth(t)
+	ins, err := db.Prepare("INSERT INTO Patients VALUES (?, ?, ?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ins.Run(10, "Zoe", 28, "48109"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ins.Run(11, "Yan", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := db.Query("SELECT COUNT(*) FROM Patients")
+	if r.Rows[0][0].Int() != 7 {
+		t.Errorf("count = %v", r.Rows[0])
+	}
+	del, err := db.Prepare("DELETE FROM Patients WHERE PatientID = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := del.Run(11)
+	if err != nil || res.RowsAffected != 1 {
+		t.Errorf("delete = %+v, %v", res, err)
+	}
+}
+
+func TestPreparedErrors(t *testing.T) {
+	db := openHealth(t)
+	stmt, err := db.Prepare("SELECT * FROM Patients WHERE Age > ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stmt.Run(); err == nil {
+		t.Error("missing parameter should fail")
+	}
+	if _, err := stmt.Run(1, 2); err == nil {
+		t.Error("extra parameter should fail")
+	}
+	if _, err := stmt.Run(struct{}{}); err == nil || !strings.Contains(err.Error(), "unsupported") {
+		t.Errorf("bad type error = %v", err)
+	}
+}
+
+func TestSaveRestorePublicAPI(t *testing.T) {
+	db := openHealth(t)
+	var sb strings.Builder
+	if err := db.Save(&sb); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Restore(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := db2.Query("SELECT * FROM Patients WHERE Name = 'Alice'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AccessedCount("Audit_Alice") != 1 {
+		t.Error("restored database lost audit configuration")
+	}
+}
+
+func TestPublicTransaction(t *testing.T) {
+	db := openHealth(t)
+	tx := db.Begin()
+	if _, err := tx.Exec("INSERT INTO Patients VALUES (10, 'Zoe', 30, '48109')"); err != nil {
+		t.Fatal(err)
+	}
+	// Audited SELECT inside the transaction still records accesses.
+	r, err := tx.Query("SELECT * FROM Patients WHERE Name = 'Alice'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AccessedCount("Audit_Alice") != 1 {
+		t.Error("in-transaction query not audited")
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	// The audit log entry SURVIVES the rollback: SELECT-trigger
+	// actions run as their own system transactions (paper §II), so a
+	// reader cannot erase the trail of what it read by rolling back.
+	lg, _ := db.Query("SELECT COUNT(*) FROM Log")
+	if lg.Rows[0][0].Int() != 1 {
+		t.Errorf("audit trail should survive rollback: %v", lg.Rows[0])
+	}
+	cnt, _ := db.Query("SELECT COUNT(*) FROM Patients WHERE Name <> 'Alice'")
+	if cnt.Rows[0][0].Int() != 4 {
+		t.Errorf("rollback failed: %v", cnt.Rows[0])
+	}
+}
