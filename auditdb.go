@@ -94,7 +94,10 @@ func (r *Result) AuditedExpressions() []string {
 	return r.accessed.Expressions()
 }
 
-// DB is one in-memory database with SELECT-trigger auditing.
+// DB is one in-memory database with SELECT-trigger auditing. A DB is a
+// thin wrapper over the engine's default session; for concurrent
+// multi-user access open one Session per user (or run the auditdbd
+// network server, which does so per connection).
 type DB struct {
 	eng *engine.Engine
 }
@@ -103,6 +106,76 @@ type DB struct {
 func Open() *DB {
 	return &DB{eng: engine.New()}
 }
+
+// Session is one user's execution context over a shared database:
+// per-session USERID() identity, audit-all flag, placement heuristic,
+// and SQL-level transaction. Sessions are safe to use concurrently
+// with each other (a single Session is not goroutine-safe, like
+// database/sql.Conn); trigger actions fired by a session's queries
+// attribute the access to that session's user.
+type Session struct {
+	s *engine.Session
+}
+
+// NewSession opens an independent session seeded from the database's
+// current settings.
+func (db *DB) NewSession() *Session { return &Session{s: db.eng.NewSession()} }
+
+// Exec parses and executes one SQL statement under this session.
+func (s *Session) Exec(sql string) (*Result, error) {
+	r, err := s.s.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(r), nil
+}
+
+// ExecScript executes a semicolon-separated script under this session.
+func (s *Session) ExecScript(sql string) (*Result, error) {
+	r, err := s.s.ExecScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(r), nil
+}
+
+// Query executes an audited SELECT under this session.
+func (s *Session) Query(sql string) (*Result, error) {
+	r, err := s.s.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(r), nil
+}
+
+// SetUser sets the identity reported by userid() for this session.
+func (s *Session) SetUser(u string) { s.s.SetUser(u) }
+
+// User returns the session's current identity.
+func (s *Session) User() string { return s.s.User() }
+
+// SetAuditAll toggles audit-all instrumentation for this session only.
+func (s *Session) SetAuditAll(on bool) { s.s.SetAuditAll(on) }
+
+// SetPlacement selects this session's audit-operator placement
+// heuristic.
+func (s *Session) SetPlacement(p Placement) { s.s.SetHeuristic(p) }
+
+// Prepare parses a ?-parameterized statement bound to this session.
+func (s *Session) Prepare(sql string) (*Stmt, error) {
+	p, err := s.s.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{p: p}, nil
+}
+
+// Begin opens a transaction attributed to this session, blocking until
+// other writers finish.
+func (s *Session) Begin() *Tx { return &Tx{t: s.s.Begin()} }
+
+// Close ends the session, rolling back any open SQL-level transaction.
+func (s *Session) Close() error { return s.s.Close() }
 
 // Exec parses and executes one SQL statement (DDL, DML, query, or
 // auditing DDL).

@@ -27,21 +27,6 @@ import (
 	"auditdb"
 )
 
-const demo = `
-CREATE TABLE Patients (PatientID INT PRIMARY KEY, Name VARCHAR(30), Age INT, Zip VARCHAR(10));
-CREATE TABLE Disease (PatientID INT, Disease VARCHAR(30));
-CREATE TABLE Log (At VARCHAR(30), UserID VARCHAR(30), SQL VARCHAR(500), PatientID INT);
-INSERT INTO Patients VALUES
-	(1, 'Alice', 34, '48109'), (2, 'Bob', 21, '48109'),
-	(3, 'Carol', 47, '98052'), (4, 'Dave', 29, '98052'), (5, 'Erin', 62, '10001');
-INSERT INTO Disease VALUES (1, 'cancer'), (2, 'flu'), (3, 'flu'), (4, 'diabetes'), (5, 'cancer');
-CREATE AUDIT EXPRESSION Audit_Alice AS
-	SELECT * FROM Patients WHERE Name = 'Alice'
-	FOR SENSITIVE TABLE Patients, PARTITION BY PatientID;
-CREATE TRIGGER Log_Alice ON ACCESS TO Audit_Alice AS
-	INSERT INTO Log SELECT now(), userid(), sqltext(), PatientID FROM ACCESSED;
-`
-
 func main() {
 	db := auditdb.Open()
 	db.OnNotify(func(m string) { fmt.Printf("*** NOTIFY: %s\n", m) })
@@ -123,7 +108,7 @@ func directive(db *auditdb.DB, line string) (quit bool) {
 		}
 		fmt.Println("loaded", fields[1])
 	case "\\demo":
-		if _, err := db.ExecScript(demo); err != nil {
+		if _, err := db.ExecScript(auditdb.HealthcareDemo); err != nil {
 			fmt.Println("error:", err)
 			return false
 		}

@@ -1,0 +1,90 @@
+// Command auditdbd serves an audited database over TCP. Each
+// connection is an independent session: the user it sets with the
+// protocol's "set user" op is the identity SELECT triggers record for
+// that connection's queries, so concurrent users are attributed
+// correctly — the paper's multi-user auditing setting.
+//
+// The protocol is line-delimited JSON (see internal/wire); the Go
+// client lives in internal/client. Example:
+//
+//	auditdbd -addr 127.0.0.1:5433 -demo
+//	printf '%s\n' \
+//	    '{"op":"set","key":"user","value":"dr_mallory"}' \
+//	    '{"op":"query","sql":"SELECT * FROM Patients WHERE Name = '\''Alice'\''"}' \
+//	    '{"op":"query","sql":"SELECT * FROM Log"}' | nc 127.0.0.1 5433
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight statements
+// finish and their responses are delivered before connections close.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"auditdb"
+	"auditdb/internal/engine"
+	"auditdb/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:5433", "TCP listen address")
+		maxConns     = flag.Int("max-conns", 256, "maximum concurrent connections (0 = unlimited)")
+		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-statement execution limit (0 = none)")
+		idleTimeout  = flag.Duration("idle-timeout", 10*time.Minute, "close connections idle this long (0 = none)")
+		gracePeriod  = flag.Duration("grace", 15*time.Second, "shutdown drain deadline")
+		demo         = flag.Bool("demo", false, "preload the paper's healthcare example")
+		initScript   = flag.String("init", "", "SQL script to execute before serving")
+	)
+	flag.Parse()
+
+	eng := engine.New()
+	if *demo {
+		if _, err := eng.ExecScript(auditdb.HealthcareDemo); err != nil {
+			log.Fatalf("auditdbd: loading demo: %v", err)
+		}
+		log.Printf("loaded healthcare demo (audit expression Audit_Alice, trigger Log_Alice)")
+	}
+	if *initScript != "" {
+		script, err := os.ReadFile(*initScript)
+		if err != nil {
+			log.Fatalf("auditdbd: %v", err)
+		}
+		if _, err := eng.ExecScript(string(script)); err != nil {
+			log.Fatalf("auditdbd: init script %s: %v", *initScript, err)
+		}
+		log.Printf("executed init script %s", *initScript)
+	}
+
+	srv := server.New(eng, server.Config{
+		Addr:         *addr,
+		MaxConns:     *maxConns,
+		QueryTimeout: *queryTimeout,
+		IdleTimeout:  *idleTimeout,
+	})
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("auditdbd listening on %s (max-conns=%d, query-timeout=%s)", srv.Addr(), *maxConns, *queryTimeout)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigCh
+	log.Printf("received %s; draining connections (deadline %s)", sig, *gracePeriod)
+	ctx, cancel := context.WithTimeout(context.Background(), *gracePeriod)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+		os.Exit(1)
+	}
+	for k, v := range srv.Stats() {
+		fmt.Printf("  %-22s %d\n", k, v)
+	}
+	log.Printf("auditdbd stopped cleanly")
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"auditdb/internal/client"
+)
+
+// TestSmoke builds and runs the real daemon with the healthcare demo
+// preloaded on a random port, drives it through the Go client, asserts
+// the Alice access is trigger-logged under the right user, then checks
+// SIGTERM shuts it down cleanly.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test builds the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "auditdbd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building auditdbd: %v", err)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-demo", "-grace", "5s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon logs "auditdbd listening on 127.0.0.1:PORT".
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				fields := strings.Fields(line[i+len("listening on "):])
+				addrCh <- fields[0]
+				break
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not report a listen address")
+	}
+
+	c, err := client.Dial(addr, client.WithRetry(10, 50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetUser("dr_mallory"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query("SELECT Name, Age FROM Patients WHERE Name = 'Alice'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].(string) != "Alice" {
+		t.Fatalf("demo query returned %v", res.Rows)
+	}
+	if res.Audited["Audit_Alice"] != 1 {
+		t.Fatalf("Alice access not audited: %v", res.Audited)
+	}
+
+	logRes, err := c.Query("SELECT UserID, PatientID FROM Log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logRes.Rows) != 1 {
+		t.Fatalf("Log rows = %d, want 1", len(logRes.Rows))
+	}
+	if u := logRes.Rows[0][0].(string); u != "dr_mallory" {
+		t.Fatalf("Alice access logged as %q, want dr_mallory", u)
+	}
+	if id := logRes.Rows[0][1].(int64); id != 1 {
+		t.Fatalf("logged PatientID = %d, want 1", id)
+	}
+
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["triggers_fired"] < 1 || stats["sessions"] < 1 {
+		t.Fatalf("unexpected stats: %v", stats)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

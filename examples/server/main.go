@@ -1,0 +1,91 @@
+// Example server: the paper's §II hospital as a served, multi-user
+// system. It starts auditdbd's server in-process on a random port,
+// connects three clinicians concurrently, and shows every access to
+// Alice's record attributed to the connection that made it — then a
+// graceful shutdown draining in-flight work.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"auditdb"
+	"auditdb/internal/client"
+	"auditdb/internal/engine"
+	"auditdb/internal/server"
+)
+
+func main() {
+	eng := engine.New()
+	if _, err := eng.ExecScript(auditdb.HealthcareDemo); err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(eng, server.Config{
+		Addr:         "127.0.0.1:0",
+		MaxConns:     32,
+		QueryTimeout: 5 * time.Second,
+	})
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	addr := srv.Addr().String()
+	fmt.Printf("auditdbd serving the healthcare demo on %s\n\n", addr)
+
+	queries := map[string]string{
+		"dr_mallory": "SELECT * FROM Patients WHERE Name = 'Alice'",
+		"dr_chen":    "SELECT p.Name, d.Disease FROM Patients p, Disease d WHERE p.PatientID = d.PatientID AND p.Zip = '48109'",
+		"dr_osei":    "SELECT * FROM Patients WHERE Age > 60", // misses Alice
+	}
+	var wg sync.WaitGroup
+	for user, sql := range queries {
+		wg.Add(1)
+		go func(user, sql string) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer c.Close()
+			if err := c.SetUser(user); err != nil {
+				log.Fatal(err)
+			}
+			res, err := c.Query(sql)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10s ran %-60q -> %d rows, audited=%v\n", user, sql, len(res.Rows), res.Audited)
+		}(user, sql)
+	}
+	wg.Wait()
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\naudit trail (who touched Alice's record):")
+	res, err := c.Query("SELECT UserID, SQL FROM Log")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("  %-10s %q\n", row[0], row[1])
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstats: sessions=%d queries=%d triggers_fired=%d rows_audited=%d conns_total=%d\n",
+		stats["sessions"], stats["queries"], stats["triggers_fired"],
+		stats["rows_audited"], stats["server_conns_total"])
+	c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server drained and stopped")
+}

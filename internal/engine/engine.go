@@ -37,17 +37,18 @@ type Engine struct {
 	// dmlMu serializes writers; readers run against storage snapshots.
 	dmlMu sync.Mutex
 
-	mu        sync.RWMutex
-	heuristic core.Heuristic
-	auditAll  bool
-	user      string
-	notify    func(msg string)
-	onAccess  func(ev AccessEvent)
-	triggers  map[string]*compiledTrigger
-	views     map[string]*ast.Select
-	// sessionTxn is the SQL-level open transaction (BEGIN/COMMIT/
-	// ROLLBACK through Exec); programmatic Txns do not use it.
-	sessionTxn *Txn
+	mu       sync.RWMutex
+	notify   func(msg string)
+	onAccess func(ev AccessEvent)
+	triggers map[string]*compiledTrigger
+	views    map[string]*ast.Select
+
+	// defSess is the built-in session Engine.Exec/Query run under; its
+	// per-session state (user, audit-all, placement heuristic, open SQL
+	// transaction) used to be engine-global fields, which made USERID()
+	// attribution wrong under concurrent users. NewSession creates
+	// independent peers seeded from it.
+	defSess *Session
 
 	stats Stats
 }
@@ -59,6 +60,9 @@ type Stats struct {
 	TriggersFired atomic.Int64
 	Notifications atomic.Int64
 	RowsAudited   atomic.Int64
+	// Sessions counts sessions ever created (the default session
+	// included).
+	Sessions atomic.Int64
 }
 
 type compiledTrigger struct {
@@ -83,15 +87,15 @@ type Result struct {
 func New() *Engine {
 	cat := catalog.New()
 	store := storage.NewStore()
-	return &Engine{
-		cat:       cat,
-		store:     store,
-		reg:       core.NewRegistry(cat, store),
-		heuristic: core.HighestCommutativeNode,
-		user:      "system",
-		triggers:  make(map[string]*compiledTrigger),
-		views:     make(map[string]*ast.Select),
+	e := &Engine{
+		cat:      cat,
+		store:    store,
+		reg:      core.NewRegistry(cat, store),
+		triggers: make(map[string]*compiledTrigger),
+		views:    make(map[string]*ast.Select),
 	}
+	e.defSess = newSession(e, "system", false, core.HighestCommutativeNode)
+	return e
 }
 
 // Catalog exposes the schema registry.
@@ -111,38 +115,27 @@ func (e *Engine) StatsSnapshot() map[string]int64 {
 		"triggers_fired": e.stats.TriggersFired.Load(),
 		"notifications":  e.stats.Notifications.Load(),
 		"rows_audited":   e.stats.RowsAudited.Load(),
+		"sessions":       e.stats.Sessions.Load(),
 	}
 }
 
-// SetUser sets the session user reported by USERID().
-func (e *Engine) SetUser(u string) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.user = u
-}
+// SetUser sets the default session's user reported by USERID().
+// Per-connection identity belongs on Session; this remains for the
+// embeddable single-session API.
+func (e *Engine) SetUser(u string) { e.defSess.SetUser(u) }
 
-// SetHeuristic selects the audit-operator placement algorithm.
-func (e *Engine) SetHeuristic(h core.Heuristic) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.heuristic = h
-}
+// SetHeuristic selects the default session's audit-operator placement
+// algorithm. New sessions inherit it.
+func (e *Engine) SetHeuristic(h core.Heuristic) { e.defSess.SetHeuristic(h) }
 
-// Heuristic returns the active placement algorithm.
-func (e *Engine) Heuristic() core.Heuristic {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.heuristic
-}
+// Heuristic returns the default session's placement algorithm.
+func (e *Engine) Heuristic() core.Heuristic { return e.defSess.Heuristic() }
 
-// SetAuditAll makes every SELECT instrumented for every compiled audit
-// expression even without ON ACCESS triggers; benchmarks and the
-// offline-auditor pipeline use this.
-func (e *Engine) SetAuditAll(on bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.auditAll = on
-}
+// SetAuditAll makes every SELECT on the default session instrumented
+// for every compiled audit expression even without ON ACCESS triggers;
+// benchmarks and the offline-auditor pipeline use this. New sessions
+// inherit it.
+func (e *Engine) SetAuditAll(on bool) { e.defSess.SetAuditAll(on) }
 
 // OnNotify installs the callback invoked by NOTIFY actions (the
 // paper's SEND EMAIL stand-in).
@@ -175,41 +168,16 @@ func (e *Engine) OnAccess(fn func(ev AccessEvent)) {
 	e.onAccess = fn
 }
 
-// Exec parses and executes a single statement.
-func (e *Engine) Exec(sql string) (*Result, error) {
-	stmt, err := parser.Parse(sql)
-	if err != nil {
-		return nil, err
-	}
-	return e.execStmt(stmt, sql, rootActionEnv())
-}
+// Exec parses and executes a single statement under the default
+// session.
+func (e *Engine) Exec(sql string) (*Result, error) { return e.defSess.Exec(sql) }
 
-// ExecScript executes a semicolon-separated script, returning the last
-// statement's result.
-func (e *Engine) ExecScript(sql string) (*Result, error) {
-	stmts, err := parser.ParseScript(sql)
-	if err != nil {
-		return nil, err
-	}
-	var last *Result
-	for _, s := range stmts {
-		r, err := e.execStmt(s, sql, rootActionEnv())
-		if err != nil {
-			return nil, err
-		}
-		last = r
-	}
-	return last, nil
-}
+// ExecScript executes a semicolon-separated script under the default
+// session, returning the last statement's result.
+func (e *Engine) ExecScript(sql string) (*Result, error) { return e.defSess.ExecScript(sql) }
 
-// Query parses and executes a SELECT.
-func (e *Engine) Query(sql string) (*Result, error) {
-	sel, err := parser.ParseQuery(sql)
-	if err != nil {
-		return nil, err
-	}
-	return e.runSelect(sel, sql, rootActionEnv())
-}
+// Query parses and executes a SELECT under the default session.
+func (e *Engine) Query(sql string) (*Result, error) { return e.defSess.Query(sql) }
 
 // actionEnv carries trigger-body execution state: the NEW/OLD outer
 // row, the ACCESSED relation, and the cascade depth.
@@ -220,6 +188,10 @@ type actionEnv struct {
 	extraRows   map[string][]value.Row
 	params      []value.Value
 	txn         *Txn
+	// sess is the session the statement executes under; trigger actions
+	// inherit it so USERID()/sqltext() resolve to the user whose query
+	// fired them. nil means the engine's default session.
+	sess *Session
 	// lockHeld marks statements running while an enclosing transaction
 	// already holds the writer lock but outside its undo scope (SELECT
 	// trigger actions — the paper's system transactions).
@@ -232,14 +204,16 @@ func rootActionEnv() *actionEnv { return &actionEnv{} }
 func (a *actionEnv) child() *actionEnv {
 	// Classic trigger actions join the enclosing transaction's undo
 	// scope; SELECT-trigger actions clear txn via systemChild.
-	return &actionEnv{depth: a.depth + 1, txn: a.txn, lockHeld: a.lockHeld}
+	return &actionEnv{depth: a.depth + 1, txn: a.txn, sess: a.sess, lockHeld: a.lockHeld}
 }
 
 // systemChild derives the environment for a SELECT trigger's action:
 // it runs as its own system transaction (§II of the paper), so a
 // rollback of the reading transaction cannot erase the audit trail.
+// The firing session carries over — the logged USERID() must be the
+// reader's, not whoever touched the engine last.
 func (a *actionEnv) systemChild() *actionEnv {
-	return &actionEnv{depth: a.depth + 1, lockHeld: a.lockHeld || a.txn != nil}
+	return &actionEnv{depth: a.depth + 1, sess: a.sess, lockHeld: a.lockHeld || a.txn != nil}
 }
 
 func (e *Engine) execStmt(stmt ast.Stmt, sql string, env *actionEnv) (*Result, error) {
@@ -251,12 +225,10 @@ func (e *Engine) execStmt(stmt ast.Stmt, sql string, env *actionEnv) (*Result, e
 	case *ast.TxBegin, *ast.TxCommit, *ast.TxRollback:
 		return e.runTxControl(stmt, env)
 	}
-	// Statements issued through Exec while a SQL-level transaction is
-	// open run inside it.
+	// Statements issued through Exec while the session's SQL-level
+	// transaction is open run inside it.
 	if env.txn == nil && env.depth == 0 {
-		e.mu.RLock()
-		env.txn = e.sessionTxn
-		e.mu.RUnlock()
+		env.txn = e.sessionOf(env).openTxn()
 	}
 	switch s := stmt.(type) {
 	case *ast.Select:
@@ -286,7 +258,7 @@ func (e *Engine) execStmt(stmt ast.Stmt, sql string, env *actionEnv) (*Result, e
 	case *ast.Notify:
 		return e.runNotify(s, env)
 	case *ast.Explain:
-		return e.runExplain(s)
+		return e.runExplain(s, env)
 	case *ast.CreateView:
 		return e.runCreateView(s)
 	case *ast.DropView:
@@ -318,16 +290,10 @@ func (e *Engine) planEnv(env *actionEnv) *plan.Env {
 
 func (e *Engine) execCtx(env *actionEnv, sql string) *exec.Ctx {
 	ctx := exec.NewCtx(e.store)
-	ctx.Eval.Session = plan.SessionInfo{User: e.currentUser(), SQL: sql, Now: time.Now()}
+	ctx.Eval.Session = plan.SessionInfo{User: e.sessionOf(env).User(), SQL: sql, Now: time.Now()}
 	ctx.Eval.Params = env.params
 	ctx.Extra = env.extraRows
 	return ctx
-}
-
-func (e *Engine) currentUser() string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.user
 }
 
 // BuildQueryPlan parses, plans, optimizes and (optionally) instruments
@@ -347,19 +313,16 @@ func (e *Engine) BuildQueryPlan(sql string, instrument bool) (plan.Node, *core.A
 		return n, nil, nil
 	}
 	acc := core.NewAccessed()
-	for _, ae := range e.auditTargets() {
+	for _, ae := range e.auditTargets(e.defSess.AuditAll()) {
 		n = core.Instrument(n, ae, &core.Probe{Expr: ae, Acc: acc}, e.Heuristic())
 	}
 	return n, acc, nil
 }
 
 // auditTargets returns the audit expressions whose accesses must be
-// tracked: all of them in audit-all mode, otherwise those with at
-// least one ON ACCESS trigger.
-func (e *Engine) auditTargets() []*core.AuditExpression {
-	e.mu.RLock()
-	auditAll := e.auditAll
-	e.mu.RUnlock()
+// tracked: all of them when the session is in audit-all mode,
+// otherwise those with at least one ON ACCESS trigger.
+func (e *Engine) auditTargets(auditAll bool) []*core.AuditExpression {
 	var out []*core.AuditExpression
 	for _, ae := range e.reg.All() {
 		if auditAll || len(e.cat.TriggersFor(catalog.TriggerOnAccess, ae.Meta.Name)) > 0 {
@@ -371,6 +334,7 @@ func (e *Engine) auditTargets() []*core.AuditExpression {
 
 func (e *Engine) runSelect(sel *ast.Select, sql string, env *actionEnv) (*Result, error) {
 	e.stats.Queries.Add(1)
+	sess := e.sessionOf(env)
 	var (
 		n          plan.Node
 		correlated bool
@@ -388,12 +352,13 @@ func (e *Engine) runSelect(sel *ast.Select, sql string, env *actionEnv) (*Result
 
 	// Instrument with audit operators — after logical optimization,
 	// exactly where the paper's prototype inserts them (§IV-B).
-	targets := e.auditTargets()
+	targets := e.auditTargets(sess.AuditAll())
 	var acc *core.Accessed
 	if len(targets) > 0 {
 		acc = core.NewAccessed()
+		heur := sess.Heuristic()
 		for _, ae := range targets {
-			n = core.Instrument(n, ae, &core.Probe{Expr: ae, Acc: acc}, e.Heuristic())
+			n = core.Instrument(n, ae, &core.Probe{Expr: ae, Acc: acc}, heur)
 		}
 	}
 
@@ -428,7 +393,7 @@ func (e *Engine) runSelect(sel *ast.Select, sql string, env *actionEnv) (*Result
 			if onAccess != nil {
 				onAccess(AccessEvent{
 					Expression: ae.Meta.Name,
-					User:       e.currentUser(),
+					User:       sess.User(),
 					SQL:        sql,
 					IDs:        acc.IDs(ae.Meta.Name),
 				})
@@ -496,14 +461,15 @@ func (e *Engine) runNotify(s *ast.Notify, env *actionEnv) (*Result, error) {
 // runExplain handles the EXPLAIN statement: it plans (and, when
 // auditing is active, instruments) the query without executing it and
 // returns the plan tree one line per row.
-func (e *Engine) runExplain(s *ast.Explain) (*Result, error) {
-	n, err := plan.Build(e.planEnv(rootActionEnv()), s.Query)
+func (e *Engine) runExplain(s *ast.Explain, env *actionEnv) (*Result, error) {
+	n, err := plan.Build(e.planEnv(env), s.Query)
 	if err != nil {
 		return nil, err
 	}
 	n = opt.Optimize(n)
-	for _, ae := range e.auditTargets() {
-		n = core.Instrument(n, ae, &core.Probe{Expr: ae, Acc: core.NewAccessed()}, e.Heuristic())
+	sess := e.sessionOf(env)
+	for _, ae := range e.auditTargets(sess.AuditAll()) {
+		n = core.Instrument(n, ae, &core.Probe{Expr: ae, Acc: core.NewAccessed()}, sess.Heuristic())
 	}
 	res := &Result{Columns: []string{"plan"}}
 	for _, line := range strings.Split(strings.TrimRight(plan.Explain(n), "\n"), "\n") {

@@ -13,14 +13,19 @@ import (
 // (parsing happens once; planning reflects the catalog at run time,
 // which keeps audit instrumentation current).
 type Prepared struct {
-	eng    *Engine
+	sess   *Session
 	stmt   ast.Stmt
 	sql    string
 	params int
 }
 
-// Prepare parses a single statement containing ? placeholders.
+// Prepare parses a single statement containing ? placeholders, bound
+// to the default session. Use Session.Prepare for per-user statements.
 func (e *Engine) Prepare(sql string) (*Prepared, error) {
+	return prepare(e.defSess, sql)
+}
+
+func prepare(sess *Session, sql string) (*Prepared, error) {
 	stmt, err := parser.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -29,7 +34,7 @@ func (e *Engine) Prepare(sql string) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{eng: e, stmt: stmt, sql: sql, params: n}, nil
+	return &Prepared{sess: sess, stmt: stmt, sql: sql, params: n}, nil
 }
 
 // NumParams reports how many ? placeholders the statement declares.
@@ -41,7 +46,10 @@ func (p *Prepared) Run(params ...value.Value) (*Result, error) {
 	if len(params) != p.params {
 		return nil, fmt.Errorf("statement expects %d parameters, got %d", p.params, len(params))
 	}
-	env := rootActionEnv()
+	if err := p.sess.checkOpen(); err != nil {
+		return nil, err
+	}
+	env := p.sess.rootEnv()
 	env.params = params
-	return p.eng.execStmt(p.stmt, p.sql, env)
+	return p.sess.e.execStmt(p.stmt, p.sql, env)
 }

@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"fmt"
+
+	"auditdb/internal/core"
+	"auditdb/internal/parser"
+)
+
+// Session is one user's execution context against a shared Engine: it
+// carries the identity reported by USERID(), the audit-all flag, the
+// audit-operator placement heuristic, and the session's open SQL-level
+// transaction. Concurrent sessions over one engine are independent —
+// trigger actions fired by a session's queries resolve USERID() and
+// sqltext() from that session, never from another one (the paper's §II
+// multi-user attribution requirement).
+//
+// A Session is cheap; servers create one per connection. Like
+// database/sql.Conn, a single Session must not be used from multiple
+// goroutines at once — different Sessions are safe concurrently.
+type Session struct {
+	e *Engine
+
+	mu        chan struct{} // 1-token semaphore guarding the fields below
+	user      string
+	auditAll  bool
+	heuristic core.Heuristic
+	txn       *Txn // open SQL-level BEGIN ... COMMIT/ROLLBACK transaction
+	closed    bool
+}
+
+func newSession(e *Engine, user string, auditAll bool, h core.Heuristic) *Session {
+	s := &Session{e: e, mu: make(chan struct{}, 1), user: user, auditAll: auditAll, heuristic: h}
+	e.stats.Sessions.Add(1)
+	return s
+}
+
+// NewSession creates an independent session seeded from the engine's
+// current default-session settings (user, audit-all, placement).
+func (e *Engine) NewSession() *Session {
+	d := e.defSess
+	d.lock()
+	user, auditAll, h := d.user, d.auditAll, d.heuristic
+	d.unlock()
+	return newSession(e, user, auditAll, h)
+}
+
+// DefaultSession returns the engine's built-in session, the one
+// Engine.Exec/Query and the embeddable auditdb.DB API run under.
+func (e *Engine) DefaultSession() *Session { return e.defSess }
+
+func (s *Session) lock()   { s.mu <- struct{}{} }
+func (s *Session) unlock() { <-s.mu }
+
+// Engine returns the engine this session executes against.
+func (s *Session) Engine() *Engine { return s.e }
+
+// SetUser sets the identity reported by USERID() for this session.
+func (s *Session) SetUser(u string) {
+	s.lock()
+	s.user = u
+	s.unlock()
+}
+
+// User returns the session's current identity.
+func (s *Session) User() string {
+	s.lock()
+	defer s.unlock()
+	return s.user
+}
+
+// SetAuditAll makes every SELECT this session runs instrumented for
+// every compiled audit expression, even those without ON ACCESS
+// triggers.
+func (s *Session) SetAuditAll(on bool) {
+	s.lock()
+	s.auditAll = on
+	s.unlock()
+}
+
+// AuditAll reports whether audit-all mode is on for this session.
+func (s *Session) AuditAll() bool {
+	s.lock()
+	defer s.unlock()
+	return s.auditAll
+}
+
+// SetHeuristic selects the audit-operator placement algorithm for this
+// session's queries.
+func (s *Session) SetHeuristic(h core.Heuristic) {
+	s.lock()
+	s.heuristic = h
+	s.unlock()
+}
+
+// Heuristic returns the session's active placement algorithm.
+func (s *Session) Heuristic() core.Heuristic {
+	s.lock()
+	defer s.unlock()
+	return s.heuristic
+}
+
+// rootEnv builds the top-level action environment for a statement this
+// session issues.
+func (s *Session) rootEnv() *actionEnv { return &actionEnv{sess: s} }
+
+func (s *Session) checkOpen() error {
+	s.lock()
+	defer s.unlock()
+	if s.closed {
+		return fmt.Errorf("session is closed")
+	}
+	return nil
+}
+
+// openTxn returns the session's open SQL-level transaction, if any.
+func (s *Session) openTxn() *Txn {
+	s.lock()
+	defer s.unlock()
+	return s.txn
+}
+
+// Exec parses and executes a single statement under this session.
+func (s *Session) Exec(sql string) (*Result, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.e.execStmt(stmt, sql, s.rootEnv())
+}
+
+// ExecScript executes a semicolon-separated script under this session,
+// returning the last statement's result.
+func (s *Session) ExecScript(sql string) (*Result, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	stmts, err := parser.ParseScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, st := range stmts {
+		r, err := s.e.execStmt(st, sql, s.rootEnv())
+		if err != nil {
+			return nil, err
+		}
+		last = r
+	}
+	return last, nil
+}
+
+// Query parses and executes a SELECT under this session.
+func (s *Session) Query(sql string) (*Result, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	sel, err := parser.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.e.runSelect(sel, sql, s.rootEnv())
+}
+
+// Prepare parses a statement with ? placeholders for repeated
+// execution under this session.
+func (s *Session) Prepare(sql string) (*Prepared, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	return prepare(s, sql)
+}
+
+// Begin opens a programmatic transaction attributed to this session,
+// blocking until other writers finish.
+func (s *Session) Begin() *Txn {
+	s.e.dmlMu.Lock()
+	return &Txn{e: s.e, sess: s}
+}
+
+// Close ends the session. An open SQL-level transaction is rolled
+// back (releasing the engine's writer lock — vital when a network
+// connection drops mid-transaction). Further statements fail.
+func (s *Session) Close() error {
+	s.lock()
+	if s.closed {
+		s.unlock()
+		return nil
+	}
+	s.closed = true
+	txn := s.txn
+	s.txn = nil
+	s.unlock()
+	if txn != nil {
+		return txn.Rollback()
+	}
+	return nil
+}
+
+// sessionOf resolves the session an action environment executes under;
+// environments created outside any explicit session (engine-internal
+// re-planning, restore paths) run under the default session.
+func (e *Engine) sessionOf(env *actionEnv) *Session {
+	if env != nil && env.sess != nil {
+		return env.sess
+	}
+	return e.defSess
+}

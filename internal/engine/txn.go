@@ -14,16 +14,20 @@ import (
 // transaction applied, including changes made by triggers it fired,
 // and re-materializes the audit-expression ID sets.
 type Txn struct {
-	e    *Engine
+	e *Engine
+	// sess attributes the transaction's statements (USERID() in trigger
+	// actions); nil means the default session.
+	sess *Session
 	undo []change
 	done bool
 }
 
-// Begin opens a transaction, blocking until any other writer or
-// transaction finishes. Every Txn must end in Commit or Rollback.
+// Begin opens a transaction under the default session, blocking until
+// any other writer or transaction finishes. Every Txn must end in
+// Commit or Rollback. Use Session.Begin for per-user attribution.
 func (e *Engine) Begin() *Txn {
 	e.dmlMu.Lock()
-	return &Txn{e: e}
+	return &Txn{e: e, sess: e.defSess}
 }
 
 // Exec runs one statement inside the transaction.
@@ -41,6 +45,7 @@ func (t *Txn) Exec(sql string) (*Result, error) {
 	}
 	env := rootActionEnv()
 	env.txn = t
+	env.sess = t.sess
 	return t.e.execStmt(stmt, sql, env)
 }
 
@@ -78,39 +83,55 @@ func (t *Txn) record(applied []change) {
 	t.undo = append(t.undo, applied...)
 }
 
-// sessionTxn supports SQL-level BEGIN/COMMIT/ROLLBACK through
-// Exec/ExecScript. SQL transactions are per-engine (one at a time);
-// use Begin() for programmatic control from multiple goroutines.
+// runTxControl supports SQL-level BEGIN/COMMIT/ROLLBACK through
+// Exec/ExecScript. SQL transactions are per-session (one open at a
+// time per session); a COMMIT or ROLLBACK on a session that holds no
+// transaction fails cleanly and never touches another session's
+// transaction, so interleaved transaction control from concurrent
+// connections cannot corrupt state.
 func (e *Engine) runTxControl(stmt ast.Stmt, env *actionEnv) (*Result, error) {
 	if env.depth > 0 {
 		return nil, fmt.Errorf("transaction control is not allowed inside trigger actions")
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	s := e.sessionOf(env)
 	switch stmt.(type) {
 	case *ast.TxBegin:
-		if e.sessionTxn != nil {
+		s.lock()
+		if s.txn != nil {
+			s.unlock()
 			return nil, fmt.Errorf("a transaction is already open")
 		}
-		e.mu.Unlock()
-		txn := e.Begin()
-		e.mu.Lock()
-		e.sessionTxn = txn
+		s.unlock()
+		// Begin blocks on the writer lock; take it outside the session
+		// lock so Close (e.g. a dropped connection) stays responsive.
+		txn := s.Begin()
+		s.lock()
+		if s.closed {
+			s.unlock()
+			txn.Rollback()
+			return nil, fmt.Errorf("session is closed")
+		}
+		s.txn = txn
+		s.unlock()
 		return &Result{}, nil
 	case *ast.TxCommit:
-		if e.sessionTxn == nil {
+		s.lock()
+		txn := s.txn
+		s.txn = nil
+		s.unlock()
+		if txn == nil {
 			return nil, fmt.Errorf("no open transaction")
 		}
-		err := e.sessionTxn.Commit()
-		e.sessionTxn = nil
-		return &Result{}, err
+		return &Result{}, txn.Commit()
 	case *ast.TxRollback:
-		if e.sessionTxn == nil {
+		s.lock()
+		txn := s.txn
+		s.txn = nil
+		s.unlock()
+		if txn == nil {
 			return nil, fmt.Errorf("no open transaction")
 		}
-		err := e.sessionTxn.Rollback()
-		e.sessionTxn = nil
-		return &Result{}, err
+		return &Result{}, txn.Rollback()
 	}
 	return nil, fmt.Errorf("not a transaction-control statement")
 }

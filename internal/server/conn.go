@@ -1,0 +1,254 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"auditdb/internal/core"
+	"auditdb/internal/engine"
+	"auditdb/internal/value"
+	"auditdb/internal/wire"
+)
+
+// conn is one served connection: a session, its prepared statements,
+// and the line codec.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	r   *bufio.Reader
+	w   *bufio.Writer
+
+	sess     *engine.Session
+	stmts    map[int]*engine.Prepared
+	nextStmt int
+
+	// inflight counts statements handed to a worker goroutine under a
+	// query timeout; session cleanup waits for them so a rollback never
+	// races a still-running statement.
+	inflight sync.WaitGroup
+	// dead marks the connection for closing after the current response
+	// (query timeout, quit).
+	dead bool
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{
+		srv:   s,
+		nc:    nc,
+		r:     bufio.NewReaderSize(nc, 64<<10),
+		w:     bufio.NewWriter(nc),
+		sess:  s.eng.NewSession(),
+		stmts: make(map[int]*engine.Prepared),
+	}
+}
+
+// refuse sends a one-line error to a connection that will not be
+// served (connection limit) and closes it.
+func refuse(nc net.Conn, msg string) {
+	b, _ := json.Marshal(&wire.Response{Error: msg})
+	nc.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	nc.Write(append(b, '\n'))
+	nc.Close()
+}
+
+func (c *conn) serve() {
+	defer c.srv.connWG.Done()
+	defer func() {
+		c.srv.removeConn(c)
+		c.nc.Close()
+		// The session owns the engine-side state (notably any open
+		// transaction holding the writer lock). Close it only after
+		// every in-flight statement finished, asynchronously so a
+		// runaway statement cannot wedge the server's drain.
+		go func() {
+			c.inflight.Wait()
+			c.sess.Close()
+		}()
+	}()
+
+	for {
+		if c.srv.draining.Load() || c.dead {
+			return
+		}
+		if c.srv.cfg.IdleTimeout > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.IdleTimeout))
+		}
+		line, err := c.r.ReadBytes('\n')
+		if err != nil {
+			// EOF, idle timeout, or the shutdown nudge.
+			return
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var req wire.Request
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.UseNumber()
+		var resp *wire.Response
+		if err := dec.Decode(&req); err != nil {
+			resp = errResp("bad request: %v", err)
+		} else {
+			resp = c.dispatch(&req)
+		}
+		if err := c.write(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (c *conn) write(resp *wire.Response) error {
+	b, err := json.Marshal(resp)
+	if err != nil {
+		b, _ = json.Marshal(errResp("encoding response: %v", err))
+	}
+	c.nc.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	if _, err := c.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func errResp(format string, args ...any) *wire.Response {
+	return &wire.Response{Error: fmt.Sprintf(format, args...)}
+}
+
+func (c *conn) dispatch(req *wire.Request) *wire.Response {
+	switch req.Op {
+	case wire.OpPing:
+		return &wire.Response{OK: true}
+	case wire.OpQuit:
+		c.dead = true
+		return &wire.Response{OK: true}
+	case wire.OpStats:
+		return &wire.Response{OK: true, Stats: c.srv.Stats()}
+	case wire.OpSet:
+		return c.set(req.Key, req.Value)
+	case wire.OpExec:
+		return c.guard(func() *wire.Response {
+			r, err := c.sess.ExecScript(req.SQL)
+			return resultResp(r, err)
+		})
+	case wire.OpQuery:
+		return c.guard(func() *wire.Response {
+			r, err := c.sess.Query(req.SQL)
+			return resultResp(r, err)
+		})
+	case wire.OpPrepare:
+		p, err := c.sess.Prepare(req.SQL)
+		if err != nil {
+			return errResp("%v", err)
+		}
+		c.nextStmt++
+		c.stmts[c.nextStmt] = p
+		return &wire.Response{OK: true, Stmt: c.nextStmt, NumParams: p.NumParams()}
+	case wire.OpRun:
+		p, ok := c.stmts[req.Stmt]
+		if !ok {
+			return errResp("unknown prepared statement %d", req.Stmt)
+		}
+		params := make([]value.Value, len(req.Params))
+		for i, raw := range req.Params {
+			v, err := wire.ParamToValue(raw)
+			if err != nil {
+				return errResp("parameter %d: %v", i+1, err)
+			}
+			params[i] = v
+		}
+		return c.guard(func() *wire.Response {
+			r, err := p.Run(params...)
+			return resultResp(r, err)
+		})
+	case wire.OpCloseStmt:
+		delete(c.stmts, req.Stmt)
+		return &wire.Response{OK: true}
+	default:
+		return errResp("unknown op %q", req.Op)
+	}
+}
+
+func (c *conn) set(key, val string) *wire.Response {
+	switch key {
+	case wire.KeyUser:
+		if val == "" {
+			return errResp("set user: empty name")
+		}
+		c.sess.SetUser(val)
+	case wire.KeyAuditAll:
+		switch val {
+		case "on", "true":
+			c.sess.SetAuditAll(true)
+		case "off", "false":
+			c.sess.SetAuditAll(false)
+		default:
+			return errResp("set audit_all: want on|off, got %q", val)
+		}
+	case wire.KeyPlacement:
+		switch strings.ToLower(val) {
+		case "leaf":
+			c.sess.SetHeuristic(core.LeafNode)
+		case "hcn":
+			c.sess.SetHeuristic(core.HighestCommutativeNode)
+		case "highest":
+			c.sess.SetHeuristic(core.HighestNode)
+		default:
+			return errResp("set placement: want leaf|hcn|highest, got %q", val)
+		}
+	default:
+		return errResp("unknown setting %q", key)
+	}
+	return &wire.Response{OK: true}
+}
+
+// guard runs a statement under the configured query timeout. On
+// timeout the connection is marked dead (closed after the error
+// response); the statement keeps running in its goroutine and the
+// session is closed only once it finishes.
+func (c *conn) guard(f func() *wire.Response) *wire.Response {
+	if c.srv.cfg.QueryTimeout <= 0 {
+		return f()
+	}
+	done := make(chan *wire.Response, 1)
+	c.inflight.Add(1)
+	go func() {
+		defer c.inflight.Done()
+		done <- f()
+	}()
+	timer := time.NewTimer(c.srv.cfg.QueryTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		return r
+	case <-timer.C:
+		c.dead = true
+		c.srv.queryTimeouts.Add(1)
+		return errResp("statement exceeded query timeout %s; closing connection", c.srv.cfg.QueryTimeout)
+	}
+}
+
+func resultResp(r *engine.Result, err error) *wire.Response {
+	if err != nil {
+		return errResp("%v", err)
+	}
+	resp := &wire.Response{
+		OK:           true,
+		Columns:      r.Columns,
+		Rows:         wire.RowsToWire(r.Rows),
+		RowsAffected: r.RowsAffected,
+	}
+	if r.Accessed != nil {
+		audited := make(map[string]int)
+		for _, name := range r.Accessed.Expressions() {
+			audited[name] = r.Accessed.Len(name)
+		}
+		if len(audited) > 0 {
+			resp.Audited = audited
+		}
+	}
+	return resp
+}

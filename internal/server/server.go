@@ -1,0 +1,160 @@
+// Package server runs an audited engine as a concurrent network
+// daemon. Each accepted connection gets its own goroutine and its own
+// engine.Session, so USERID() in SELECT-trigger actions attributes
+// every access to the connection that made it — the paper's §II
+// multi-user setting, which an in-process engine with one global user
+// cannot provide. The protocol is line-delimited JSON (package wire).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"auditdb/internal/engine"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:5433". ":0" picks
+	// a free port (see Server.Addr).
+	Addr string
+	// MaxConns caps concurrently served connections; 0 means unlimited.
+	// Excess connections are refused with an error response.
+	MaxConns int
+	// QueryTimeout bounds each statement's execution; 0 disables it. A
+	// connection whose statement times out receives an error response
+	// and is closed (its session is cleaned up once the runaway
+	// statement finishes).
+	QueryTimeout time.Duration
+	// IdleTimeout closes connections with no request for this long; 0
+	// disables it.
+	IdleTimeout time.Duration
+}
+
+// Server serves one engine over TCP.
+type Server struct {
+	eng *engine.Engine
+	cfg Config
+
+	ln       net.Listener
+	mu       sync.Mutex
+	conns    map[*conn]struct{}
+	connWG   sync.WaitGroup
+	draining atomic.Bool
+
+	connsTotal    atomic.Int64
+	connsRejected atomic.Int64
+	queryTimeouts atomic.Int64
+}
+
+// New wraps an engine in an unstarted server.
+func New(eng *engine.Engine, cfg Config) *Server {
+	return &Server{eng: eng, cfg: cfg, conns: make(map[*conn]struct{})}
+}
+
+// Engine returns the served engine (daemon setup scripts use it).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Start listens on cfg.Addr and begins accepting connections in a
+// background goroutine. It returns once the listener is bound, so
+// Addr() is immediately valid.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("auditdbd: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr is the bound listen address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+func (s *Server) acceptLoop() {
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			// Listener closed (shutdown) or fatal accept error.
+			return
+		}
+		if s.draining.Load() {
+			nc.Close()
+			continue
+		}
+		if s.cfg.MaxConns > 0 && s.activeConns() >= s.cfg.MaxConns {
+			s.connsRejected.Add(1)
+			refuse(nc, fmt.Sprintf("connection limit reached (%d)", s.cfg.MaxConns))
+			continue
+		}
+		s.connsTotal.Add(1)
+		c := newConn(s, nc)
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go c.serve()
+	}
+}
+
+func (s *Server) activeConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Stats merges the engine's counters with the server's own.
+func (s *Server) Stats() map[string]int64 {
+	m := s.eng.StatsSnapshot()
+	m["server_conns_active"] = int64(s.activeConns())
+	m["server_conns_total"] = s.connsTotal.Load()
+	m["server_conns_rejected"] = s.connsRejected.Load()
+	m["server_query_timeouts"] = s.queryTimeouts.Load()
+	return m
+}
+
+// Shutdown stops accepting connections and drains gracefully: every
+// in-flight statement runs to completion and its response is written
+// before the connection closes. If ctx expires first, remaining
+// connections are closed forcibly and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return errors.New("auditdbd: already shut down")
+	}
+	s.ln.Close()
+	// Unblock connections idle in a read; busy ones notice draining
+	// after writing their current response.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.nc.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,117 @@
+// Package wire defines auditdbd's line protocol: one JSON object per
+// newline-terminated line in each direction. A request names an op
+// ("exec", "query", "prepare", "run", "set", "stats", "ping", "quit")
+// and its arguments; the response carries rows, DML counts, per-audit-
+// expression access counts, or an error. Scalars travel as JSON
+// natives (null, bool, number, string; dates as "YYYY-MM-DD" strings),
+// so any language with a JSON library can speak the protocol.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"auditdb/internal/value"
+)
+
+// Request ops.
+const (
+	OpExec      = "exec"       // SQL: a statement or semicolon-separated script
+	OpQuery     = "query"      // SQL: a single SELECT
+	OpPrepare   = "prepare"    // SQL with ? placeholders -> Stmt handle
+	OpRun       = "run"        // Stmt + Params: execute a prepared statement
+	OpCloseStmt = "close_stmt" // Stmt: drop a prepared statement
+	OpSet       = "set"        // Key in {user, audit_all, placement}, Value
+	OpStats     = "stats"      // engine + server counters
+	OpPing      = "ping"
+	OpQuit      = "quit"
+)
+
+// Set keys.
+const (
+	KeyUser      = "user"
+	KeyAuditAll  = "audit_all"
+	KeyPlacement = "placement"
+)
+
+// Request is one client line.
+type Request struct {
+	Op     string `json:"op"`
+	SQL    string `json:"sql,omitempty"`
+	Key    string `json:"key,omitempty"`
+	Value  string `json:"value,omitempty"`
+	Stmt   int    `json:"stmt,omitempty"`
+	Params []any  `json:"params,omitempty"`
+}
+
+// Response is one server line.
+type Response struct {
+	OK           bool     `json:"ok"`
+	Error        string   `json:"error,omitempty"`
+	Columns      []string `json:"columns,omitempty"`
+	Rows         [][]any  `json:"rows,omitempty"`
+	RowsAffected int      `json:"rows_affected,omitempty"`
+	// Audited maps audit-expression name to the number of sensitive
+	// partition keys the statement accessed.
+	Audited   map[string]int   `json:"audited,omitempty"`
+	Stats     map[string]int64 `json:"stats,omitempty"`
+	Stmt      int              `json:"stmt,omitempty"`
+	NumParams int              `json:"num_params,omitempty"`
+}
+
+// ToWire converts an engine scalar to its JSON representation.
+func ToWire(v value.Value) any {
+	switch v.Kind {
+	case value.KindNull:
+		return nil
+	case value.KindBool:
+		return v.Bool()
+	case value.KindInt:
+		return v.Int()
+	case value.KindFloat:
+		return v.Float()
+	case value.KindString:
+		return v.Str()
+	default: // dates and anything else render as their SQL text form
+		return v.String()
+	}
+}
+
+// RowsToWire converts a result set.
+func RowsToWire(rows []value.Row) [][]any {
+	out := make([][]any, len(rows))
+	for i, r := range rows {
+		w := make([]any, len(r))
+		for j, v := range r {
+			w[j] = ToWire(v)
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// ParamToValue converts a decoded JSON parameter (the decoder must use
+// json.Number) to an engine scalar.
+func ParamToValue(p any) (value.Value, error) {
+	switch x := p.(type) {
+	case nil:
+		return value.Null, nil
+	case bool:
+		return value.NewBool(x), nil
+	case string:
+		return value.NewString(x), nil
+	case json.Number:
+		if i, err := x.Int64(); err == nil {
+			return value.NewInt(i), nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return value.Null, fmt.Errorf("bad numeric parameter %q", x.String())
+		}
+		return value.NewFloat(f), nil
+	case float64: // decoder without UseNumber
+		return value.NewFloat(x), nil
+	default:
+		return value.Null, fmt.Errorf("unsupported parameter type %T", p)
+	}
+}
