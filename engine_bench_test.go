@@ -116,6 +116,35 @@ func BenchmarkGroupByAggregate(b *testing.B) {
 	}
 }
 
+// BenchmarkFullScanFilter measures the scan+pushed-filter hot path on
+// its own: no index is usable for grp, so every row flows through the
+// fused scan kernel (the COUNT(*) keeps the result set from dominating
+// the measurement with materialization).
+func BenchmarkFullScanFilter(b *testing.B) {
+	db := benchDB(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := db.Query("SELECT COUNT(*) FROM kv WHERE grp < 50")
+		if err != nil || r.Rows[0][0].Int() != 5000 {
+			b.Fatalf("scan: %v", err)
+		}
+	}
+}
+
+// BenchmarkFullScanFilterAudited is the same scan with an audit
+// expression compiled and audit-all on, so every surviving row is also
+// probed by the audit operator (Fig-7-style full-table sweep).
+func BenchmarkFullScanFilterAudited(b *testing.B) {
+	db := benchDB(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := db.Query("SELECT COUNT(*) FROM kv WHERE grp < 50")
+		if err != nil || r.Rows[0][0].Int() != 5000 {
+			b.Fatalf("scan: %v", err)
+		}
+	}
+}
+
 func BenchmarkHashJoin(b *testing.B) {
 	db := Open()
 	if _, err := db.ExecScript(`

@@ -8,6 +8,37 @@ import (
 	"auditdb/internal/value"
 )
 
+// idRecord is the per-expression set of recorded IDs. Integer IDs — the
+// overwhelmingly common partition-by key kind — live in a map keyed by
+// the raw int64, so recording one costs a single map insert and zero
+// allocations (no encoded-key string); every other kind falls back to a
+// string-keyed map.
+type idRecord struct {
+	ints  map[int64]struct{}
+	other map[string]value.Value
+}
+
+func (r *idRecord) add(id value.Value) {
+	if id.Kind == value.KindInt {
+		if r.ints == nil {
+			r.ints = make(map[int64]struct{})
+		}
+		r.ints[id.I] = struct{}{}
+		return
+	}
+	if r.other == nil {
+		r.other = make(map[string]value.Value)
+	}
+	r.other[value.KeyOf(id)] = id
+}
+
+func (r *idRecord) size() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.ints) + len(r.other)
+}
+
 // Accessed is a query's ACCESSED internal state (§II of the paper): the
 // per-query, in-memory relation of partition-by IDs recorded by the
 // audit operators in its plan. When a plan carries several audit
@@ -15,7 +46,7 @@ import (
 // state holds the union per expression.
 type Accessed struct {
 	mu     sync.Mutex
-	byExpr map[string]map[string]value.Value
+	byExpr map[string]*idRecord
 	// observed counts every row an audit operator inspected,
 	// independent of matches; used by the overhead benchmarks.
 	observed atomic.Int64
@@ -23,7 +54,16 @@ type Accessed struct {
 
 // NewAccessed returns empty ACCESSED state for one query execution.
 func NewAccessed() *Accessed {
-	return &Accessed{byExpr: make(map[string]map[string]value.Value)}
+	return &Accessed{byExpr: make(map[string]*idRecord)}
+}
+
+func (a *Accessed) record(expr string) *idRecord {
+	rec, ok := a.byExpr[expr]
+	if !ok {
+		rec = &idRecord{}
+		a.byExpr[expr] = rec
+	}
+	return rec
 }
 
 // Record notes that id (a sensitive ID of the named expression) was
@@ -31,22 +71,44 @@ func NewAccessed() *Accessed {
 func (a *Accessed) Record(expr string, id value.Value) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	set, ok := a.byExpr[expr]
-	if !ok {
-		set = make(map[string]value.Value)
-		a.byExpr[expr] = set
-	}
-	set[value.KeyOf(id)] = id
+	a.record(expr).add(id)
 }
+
+// RecordBatch notes a batch of sensitive IDs under one lock
+// acquisition. It is equivalent to calling Record for each element
+// (the set semantics absorb duplicates); the batched executor uses it
+// so the per-row cost of the ACCESSED mutex disappears from the probe
+// hot path.
+func (a *Accessed) RecordBatch(expr string, ids []value.Value) {
+	if len(ids) == 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rec := a.record(expr)
+	for _, id := range ids {
+		rec.add(id)
+	}
+}
+
+// AddObserved bulk-increments the observed-row counter (one atomic add
+// per batch on the vectorized path).
+func (a *Accessed) AddObserved(n int64) { a.observed.Add(n) }
 
 // IDs returns the audited IDs for one expression, sorted for
 // deterministic consumption by trigger actions and tests.
 func (a *Accessed) IDs(expr string) []value.Value {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	set := a.byExpr[expr]
-	out := make([]value.Value, 0, len(set))
-	for _, v := range set {
+	rec := a.byExpr[expr]
+	if rec == nil {
+		return nil
+	}
+	out := make([]value.Value, 0, rec.size())
+	for i := range rec.ints {
+		out = append(out, value.NewInt(i))
+	}
+	for _, v := range rec.other {
 		out = append(out, v)
 	}
 	sort.Slice(out, func(i, j int) bool { return value.Compare(out[i], out[j]) < 0 })
@@ -57,7 +119,7 @@ func (a *Accessed) IDs(expr string) []value.Value {
 func (a *Accessed) Len(expr string) int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return len(a.byExpr[expr])
+	return a.byExpr[expr].size()
 }
 
 // Expressions returns the names of expressions with at least one
@@ -66,8 +128,8 @@ func (a *Accessed) Expressions() []string {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	out := make([]string, 0, len(a.byExpr))
-	for name, set := range a.byExpr {
-		if len(set) > 0 {
+	for name, rec := range a.byExpr {
+		if rec.size() > 0 {
 			out = append(out, name)
 		}
 	}
@@ -84,27 +146,56 @@ func (a *Accessed) Observed() int64 { return a.observed.Load() }
 // side is the audit expression's ID view" (§IV-A.2).
 //
 // A Probe belongs to one query execution. Query execution is
-// single-threaded, so the probe keeps an unsynchronized first-seen
-// cache: each sensitive ID pays the Record cost (lock + map insert)
-// once, and every further occurrence in the stream is a cheap local
-// lookup.
+// single-threaded, so the row-at-a-time path keeps an unsynchronized
+// first-seen cache: each sensitive ID pays the Record cost (lock + map
+// insert) once, and every further occurrence in the stream is a cheap
+// local lookup. The batch path skips the cache — RecordBatch already
+// dedups in the integer record map at the same per-element cost, so a
+// probe-side cache would only double the map work.
 type Probe struct {
 	Expr *AuditExpression
 	Acc  *Accessed
 
 	seenInts map[int64]struct{}
 	seenKeys map[string]struct{}
+	// fresh accumulates a batch's matches so ObserveBatch records them
+	// with one RecordBatch call; reused across batches.
+	fresh []value.Value
 }
 
 // Observe implements plan.AuditSink.
 func (p *Probe) Observe(v value.Value) {
 	p.Acc.observed.Add(1)
+	if p.match(v) {
+		p.Acc.Record(p.Expr.Meta.Name, v)
+	}
+}
+
+// ObserveBatch implements plan.BatchAuditSink: one atomic add for the
+// observed counter, the lock-free membership probe per value, and at
+// most one ACCESSED lock acquisition per batch.
+func (p *Probe) ObserveBatch(vs []value.Value) {
+	p.Acc.observed.Add(int64(len(vs)))
+	p.fresh = p.fresh[:0]
+	for _, v := range vs {
+		if p.Expr.Contains(v) {
+			p.fresh = append(p.fresh, v)
+		}
+	}
+	if len(p.fresh) > 0 {
+		p.Acc.RecordBatch(p.Expr.Meta.Name, p.fresh)
+	}
+}
+
+// match performs the sensitive-ID membership probe and the first-seen
+// dedup, returning true when v must be recorded into ACCESSED.
+func (p *Probe) match(v value.Value) bool {
 	if !p.Expr.Contains(v) {
-		return
+		return false
 	}
 	if v.Kind == value.KindInt {
 		if _, dup := p.seenInts[v.I]; dup {
-			return
+			return false
 		}
 		if p.seenInts == nil {
 			p.seenInts = make(map[int64]struct{})
@@ -113,12 +204,12 @@ func (p *Probe) Observe(v value.Value) {
 	} else {
 		k := value.KeyOf(v)
 		if _, dup := p.seenKeys[k]; dup {
-			return
+			return false
 		}
 		if p.seenKeys == nil {
 			p.seenKeys = make(map[string]struct{})
 		}
 		p.seenKeys[k] = struct{}{}
 	}
-	p.Acc.Record(p.Expr.Meta.Name, v)
+	return true
 }

@@ -399,7 +399,9 @@ func (e *Engine) LoadRows(table string, rows []value.Row) error {
 // versus plain plans without re-planning.
 func (e *Engine) RunPlan(n plan.Node, sql string) ([]value.Row, error) {
 	ctx := e.execCtx(rootActionEnv(), sql)
-	return exec.Run(n, ctx)
+	rows, err := exec.Run(n, ctx)
+	e.stats.RowsScanned.Add(ctx.Stats.RowsScanned)
+	return rows, err
 }
 
 // DrainPlan executes a prepared plan but discards rows instead of
@@ -408,7 +410,9 @@ func (e *Engine) RunPlan(n plan.Node, sql string) ([]value.Row, error) {
 // sides anyway) does not drown the audit operator's cost in GC noise.
 func (e *Engine) DrainPlan(n plan.Node, sql string) (int, error) {
 	ctx := e.execCtx(rootActionEnv(), sql)
-	return exec.Drain(n, ctx)
+	count, err := exec.Drain(n, ctx)
+	e.stats.RowsScanned.Add(ctx.Stats.RowsScanned)
+	return count, err
 }
 
 // OptimizePlan exposes the optimizer for harness code building custom

@@ -60,6 +60,10 @@ type Stats struct {
 	TriggersFired atomic.Int64
 	Notifications atomic.Int64
 	RowsAudited   atomic.Int64
+	// RowsScanned counts heap/index rows the scan kernels read from
+	// storage across all queries — the observable that streaming scans
+	// with LIMIT do bounded work instead of materializing tables.
+	RowsScanned atomic.Int64
 	// Sessions counts sessions ever created (the default session
 	// included).
 	Sessions atomic.Int64
@@ -115,6 +119,7 @@ func (e *Engine) StatsSnapshot() map[string]int64 {
 		"triggers_fired": e.stats.TriggersFired.Load(),
 		"notifications":  e.stats.Notifications.Load(),
 		"rows_audited":   e.stats.RowsAudited.Load(),
+		"rows_scanned":   e.stats.RowsScanned.Load(),
 		"sessions":       e.stats.Sessions.Load(),
 	}
 }
@@ -367,6 +372,7 @@ func (e *Engine) runSelect(sel *ast.Select, sql string, env *actionEnv) (*Result
 		ctx.Eval.PushOuter(env.outerRow)
 	}
 	rows, err := exec.Run(n, ctx)
+	e.stats.RowsScanned.Add(ctx.Stats.RowsScanned)
 	if err != nil {
 		return nil, err
 	}

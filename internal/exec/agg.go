@@ -38,43 +38,56 @@ func openAggregate(a *plan.Aggregate, ctx *Ctx) (Iterator, error) {
 
 	groups := make(map[string]*aggGroup)
 	var order []string // deterministic output order: first appearance
+	// A global aggregate (no GROUP BY) has exactly one group, always
+	// emitted (even over empty input); skip key encoding and the
+	// per-row map lookup entirely.
+	var global *aggGroup
+	if len(a.GroupBy) == 0 {
+		global = &aggGroup{states: make([]aggState, len(a.Aggs))}
+		groups[""] = global
+		order = append(order, "")
+	}
+	var in *Batch
+	keyVals := make(value.Row, len(a.GroupBy)) // per-row scratch
+	var keyBuf []byte                          // reusable key scratch
 	for {
-		row, ok, err := child.Next()
+		in = grown(in)
+		bn, err := nextBatch(child, in)
 		if err != nil {
 			return nil, err
 		}
-		if !ok {
+		if bn == 0 {
 			break
 		}
-		keys := make(value.Row, len(a.GroupBy))
-		buf := make([]byte, 0, 16*len(a.GroupBy))
-		for i, g := range a.GroupBy {
-			v, err := g.Eval(ctx.Eval, row)
-			if err != nil {
-				return nil, err
+		for _, row := range in.Rows {
+			grp := global
+			if grp == nil {
+				keyBuf = keyBuf[:0]
+				for i, g := range a.GroupBy {
+					v, err := g.Eval(ctx.Eval, row)
+					if err != nil {
+						return nil, err
+					}
+					keyVals[i] = v
+					keyBuf = value.EncodeKey(keyBuf, v)
+				}
+				// The string(keyBuf) lookup does not allocate; the key
+				// string and group-by row only materialize per new group.
+				var ok bool
+				grp, ok = groups[string(keyBuf)]
+				if !ok {
+					k := string(keyBuf)
+					grp = &aggGroup{keys: keyVals.Clone(), states: make([]aggState, len(a.Aggs))}
+					groups[k] = grp
+					order = append(order, k)
+				}
 			}
-			keys[i] = v
-			buf = value.EncodeKey(buf, v)
-		}
-		k := string(buf)
-		grp, ok := groups[k]
-		if !ok {
-			grp = &aggGroup{keys: keys, states: make([]aggState, len(a.Aggs))}
-			groups[k] = grp
-			order = append(order, k)
-		}
-		for i, spec := range a.Aggs {
-			if err := fold(&grp.states[i], spec, ctx, row); err != nil {
-				return nil, err
+			for i, spec := range a.Aggs {
+				if err := fold(&grp.states[i], spec, ctx, row); err != nil {
+					return nil, err
+				}
 			}
 		}
-	}
-
-	// A global aggregate (no GROUP BY) over empty input yields one row.
-	if len(groups) == 0 && len(a.GroupBy) == 0 {
-		grp := &aggGroup{states: make([]aggState, len(a.Aggs))}
-		groups[""] = grp
-		order = append(order, "")
 	}
 
 	rows := make([]value.Row, 0, len(groups))
@@ -176,23 +189,30 @@ func openSort(s *plan.Sort, ctx *Ctx) (Iterator, error) {
 		keys value.Row
 	}
 	var rows []keyed
+	var in *Batch
+	kw := len(s.Keys)
 	for {
-		row, ok, err := child.Next()
+		in = grown(in)
+		bn, err := nextBatch(child, in)
 		if err != nil {
 			return nil, err
 		}
-		if !ok {
+		if bn == 0 {
 			break
 		}
-		keys := make(value.Row, len(s.Keys))
-		for i, k := range s.Keys {
-			v, err := k.Expr.Eval(ctx.Eval, row)
-			if err != nil {
-				return nil, err
+		// One backing array of sort keys per input batch.
+		backing := make([]value.Value, bn*kw)
+		for ri, row := range in.Rows {
+			keys := value.Row(backing[ri*kw : (ri+1)*kw : (ri+1)*kw])
+			for i, k := range s.Keys {
+				v, err := k.Expr.Eval(ctx.Eval, row)
+				if err != nil {
+					return nil, err
+				}
+				keys[i] = v
 			}
-			keys[i] = v
+			rows = append(rows, keyed{row: row, keys: keys})
 		}
-		rows = append(rows, keyed{row: row, keys: keys})
 	}
 	sort.SliceStable(rows, func(i, j int) bool {
 		for k, key := range s.Keys {

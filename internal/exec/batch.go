@@ -1,0 +1,133 @@
+package exec
+
+import (
+	"auditdb/internal/value"
+)
+
+// BatchSize is the maximum number of rows moved per NextBatch call.
+// Large enough to amortize per-batch costs (virtual dispatch, audit
+// probe synchronization, chunked storage locking), small enough that a
+// pipeline's working set stays in cache.
+const BatchSize = 1024
+
+// batchSeed is the initial batch capacity. Consumers start small so a
+// point query never pays for kilobytes of zeroed buffers, and grow
+// toward BatchSize only while batches keep coming back full.
+const batchSeed = 8
+
+// Batch is a reusable row buffer passed down an iterator tree. The
+// consumer allocates it once (NewBatch) and hands it to NextBatch
+// repeatedly; producers fill the backing buffer and set Rows to the
+// valid prefix. cap of the backing buffer is the consumer's request
+// ceiling — operators like Limit shrink it (via view) to bound how
+// many rows flow, which keeps audit-probe observation aligned with
+// what a row-at-a-time engine would have pulled.
+type Batch struct {
+	// Rows is the valid output of the last NextBatch call: a prefix of
+	// the backing buffer. The slice (not the rows, which are immutable)
+	// is invalidated by the next NextBatch call on the same Batch.
+	Rows []value.Row
+
+	buf []value.Row
+}
+
+// NewBatch allocates a batch with room for n rows.
+func NewBatch(n int) *Batch { return &Batch{buf: make([]value.Row, n)} }
+
+// limit returns the maximum number of rows a producer may emit.
+func (b *Batch) limit() int { return len(b.buf) }
+
+// setRows publishes the first n buffered rows as the batch's output.
+func (b *Batch) setRows(n int) { b.Rows = b.buf[:n] }
+
+// view returns a sub-batch sharing b's first n buffer slots, used by
+// Limit to shrink the request ceiling for its child.
+func (b *Batch) view(n int) Batch {
+	if n > len(b.buf) {
+		n = len(b.buf)
+	}
+	return Batch{buf: b.buf[:n]}
+}
+
+// grown implements adaptive batch sizing for batch-owning loops: pass
+// nil to get a seed-sized batch, and pass the batch back before each
+// refill — if the previous call filled it to capacity, a larger
+// replacement (×4, capped at BatchSize) is returned. Small results
+// never pay for kilobytes of zeroed buffers; long streams quickly
+// reach full-width batches.
+func grown(b *Batch) *Batch {
+	if b == nil {
+		return NewBatch(batchSeed)
+	}
+	if n := len(b.buf); len(b.Rows) == n && n < BatchSize {
+		n *= 4
+		if n > BatchSize {
+			n = BatchSize
+		}
+		return NewBatch(n)
+	}
+	return b
+}
+
+// batchSource is the vectorized fast path: operators that implement it
+// next to Iterator move rows a batch at a time. NextBatch returns the
+// number of rows produced; 0 with a nil error means the source is
+// exhausted (and must keep returning 0 if called again).
+type batchSource interface {
+	NextBatch(b *Batch) (int, error)
+}
+
+// BatchIterator is an iterator with the vectorized fast path.
+type BatchIterator interface {
+	Iterator
+	batchSource
+}
+
+// nextBatch fills b from it, taking the vectorized path when the
+// iterator supports it and falling back to draining Next otherwise, so
+// a pipeline stays batched across operators that were never converted.
+func nextBatch(it Iterator, b *Batch) (int, error) {
+	if bi, ok := it.(batchSource); ok {
+		return bi.NextBatch(b)
+	}
+	n := 0
+	for n < len(b.buf) {
+		row, ok, err := it.Next()
+		if err != nil {
+			b.setRows(n)
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		b.buf[n] = row
+		n++
+	}
+	b.setRows(n)
+	return n, nil
+}
+
+// batchAdapter implements the row-at-a-time Next on top of an
+// operator's batch production, so every batch-native operator still
+// satisfies the row Iterator interface for untouched consumers.
+type batchAdapter struct {
+	b   *Batch
+	pos int
+}
+
+func (a *batchAdapter) nextRow(src batchSource) (value.Row, bool, error) {
+	for a.b == nil || a.pos >= len(a.b.Rows) {
+		a.b = grown(a.b)
+		n, err := src.NextBatch(a.b)
+		if err != nil {
+			return nil, false, err
+		}
+		if n == 0 {
+			return nil, false, nil
+		}
+		a.pos = 0
+	}
+	row := a.b.Rows[a.pos]
+	a.pos++
+	return row, true, nil
+}

@@ -15,24 +15,36 @@ func openJoin(j *plan.Join, ctx *Ctx) (Iterator, error) {
 		left.Close()
 		return nil, err
 	}
+	leftWidth := len(j.Left.Schema())
 	rightWidth := len(j.Right.Schema())
 	if len(j.LeftKeys) > 0 {
-		return newHashJoin(j, left, right, rightWidth, ctx)
+		return newHashJoin(j, left, right, leftWidth, rightWidth, ctx)
 	}
 	return newNLJoin(j, left, right, rightWidth, ctx)
 }
 
 // ---- Hash join ----
 
+// joinBucket holds the build rows for one key. The indirection lets
+// the probe side append to a bucket found by a string(buf) lookup
+// without re-materializing the key string (map assignment, unlike map
+// lookup, cannot elide the []byte→string conversion).
+type joinBucket struct {
+	rows []value.Row
+}
+
 // hashJoinIter builds a hash table over the right input keyed by the
 // equi-join keys and probes it with left rows, applying the residual
 // predicate to each candidate pair. Left-outer rows with no surviving
-// match are null-extended.
+// match are null-extended. Both sides move through reusable key
+// scratch buffers, and the vectorized path emits pairs into one
+// backing array per output batch instead of one allocation per row.
 type hashJoinIter struct {
 	j          *plan.Join
 	left       Iterator
 	ctx        *Ctx
-	table      map[string][]value.Row
+	table      map[string]*joinBucket
+	leftWidth  int
 	rightWidth int
 
 	cur     value.Row // current left row
@@ -40,78 +52,132 @@ type hashJoinIter struct {
 	mi      int
 	matched bool
 	done    bool
+
+	keyBuf  []byte
+	leftIn  *Batch
+	leftPos int
+	adapter batchAdapter
 }
 
-func newHashJoin(j *plan.Join, left, right Iterator, rightWidth int, ctx *Ctx) (Iterator, error) {
+func newHashJoin(j *plan.Join, left, right Iterator, leftWidth, rightWidth int, ctx *Ctx) (Iterator, error) {
 	defer right.Close()
-	table := make(map[string][]value.Row)
+	table := make(map[string]*joinBucket)
+	var in *Batch
+	var keyBuf []byte
 	for {
-		row, ok, err := right.Next()
+		in = grown(in)
+		n, err := nextBatch(right, in)
 		if err != nil {
 			left.Close()
 			return nil, err
 		}
-		if !ok {
+		if n == 0 {
 			break
 		}
-		key, null, err := joinKey(j.RightKeys, ctx, row)
-		if err != nil {
-			left.Close()
-			return nil, err
+		for _, row := range in.Rows {
+			var null bool
+			keyBuf, null, err = appendJoinKey(keyBuf[:0], j.RightKeys, ctx, row)
+			if err != nil {
+				left.Close()
+				return nil, err
+			}
+			if null {
+				continue // NULL keys never join
+			}
+			if bkt, ok := table[string(keyBuf)]; ok {
+				bkt.rows = append(bkt.rows, row)
+			} else {
+				table[string(keyBuf)] = &joinBucket{rows: []value.Row{row}}
+			}
 		}
-		if null {
-			continue // NULL keys never join
-		}
-		table[key] = append(table[key], row)
 	}
-	return &hashJoinIter{j: j, left: left, ctx: ctx, table: table, rightWidth: rightWidth}, nil
+	return &hashJoinIter{
+		j: j, left: left, ctx: ctx, table: table,
+		leftWidth: leftWidth, rightWidth: rightWidth,
+	}, nil
 }
 
-func joinKey(keys []plan.Expr, ctx *Ctx, row value.Row) (string, bool, error) {
-	buf := make([]byte, 0, 16*len(keys))
+// appendJoinKey encodes the key expressions of row into buf, reusing
+// its capacity. null=true reports a SQL NULL in the key (never joins).
+func appendJoinKey(buf []byte, keys []plan.Expr, ctx *Ctx, row value.Row) ([]byte, bool, error) {
 	for _, k := range keys {
 		v, err := k.Eval(ctx.Eval, row)
 		if err != nil {
-			return "", false, err
+			return buf, false, err
 		}
 		if v.IsNull() {
-			return "", true, nil
+			return buf, true, nil
 		}
 		buf = value.EncodeKey(buf, v)
 	}
-	return string(buf), false, nil
+	return buf, false, nil
 }
 
-func (it *hashJoinIter) Next() (value.Row, bool, error) {
-	for {
+// NextBatch advances the probe state machine until the output batch is
+// full or the left input is exhausted. Emitted pairs are carved out of
+// one backing array per batch; a candidate rejected by the residual
+// predicate reuses its slot for the next candidate.
+func (it *hashJoinIter) NextBatch(b *Batch) (int, error) {
+	limit := b.limit()
+	w := it.leftWidth + it.rightWidth
+	var backing []value.Value
+	var pair value.Row // allocated but not yet committed output slot
+	n := 0
+	takePair := func() value.Row {
+		if pair == nil {
+			if len(backing) < w {
+				backing = make([]value.Value, (limit-n)*w)
+			}
+			pair = value.Row(backing[:w:w])
+			backing = backing[w:]
+		}
+		return pair
+	}
+	for n < limit {
 		// Drain pending matches for the current left row.
-		for it.mi < len(it.matches) {
+		if it.mi < len(it.matches) {
 			r := it.matches[it.mi]
 			it.mi++
-			pair := it.cur.Concat(r)
+			p := takePair()
+			copy(p, it.cur)
+			copy(p[it.leftWidth:], r)
 			if it.j.Residual != nil {
-				v, err := it.j.Residual.Eval(it.ctx.Eval, pair)
+				v, err := it.j.Residual.Eval(it.ctx.Eval, p)
 				if err != nil {
-					return nil, false, err
+					b.setRows(n)
+					return n, err
 				}
 				if value.TriFromValue(v) != value.True {
 					continue
 				}
 			}
 			it.matched = true
-			return pair, true, nil
+			b.buf[n] = p
+			n++
+			pair = nil
+			continue
 		}
-		// Left-outer null extension.
+		// Left-outer null extension, emitted exactly once per
+		// unmatched left row.
 		if it.cur != nil && !it.matched && it.j.Kind == plan.JoinLeft {
-			it.matched = true // emit once
-			return it.cur.Concat(nullRow(it.rightWidth)), true, nil
+			it.matched = true
+			p := takePair()
+			copy(p, it.cur)
+			for i := it.leftWidth; i < w; i++ {
+				p[i] = value.Null
+			}
+			b.buf[n] = p
+			n++
+			pair = nil
+			continue
 		}
 		if it.done {
-			return nil, false, nil
+			break
 		}
-		row, ok, err := it.left.Next()
+		row, ok, err := it.nextLeft()
 		if err != nil {
-			return nil, false, err
+			b.setRows(n)
+			return n, err
 		}
 		if !ok {
 			it.done = true
@@ -121,17 +187,43 @@ func (it *hashJoinIter) Next() (value.Row, bool, error) {
 		it.cur = row
 		it.matched = false
 		it.mi = 0
-		key, null, err := joinKey(it.j.LeftKeys, it.ctx, row)
+		var null bool
+		it.keyBuf, null, err = appendJoinKey(it.keyBuf[:0], it.j.LeftKeys, it.ctx, row)
+		if err != nil {
+			b.setRows(n)
+			return n, err
+		}
+		it.matches = nil
+		if !null {
+			if bkt, ok := it.table[string(it.keyBuf)]; ok {
+				it.matches = bkt.rows
+			}
+		}
+	}
+	b.setRows(n)
+	return n, nil
+}
+
+// nextLeft pulls the next probe row, refilling from the left input a
+// batch at a time.
+func (it *hashJoinIter) nextLeft() (value.Row, bool, error) {
+	for it.leftIn == nil || it.leftPos >= len(it.leftIn.Rows) {
+		it.leftIn = grown(it.leftIn)
+		n, err := nextBatch(it.left, it.leftIn)
 		if err != nil {
 			return nil, false, err
 		}
-		if null {
-			it.matches = nil
-		} else {
-			it.matches = it.table[key]
+		if n == 0 {
+			return nil, false, nil
 		}
+		it.leftPos = 0
 	}
+	row := it.leftIn.Rows[it.leftPos]
+	it.leftPos++
+	return row, true, nil
 }
+
+func (it *hashJoinIter) Next() (value.Row, bool, error) { return it.adapter.nextRow(it) }
 
 func (it *hashJoinIter) Close() { it.left.Close() }
 
@@ -156,16 +248,18 @@ type nlJoinIter struct {
 func newNLJoin(j *plan.Join, left, right Iterator, rightWidth int, ctx *Ctx) (Iterator, error) {
 	defer right.Close()
 	var rows []value.Row
+	var in *Batch
 	for {
-		row, ok, err := right.Next()
+		in = grown(in)
+		n, err := nextBatch(right, in)
 		if err != nil {
 			left.Close()
 			return nil, err
 		}
-		if !ok {
+		if n == 0 {
 			break
 		}
-		rows = append(rows, row)
+		rows = append(rows, in.Rows...)
 	}
 	return &nlJoinIter{j: j, left: left, rightRows: rows, rightWidth: rightWidth, ctx: ctx}, nil
 }

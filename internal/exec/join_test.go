@@ -1,0 +1,171 @@
+package exec
+
+import (
+	"testing"
+
+	"auditdb/internal/catalog"
+	"auditdb/internal/value"
+)
+
+// nullableHarness adds two tables whose join-key columns contain SQL
+// NULLs, for the NULL-semantics edge cases.
+func nullableHarness(t *testing.T) *harness {
+	t.Helper()
+	h := newHarness(t)
+	add := func(meta *catalog.TableMeta, rows []value.Row) {
+		if err := h.cat.AddTable(meta); err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := h.store.Create(meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if _, err := tbl.Insert(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	add(&catalog.TableMeta{
+		Name: "la",
+		Columns: []catalog.Column{
+			{Name: "id", Type: value.KindInt},
+			{Name: "x", Type: value.KindInt},
+		},
+	}, []value.Row{
+		{value.NewInt(1), value.NewInt(10)},
+		{value.NewInt(2), value.Null},
+		{value.NewInt(3), value.NewInt(30)},
+	})
+	add(&catalog.TableMeta{
+		Name: "rb",
+		Columns: []catalog.Column{
+			{Name: "x", Type: value.KindInt},
+			{Name: "z", Type: value.KindInt},
+		},
+	}, []value.Row{
+		{value.NewInt(10), value.NewInt(100)},
+		{value.Null, value.NewInt(200)},
+		{value.Null, value.NewInt(300)},
+	})
+	return h
+}
+
+// TestHashJoinNullKeysBothSides: SQL equality is three-valued — a
+// NULL key matches nothing, not even another NULL. The build side must
+// drop NULL-key rows and the probe side must not look them up.
+func TestHashJoinNullKeysBothSides(t *testing.T) {
+	h := nullableHarness(t)
+	rows := h.query(t, "SELECT la.id, rb.z FROM la, rb WHERE la.x = rb.x")
+	if len(rows) != 1 || rows[0][0].Int() != 1 || rows[0][1].Int() != 100 {
+		t.Errorf("inner join rows = %v, want [[1 100]]", rows)
+	}
+}
+
+// TestLeftJoinNullKeyExtendsOnce: a left row with a NULL key has no
+// matches, so a LEFT JOIN must emit it null-extended exactly once.
+func TestLeftJoinNullKeyExtendsOnce(t *testing.T) {
+	h := nullableHarness(t)
+	rows := h.query(t, "SELECT la.id, rb.z FROM la LEFT JOIN rb ON la.x = rb.x ORDER BY la.id")
+	if len(rows) != 3 {
+		t.Fatalf("left join rows = %v, want 3 rows", rows)
+	}
+	// id=1 matches; id=2 (NULL key) and id=3 (no partner) null-extend.
+	if rows[0][0].Int() != 1 || rows[0][1].Int() != 100 {
+		t.Errorf("row 0 = %v, want [1 100]", rows[0])
+	}
+	for i, id := range []int64{2, 3} {
+		row := rows[i+1]
+		if row[0].Int() != id || !row[1].IsNull() {
+			t.Errorf("row %d = %v, want [%d NULL]", i+1, row, id)
+		}
+	}
+}
+
+// TestLeftJoinResidualRejectsAllMatches: when the equi-keys match but
+// the residual predicate rejects every candidate pair, the left row
+// counts as unmatched and must be null-extended exactly once — not
+// zero times, not once per rejected candidate.
+func TestLeftJoinResidualRejectsAllMatches(t *testing.T) {
+	h := nullableHarness(t)
+	// la.x = rb.x pairs (1,100) only; residual z > 1000 rejects it.
+	rows := h.query(t, "SELECT la.id, rb.z FROM la LEFT JOIN rb ON la.x = rb.x AND rb.z > 1000 ORDER BY la.id")
+	if len(rows) != 3 {
+		t.Fatalf("left join rows = %v, want 3 rows", rows)
+	}
+	for i, row := range rows {
+		if row[0].Int() != int64(i+1) || !row[1].IsNull() {
+			t.Errorf("row %d = %v, want [%d NULL]", i, row, i+1)
+		}
+	}
+}
+
+// TestLeftJoinResidualAcrossBatchBoundary: the null-extension decision
+// must survive batch boundaries — a left row whose candidate matches
+// are rejected near the end of one output batch must not be
+// null-extended again when the next batch resumes.
+func TestLeftJoinResidualAcrossBatchBoundary(t *testing.T) {
+	h := nullableHarness(t)
+	n := mustPlan(t, h, "SELECT la.id, rb.z FROM la LEFT JOIN rb ON la.x = rb.x AND rb.z > 1000")
+	it, err := Open(n, NewCtx(h.store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	// Pull through one-row batches to force operator state to persist
+	// across the smallest possible batch boundary.
+	b := NewBatch(1)
+	var got []int64
+	for {
+		bn, err := nextBatch(it, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bn == 0 {
+			break
+		}
+		for _, row := range b.Rows {
+			if !row[1].IsNull() {
+				t.Errorf("unexpected match %v", row)
+			}
+			got = append(got, row[0].Int())
+		}
+	}
+	if len(got) != 3 {
+		t.Errorf("rows = %v, want exactly one null extension per left row", got)
+	}
+}
+
+// TestNestedLoopsFallbackNonEqui: a join with no equi-key conjunct
+// must fall back to nested loops and evaluate the full condition per
+// pair.
+func TestNestedLoopsFallbackNonEqui(t *testing.T) {
+	h := nullableHarness(t)
+	rows := h.query(t, "SELECT la.id, rb.z FROM la, rb WHERE la.x < rb.z ORDER BY la.id, rb.z")
+	// la.x=10 < {100,200,300}, la.x=NULL matches nothing, la.x=30 < {100,200,300}.
+	want := [][2]int64{{1, 100}, {1, 200}, {1, 300}, {3, 100}, {3, 200}, {3, 300}}
+	if len(rows) != len(want) {
+		t.Fatalf("non-equi rows = %v, want %d rows", rows, len(want))
+	}
+	for i, w := range want {
+		if rows[i][0].Int() != w[0] || rows[i][1].Int() != w[1] {
+			t.Errorf("row %d = %v, want %v", i, rows[i], w)
+		}
+	}
+}
+
+// TestNestedLoopsLeftJoinNullExtension: the nested-loops path honors
+// left-outer semantics too (non-equi ON condition).
+func TestNestedLoopsLeftJoinNullExtension(t *testing.T) {
+	h := nullableHarness(t)
+	rows := h.query(t, "SELECT la.id, rb.z FROM la LEFT JOIN rb ON la.x > rb.z ORDER BY la.id")
+	// No la.x exceeds any rb.z, so all three left rows null-extend once.
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v, want 3", rows)
+	}
+	for i, row := range rows {
+		if row[0].Int() != int64(i+1) || !row[1].IsNull() {
+			t.Errorf("row %d = %v, want [%d NULL]", i, row, i+1)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package exec
+
+import (
+	"auditdb/internal/plan"
+	"auditdb/internal/value"
+)
+
+// predFn is a compiled row predicate. It returns the three-valued truth
+// of the predicate on row, or handled=false when the row's runtime
+// value kinds fall outside the compiled fast path and the caller must
+// use the generic Expr.Eval instead. Compiled predicates never error.
+type predFn func(row value.Row) (t value.Tri, handled bool)
+
+// compilePred translates the common pushed-predicate shapes — an
+// integer column compared to an integer constant, and conjunctions of
+// those — into closures free of interface dispatch and Value boxing.
+// It returns nil for unsupported shapes. The fast path only claims a
+// row (handled=true) when the runtime kinds match what was compiled,
+// so results are bit-identical to the interpreter: integer/integer
+// comparison is exactly value.Compare's both-int branch, and a NULL
+// column value yields Unknown exactly as CompareSQL would.
+//
+// Constant operands (literals, prepared-statement parameters, outer
+// references) are evaluated once at compile time; openScan runs per
+// plan execution, so a correlated outer value is fixed for the
+// lifetime of the compiled closure.
+func compilePred(e plan.Expr, ctx *Ctx) predFn {
+	switch x := e.(type) {
+	case *plan.And:
+		l := compilePred(x.L, ctx)
+		r := compilePred(x.R, ctx)
+		if l == nil || r == nil {
+			return nil
+		}
+		return func(row value.Row) (value.Tri, bool) {
+			lt, ok := l(row)
+			if !ok {
+				return value.Unknown, false
+			}
+			if lt == value.False {
+				return value.False, true // And(False, x) = False for all x
+			}
+			rt, ok := r(row)
+			if !ok {
+				return value.Unknown, false
+			}
+			return lt.And(rt), true
+		}
+	case *plan.Cmp:
+		return compileCmp(x, ctx)
+	}
+	return nil
+}
+
+func compileCmp(e *plan.Cmp, ctx *Ctx) predFn {
+	col, okL := e.L.(*plan.Col)
+	op := e.Op
+	var cv value.Value
+	if okL {
+		v, ok := constValue(e.R, ctx)
+		if !ok {
+			return nil
+		}
+		cv = v
+	} else {
+		c, okR := e.R.(*plan.Col)
+		if !okR {
+			return nil
+		}
+		v, ok := constValue(e.L, ctx)
+		if !ok {
+			return nil
+		}
+		col, cv = c, v
+		op = flipCmp(op) // const <op> col  ≡  col <flip(op)> const
+	}
+	if cv.Kind != value.KindInt {
+		return nil
+	}
+	idx, c := col.Idx, cv.I
+	return func(row value.Row) (value.Tri, bool) {
+		if idx >= len(row) {
+			return value.Unknown, false
+		}
+		v := row[idx]
+		if v.Kind == value.KindNull {
+			return value.Unknown, true
+		}
+		if v.Kind != value.KindInt {
+			return value.Unknown, false
+		}
+		var b bool
+		switch op {
+		case plan.CmpEq:
+			b = v.I == c
+		case plan.CmpNe:
+			b = v.I != c
+		case plan.CmpLt:
+			b = v.I < c
+		case plan.CmpLe:
+			b = v.I <= c
+		case plan.CmpGt:
+			b = v.I > c
+		case plan.CmpGe:
+			b = v.I >= c
+		}
+		return value.TriOf(b), true
+	}
+}
+
+func flipCmp(op plan.CmpOp) plan.CmpOp {
+	switch op {
+	case plan.CmpLt:
+		return plan.CmpGt
+	case plan.CmpLe:
+		return plan.CmpGe
+	case plan.CmpGt:
+		return plan.CmpLt
+	case plan.CmpGe:
+		return plan.CmpLe
+	}
+	return op // Eq and Ne are symmetric
+}

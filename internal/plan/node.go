@@ -327,6 +327,17 @@ type AuditSink interface {
 	Observe(v value.Value)
 }
 
+// BatchAuditSink is the vectorized extension of AuditSink: sinks that
+// implement it receive whole batches of partition-by values, paying
+// synchronization once per batch instead of once per row. Semantics
+// are identical to calling Observe on each element in order, so audit
+// cardinalities cannot depend on which path the executor picks. The
+// slice is only valid for the duration of the call.
+type BatchAuditSink interface {
+	AuditSink
+	ObserveBatch(vs []value.Value)
+}
+
 // Audit is the paper's audit operator: a no-op "data viewer" derived
 // from the filter operator. It forwards every input row unchanged and
 // feeds the partition-by column (ordinal IDIdx of its input) to the

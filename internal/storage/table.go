@@ -316,6 +316,51 @@ func (t *Table) Snapshot(fn func(id RowID, row value.Row) bool) {
 	}
 }
 
+// ScanChunk copies up to len(out) live rows starting at heap position
+// pos into out, recording their IDs in ids (which must be at least as
+// long as out). One call holds the read lock once, so a consumer that
+// alternates ScanChunk with per-row work never pins the lock across
+// expression evaluation, and memory stays bounded by the chunk size
+// instead of the table size. It returns the number of rows copied and
+// the position to resume from; next < 0 means the heap is exhausted.
+func (t *Table) ScanChunk(pos int, out []value.Row, ids []RowID) (n, next int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	i := pos
+	for ; i < len(t.rows) && n < len(out); i++ {
+		row := t.rows[i]
+		if row == nil {
+			continue
+		}
+		ids[n] = RowID(i)
+		out[n] = row
+		n++
+	}
+	if i >= len(t.rows) {
+		return n, -1
+	}
+	return n, i
+}
+
+// FetchRows copies the live rows with the given IDs into out under one
+// read-lock acquisition, compacting the surviving IDs to the front of
+// ids in step with out. out must be at least len(ids) long. It returns
+// how many of the requested rows were live.
+func (t *Table) FetchRows(ids []RowID, out []value.Row) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, id := range ids {
+		if id < 0 || int(id) >= len(t.rows) || t.rows[id] == nil {
+			continue
+		}
+		ids[n] = id
+		out[n] = t.rows[id]
+		n++
+	}
+	return n
+}
+
 // Rows returns a copy of the live rows in row-ID order, for tests and
 // small utilities.
 func (t *Table) Rows() []value.Row {
