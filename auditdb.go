@@ -251,6 +251,15 @@ func (db *DB) Explain(sql string, instrumented bool) (string, error) {
 	return db.eng.Explain(sql, instrumented)
 }
 
+// ExplainAnalyze executes the query for real with every operator
+// instrumented and returns the plan annotated with observed rows,
+// batches, wall time, and audit-probe counts. It is side-effect-free
+// with respect to auditing: no trigger fires and no ACCESSED state is
+// recorded.
+func (db *DB) ExplainAnalyze(sql string) (string, error) {
+	return db.eng.ExplainAnalyze(sql)
+}
+
 // OfflineReport is the exact (Definition 2.5) audit of one query.
 type OfflineReport struct {
 	// AccessedIDs is ground truth: the sensitive partition keys whose
@@ -258,6 +267,9 @@ type OfflineReport struct {
 	AccessedIDs []Value
 	// Candidates and Executions describe the audit's cost.
 	Candidates, Executions int
+	// RowsScanned totals the storage rows read across every
+	// re-execution — the offline audit's I/O bill.
+	RowsScanned int64
 }
 
 // OfflineAudit runs the exact offline auditor for a query against an
@@ -277,6 +289,7 @@ func (db *DB) OfflineAudit(sql, auditExpr string) (*OfflineReport, error) {
 		AccessedIDs: rep.AccessedIDs,
 		Candidates:  rep.Candidates,
 		Executions:  rep.Executions,
+		RowsScanned: rep.RowsScanned,
 	}, nil
 }
 

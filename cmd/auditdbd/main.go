@@ -7,21 +7,25 @@
 // The protocol is line-delimited JSON (see internal/wire); the Go
 // client lives in internal/client. Example:
 //
-//	auditdbd -addr 127.0.0.1:5433 -demo
+//	auditdbd -addr 127.0.0.1:5433 -demo -metrics-addr 127.0.0.1:9090
 //	printf '%s\n' \
 //	    '{"op":"set","key":"user","value":"dr_mallory"}' \
 //	    '{"op":"query","sql":"SELECT * FROM Patients WHERE Name = '\''Alice'\''"}' \
 //	    '{"op":"query","sql":"SELECT * FROM Log"}' | nc 127.0.0.1 5433
+//	curl -s http://127.0.0.1:9090/metrics
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: in-flight statements
-// finish and their responses are delivered before connections close.
+// Logs are structured (log/slog): text or JSON via -log-format, with
+// connection lifecycle, trigger firings, and a -slow-query threshold
+// log. SIGINT/SIGTERM trigger a graceful shutdown: in-flight
+// statements finish and their responses are delivered before
+// connections close.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,25 +45,52 @@ func main() {
 		gracePeriod  = flag.Duration("grace", 15*time.Second, "shutdown drain deadline")
 		demo         = flag.Bool("demo", false, "preload the paper's healthcare example")
 		initScript   = flag.String("init", "", "SQL script to execute before serving")
+		metricsAddr  = flag.String("metrics-addr", "", "HTTP listen address for /metrics and /healthz (empty = disabled)")
+		logFormat    = flag.String("log-format", "text", "log output format: text or json")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		slowQuery    = flag.Duration("slow-query", 0, "log SELECTs with end-to-end latency at or above this (0 = disabled)")
 	)
 	flag.Parse()
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "auditdbd: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		fmt.Fprintf(os.Stderr, "auditdbd: bad -log-format %q: want text or json\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+
 	eng := engine.New()
+	eng.SetSlowQueryThreshold(*slowQuery)
 	if *demo {
 		if _, err := eng.ExecScript(auditdb.HealthcareDemo); err != nil {
-			log.Fatalf("auditdbd: loading demo: %v", err)
+			logger.Error("loading demo failed", "err", err)
+			os.Exit(1)
 		}
-		log.Printf("loaded healthcare demo (audit expression Audit_Alice, trigger Log_Alice)")
+		logger.Info("loaded healthcare demo",
+			"audit_expression", "Audit_Alice", "trigger", "Log_Alice")
 	}
 	if *initScript != "" {
 		script, err := os.ReadFile(*initScript)
 		if err != nil {
-			log.Fatalf("auditdbd: %v", err)
+			logger.Error("reading init script failed", "path", *initScript, "err", err)
+			os.Exit(1)
 		}
 		if _, err := eng.ExecScript(string(script)); err != nil {
-			log.Fatalf("auditdbd: init script %s: %v", *initScript, err)
+			logger.Error("init script failed", "path", *initScript, "err", err)
+			os.Exit(1)
 		}
-		log.Printf("executed init script %s", *initScript)
+		logger.Info("executed init script", "path", *initScript)
 	}
 
 	srv := server.New(eng, server.Config{
@@ -67,24 +98,41 @@ func main() {
 		MaxConns:     *maxConns,
 		QueryTimeout: *queryTimeout,
 		IdleTimeout:  *idleTimeout,
+		Logger:       logger,
 	})
 	if err := srv.Start(); err != nil {
-		log.Fatal(err)
+		logger.Error("start failed", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("auditdbd listening on %s (max-conns=%d, query-timeout=%s)", srv.Addr(), *maxConns, *queryTimeout)
+	// The address stays followed by a space inside the message: startup
+	// scripts (and the smoke test) extract it as the field after
+	// "listening on ".
+	logger.Info(fmt.Sprintf("auditdbd listening on %s (max-conns=%d query-timeout=%s)",
+		srv.Addr(), *maxConns, *queryTimeout))
+
+	if *metricsAddr != "" {
+		ms, err := srv.Metrics().ListenAndServe(*metricsAddr)
+		if err != nil {
+			logger.Error("metrics listener failed", "err", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		logger.Info("metrics listening", "addr", ms.Addr().String(),
+			"endpoints", "/metrics /healthz")
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	sig := <-sigCh
-	log.Printf("received %s; draining connections (deadline %s)", sig, *gracePeriod)
+	logger.Info("draining connections", "signal", sig.String(), "deadline", *gracePeriod)
 	ctx, cancel := context.WithTimeout(context.Background(), *gracePeriod)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("shutdown: %v", err)
+		logger.Error("shutdown failed", "err", err)
 		os.Exit(1)
 	}
 	for k, v := range srv.Stats() {
 		fmt.Printf("  %-22s %d\n", k, v)
 	}
-	log.Printf("auditdbd stopped cleanly")
+	logger.Info("auditdbd stopped cleanly")
 }

@@ -504,9 +504,13 @@ type TxRollback struct{}
 
 // Explain renders a query's execution plan instead of running it. The
 // plan shown is the one that would execute, including audit operators
-// when auditing is active.
+// when auditing is active. With Analyze set (EXPLAIN ANALYZE) the
+// query is executed for real and each operator reports observed rows,
+// batches, wall time, and audit-probe activity — but, like plain
+// EXPLAIN, no SELECT triggers fire and no ACCESSED state is persisted.
 type Explain struct {
-	Query *Select
+	Query   *Select
+	Analyze bool
 }
 
 func (*Select) stmtNode()                {}

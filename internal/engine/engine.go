@@ -8,6 +8,8 @@ package engine
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -17,6 +19,7 @@ import (
 	"auditdb/internal/catalog"
 	"auditdb/internal/core"
 	"auditdb/internal/exec"
+	"auditdb/internal/obs"
 	"auditdb/internal/opt"
 	"auditdb/internal/parser"
 	"auditdb/internal/plan"
@@ -50,23 +53,53 @@ type Engine struct {
 	// independent peers seeded from it.
 	defSess *Session
 
-	stats Stats
+	// metrics is the engine's observability registry: every counter in
+	// Stats lives here, so the wire "stats" op (Snapshot) and the HTTP
+	// /metrics endpoint (WritePrometheus) read the same atomics and can
+	// never disagree.
+	metrics *obs.Registry
+	stats   Stats
+	// rowsAuditedByTable partitions the rows-audited counter by
+	// sensitive table for the auditdb_rows_audited_total{table=...}
+	// Prometheus family.
+	rowsAuditedByTable *obs.CounterVec
+	// Per-phase latency histograms (seconds).
+	parseSeconds, planSeconds, execSeconds, queryLatency *obs.Histogram
+
+	// logger receives structured events (trigger firings, slow queries);
+	// defaults to a discard handler. slowQueryNanos > 0 enables the
+	// slow-query log for SELECTs at or above the threshold.
+	logger         atomic.Pointer[slog.Logger]
+	slowQueryNanos atomic.Int64
 }
 
-// Stats counts engine activity.
+// Stats counts engine activity. Each field is a counter registered in
+// the engine's obs.Registry; the field names are stable API, the
+// registry supplies the Prometheus names and wire-stats aliases.
 type Stats struct {
-	Queries       atomic.Int64
-	Statements    atomic.Int64
-	TriggersFired atomic.Int64
-	Notifications atomic.Int64
-	RowsAudited   atomic.Int64
+	Queries       *obs.Counter
+	Statements    *obs.Counter
+	TriggersFired *obs.Counter
+	Notifications *obs.Counter
+	// RowsAudited aggregates across expressions; its Prometheus
+	// identity is the per-table auditdb_rows_audited_total family, so
+	// the aggregate itself is snapshot-only.
+	RowsAudited *obs.Counter
 	// RowsScanned counts heap/index rows the scan kernels read from
 	// storage across all queries — the observable that streaming scans
 	// with LIMIT do bounded work instead of materializing tables.
-	RowsScanned atomic.Int64
+	RowsScanned *obs.Counter
 	// Sessions counts sessions ever created (the default session
 	// included).
-	Sessions atomic.Int64
+	Sessions *obs.Counter
+	// PlacementExact / PlacementConservative classify every
+	// instrumented SELECT by audit-operator placement outcome: exact
+	// when every operator reached its block root unobstructed (no false
+	// positives, Theorem 3.7), conservative when one sits below a
+	// row-dropping operator or inside a subquery and may over-report
+	// (Example 3.8).
+	PlacementExact        *obs.Counter
+	PlacementConservative *obs.Counter
 }
 
 type compiledTrigger struct {
@@ -98,8 +131,68 @@ func New() *Engine {
 		triggers: make(map[string]*compiledTrigger),
 		views:    make(map[string]*ast.Select),
 	}
+	e.initMetrics()
+	e.logger.Store(slog.New(slog.NewTextHandler(io.Discard, nil)))
 	e.defSess = newSession(e, "system", false, core.HighestCommutativeNode)
 	return e
+}
+
+// initMetrics builds the obs registry and registers every engine
+// metric. Counter aliases are the wire "stats" op's historical keys;
+// Prometheus names follow the auditdb_ convention.
+func (e *Engine) initMetrics() {
+	r := obs.NewRegistry()
+	e.metrics = r
+	e.stats = Stats{
+		Queries:       r.NewCounter("auditdb_queries_total", "queries", "SELECT statements executed."),
+		Statements:    r.NewCounter("auditdb_statements_total", "statements", "Statements of any kind executed."),
+		TriggersFired: r.NewCounter("auditdb_triggers_fired_total", "triggers_fired", "Trigger actions fired (SELECT and DML triggers)."),
+		Notifications: r.NewCounter("auditdb_notifications_total", "notifications", "NOTIFY actions delivered."),
+		// Snapshot-only: the Prometheus identity of rows-audited is the
+		// per-table family registered below.
+		RowsAudited: r.NewCounter("", "rows_audited", ""),
+		RowsScanned: r.NewCounter("auditdb_rows_scanned_total", "rows_scanned", "Heap and index rows read from storage."),
+		Sessions:    r.NewCounter("auditdb_sessions_total", "sessions", "Sessions ever created, the default session included."),
+		PlacementExact: r.NewCounter("auditdb_placement_exact_total", "placement_exact",
+			"Instrumented SELECTs whose audit operators all reached their block roots (exact auditing, Theorem 3.7)."),
+		PlacementConservative: r.NewCounter("auditdb_placement_conservative_total", "placement_conservative",
+			"Instrumented SELECTs with an audit operator below a row-dropping operator or inside a subquery (may over-report)."),
+	}
+	e.rowsAuditedByTable = r.NewCounterVec("auditdb_rows_audited_total", "rows_audited_by_table",
+		"Distinct sensitive IDs recorded into ACCESSED, by sensitive table.", "table")
+	e.parseSeconds = r.NewHistogram("auditdb_parse_seconds", "parse_seconds",
+		"SQL parse latency in seconds.", obs.LatencyBuckets)
+	e.planSeconds = r.NewHistogram("auditdb_plan_seconds", "plan_seconds",
+		"Plan, optimize and audit-instrumentation latency in seconds.", obs.LatencyBuckets)
+	e.execSeconds = r.NewHistogram("auditdb_exec_seconds", "exec_seconds",
+		"Plan execution latency in seconds.", obs.LatencyBuckets)
+	e.queryLatency = r.NewHistogram("auditdb_query_latency_seconds", "query_latency_seconds",
+		"End-to-end SELECT latency in seconds, trigger firing included.", obs.LatencyBuckets)
+	r.NewUptimeGauge("auditdb_uptime_seconds", "uptime_seconds")
+}
+
+// Metrics exposes the engine's observability registry so servers can
+// mount it on an HTTP endpoint and register their own counters beside
+// the engine's.
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
+
+// SetLogger installs the structured logger that receives trigger
+// firings and slow-query events. nil restores the discard logger.
+func (e *Engine) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	e.logger.Store(l)
+}
+
+// Logger returns the engine's current structured logger.
+func (e *Engine) Logger() *slog.Logger { return e.logger.Load() }
+
+// SetSlowQueryThreshold enables the slow-query log: SELECTs whose
+// end-to-end latency reaches d are logged with their SQL, latency,
+// rows scanned/audited and placement outcome. d <= 0 disables it.
+func (e *Engine) SetSlowQueryThreshold(d time.Duration) {
+	e.slowQueryNanos.Store(int64(d))
 }
 
 // Catalog exposes the schema registry.
@@ -111,17 +204,10 @@ func (e *Engine) Store() *storage.Store { return e.store }
 // Registry exposes the compiled audit expressions.
 func (e *Engine) Registry() *core.Registry { return e.reg }
 
-// StatsSnapshot returns current counter values.
+// StatsSnapshot returns current counter values from the obs registry —
+// the same atomics /metrics renders, keyed by wire alias.
 func (e *Engine) StatsSnapshot() map[string]int64 {
-	return map[string]int64{
-		"queries":        e.stats.Queries.Load(),
-		"statements":     e.stats.Statements.Load(),
-		"triggers_fired": e.stats.TriggersFired.Load(),
-		"notifications":  e.stats.Notifications.Load(),
-		"rows_audited":   e.stats.RowsAudited.Load(),
-		"rows_scanned":   e.stats.RowsScanned.Load(),
-		"sessions":       e.stats.Sessions.Load(),
-	}
+	return e.metrics.Snapshot()
 }
 
 // SetUser sets the default session's user reported by USERID().
@@ -263,7 +349,7 @@ func (e *Engine) execStmt(stmt ast.Stmt, sql string, env *actionEnv) (*Result, e
 	case *ast.Notify:
 		return e.runNotify(s, env)
 	case *ast.Explain:
-		return e.runExplain(s, env)
+		return e.runExplain(s, sql, env)
 	case *ast.CreateView:
 		return e.runCreateView(s)
 	case *ast.DropView:
@@ -338,6 +424,7 @@ func (e *Engine) auditTargets(auditAll bool) []*core.AuditExpression {
 }
 
 func (e *Engine) runSelect(sel *ast.Select, sql string, env *actionEnv) (*Result, error) {
+	start := time.Now()
 	e.stats.Queries.Add(1)
 	sess := e.sessionOf(env)
 	var (
@@ -359,19 +446,33 @@ func (e *Engine) runSelect(sel *ast.Select, sql string, env *actionEnv) (*Result
 	// exactly where the paper's prototype inserts them (§IV-B).
 	targets := e.auditTargets(sess.AuditAll())
 	var acc *core.Accessed
+	conservative := false
 	if len(targets) > 0 {
 		acc = core.NewAccessed()
 		heur := sess.Heuristic()
 		for _, ae := range targets {
 			n = core.Instrument(n, ae, &core.Probe{Expr: ae, Acc: acc}, heur)
 		}
+		// Classify placement only when instrumentation actually placed
+		// an operator — a query not touching any sensitive table (e.g. a
+		// trigger body reading ACCESSED) is not an audited query.
+		if core.CountAuditOps(n, true) > 0 {
+			if conservative = core.HasConservativePlacement(n); conservative {
+				e.stats.PlacementConservative.Add(1)
+			} else {
+				e.stats.PlacementExact.Add(1)
+			}
+		}
 	}
+	e.planSeconds.ObserveDuration(time.Since(start))
 
 	ctx := e.execCtx(env, sql)
 	if correlated {
 		ctx.Eval.PushOuter(env.outerRow)
 	}
+	execStart := time.Now()
 	rows, err := exec.Run(n, ctx)
+	e.execSeconds.ObserveDuration(time.Since(execStart))
 	e.stats.RowsScanned.Add(ctx.Stats.RowsScanned)
 	if err != nil {
 		return nil, err
@@ -384,6 +485,7 @@ func (e *Engine) runSelect(sel *ast.Select, sql string, env *actionEnv) (*Result
 
 	// Fire ON ACCESS triggers as their own system transactions after
 	// the query completes (§II).
+	var audited int64
 	if acc != nil {
 		e.mu.RLock()
 		onAccess := e.onAccess
@@ -392,7 +494,10 @@ func (e *Engine) runSelect(sel *ast.Select, sql string, env *actionEnv) (*Result
 			if acc.Len(ae.Meta.Name) == 0 {
 				continue
 			}
-			e.stats.RowsAudited.Add(int64(acc.Len(ae.Meta.Name)))
+			recorded := int64(acc.Len(ae.Meta.Name))
+			audited += recorded
+			e.stats.RowsAudited.Add(recorded)
+			e.rowsAuditedByTable.With(strings.ToLower(ae.Meta.SensitiveTable)).Add(recorded)
 			if err := e.fireAccessTriggers(ae, acc, sql, env); err != nil {
 				return nil, fmt.Errorf("SELECT trigger action failed: %w", err)
 			}
@@ -405,6 +510,26 @@ func (e *Engine) runSelect(sel *ast.Select, sql string, env *actionEnv) (*Result
 				})
 			}
 		}
+	}
+
+	elapsed := time.Since(start)
+	e.queryLatency.ObserveDuration(elapsed)
+	if thr := e.slowQueryNanos.Load(); thr > 0 && int64(elapsed) >= thr {
+		placement := "uninstrumented"
+		if acc != nil {
+			placement = "exact"
+			if conservative {
+				placement = "conservative"
+			}
+		}
+		e.Logger().Warn("slow query",
+			"sql", sql,
+			"user", sess.User(),
+			"latency", elapsed,
+			"rows_scanned", ctx.Stats.RowsScanned,
+			"rows_audited", audited,
+			"placement", placement,
+		)
 	}
 	return res, nil
 }
@@ -466,8 +591,12 @@ func (e *Engine) runNotify(s *ast.Notify, env *actionEnv) (*Result, error) {
 
 // runExplain handles the EXPLAIN statement: it plans (and, when
 // auditing is active, instruments) the query without executing it and
-// returns the plan tree one line per row.
-func (e *Engine) runExplain(s *ast.Explain, env *actionEnv) (*Result, error) {
+// returns the plan tree one line per row. EXPLAIN ANALYZE additionally
+// executes the plan — see runExplainAnalyze.
+func (e *Engine) runExplain(s *ast.Explain, sql string, env *actionEnv) (*Result, error) {
+	if s.Analyze {
+		return e.runExplainAnalyze(s, sql, env)
+	}
 	n, err := plan.Build(e.planEnv(env), s.Query)
 	if err != nil {
 		return nil, err

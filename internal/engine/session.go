@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"auditdb/internal/core"
 	"auditdb/internal/parser"
@@ -125,7 +126,9 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	if err := s.checkOpen(); err != nil {
 		return nil, err
 	}
+	parseStart := time.Now()
 	stmt, err := parser.Parse(sql)
+	s.e.parseSeconds.ObserveDuration(time.Since(parseStart))
 	if err != nil {
 		return nil, err
 	}
@@ -138,7 +141,9 @@ func (s *Session) ExecScript(sql string) (*Result, error) {
 	if err := s.checkOpen(); err != nil {
 		return nil, err
 	}
+	parseStart := time.Now()
 	stmts, err := parser.ParseScript(sql)
+	s.e.parseSeconds.ObserveDuration(time.Since(parseStart))
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +163,9 @@ func (s *Session) Query(sql string) (*Result, error) {
 	if err := s.checkOpen(); err != nil {
 		return nil, err
 	}
+	parseStart := time.Now()
 	sel, err := parser.ParseQuery(sql)
+	s.e.parseSeconds.ObserveDuration(time.Since(parseStart))
 	if err != nil {
 		return nil, err
 	}

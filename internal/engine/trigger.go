@@ -49,6 +49,14 @@ func (e *Engine) fireAccessTriggers(ae *core.AuditExpression, acc *core.Accessed
 		sub.extraSchema = map[string]plan.Schema{accessedName: schema}
 		sub.extraRows = map[string][]value.Row{accessedName: rows}
 		e.stats.TriggersFired.Add(1)
+		e.Logger().Info("select trigger fired",
+			"trigger", meta.Name,
+			"expression", ae.Meta.Name,
+			"table", ae.Meta.SensitiveTable,
+			"user", e.sessionOf(env).User(),
+			"accessed_ids", len(ids),
+			"sql", sql,
+		)
 		for _, stmt := range ct.body {
 			if _, err := e.execStmt(stmt, sql, sub); err != nil {
 				return fmt.Errorf("trigger %s: %w", meta.Name, err)
@@ -92,6 +100,11 @@ func (e *Engine) fireDMLTriggers(meta *catalog.TableMeta, applied []change, sql 
 			sub.outerSchema = schema
 			sub.outerRow = row
 			e.stats.TriggersFired.Add(1)
+			e.Logger().Debug("dml trigger fired",
+				"trigger", tm.Name,
+				"table", meta.Name,
+				"user", e.sessionOf(env).User(),
+			)
 			for _, stmt := range ct.body {
 				if _, err := e.execStmt(stmt, sql, sub); err != nil {
 					return fmt.Errorf("trigger %s: %w", tm.Name, err)

@@ -1,0 +1,121 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"auditdb/internal/obs"
+	"auditdb/internal/plan"
+	"auditdb/internal/value"
+)
+
+// Analyze collects per-operator execution statistics for EXPLAIN
+// ANALYZE. When Ctx.Analyze is set, Open wraps every iterator in a
+// counting shim and disables the scan–audit fusion so each plan node
+// keeps its own iterator (semantics are unchanged — fusion is purely
+// physical). Stats are keyed by plan-node identity, so repeated
+// executions of the same node (correlated subqueries) accumulate.
+type Analyze struct {
+	mu    sync.Mutex
+	nodes map[plan.Node]*obs.NodeStats
+}
+
+// NewAnalyze returns an empty collector.
+func NewAnalyze() *Analyze {
+	return &Analyze{nodes: make(map[plan.Node]*obs.NodeStats)}
+}
+
+// Node returns the stats record for a plan node, creating it on first
+// use. The engine uses it to attach audit-probe counts to Audit nodes.
+func (a *Analyze) Node(n plan.Node) *obs.NodeStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.nodes[n]
+	if !ok {
+		st = &obs.NodeStats{}
+		a.nodes[n] = st
+	}
+	return st
+}
+
+// peek returns the stats record if the node ever executed.
+func (a *Analyze) peek(n plan.Node) *obs.NodeStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.nodes[n]
+}
+
+// wrap shims an iterator with the node's counters.
+func (a *Analyze) wrap(n plan.Node, it Iterator) Iterator {
+	return &analyzedIter{child: it, st: a.Node(n)}
+}
+
+// analyzedIter counts rows, batches, and wall time through one
+// operator. It implements the batch fast path so wrapping does not
+// de-vectorize the pipeline.
+type analyzedIter struct {
+	child Iterator
+	st    *obs.NodeStats
+}
+
+func (it *analyzedIter) NextBatch(b *Batch) (int, error) {
+	start := time.Now()
+	n, err := nextBatch(it.child, b)
+	it.st.Wall += time.Since(start)
+	if n > 0 {
+		it.st.Batches++
+		it.st.RowsOut += int64(n)
+	}
+	return n, err
+}
+
+func (it *analyzedIter) Next() (value.Row, bool, error) {
+	start := time.Now()
+	row, ok, err := it.child.Next()
+	it.st.Wall += time.Since(start)
+	if ok {
+		it.st.RowsOut++
+	}
+	return row, ok, err
+}
+
+func (it *analyzedIter) Close() { it.child.Close() }
+
+// RenderAnalyze renders the plan tree with each operator's observed
+// counters, in the same indented shape as plan.Explain. Subquery
+// blocks referenced by a node's expressions are rendered beneath it
+// under a "Subquery" marker. Operators that never executed (e.g. a
+// subquery short-circuited away) say so.
+func RenderAnalyze(root plan.Node, a *Analyze) string {
+	var b strings.Builder
+	renderAnalyze(&b, root, a, 0)
+	return b.String()
+}
+
+func renderAnalyze(b *strings.Builder, n plan.Node, a *Analyze, depth int) {
+	indent := strings.Repeat("  ", depth)
+	b.WriteString(indent)
+	b.WriteString(n.Label())
+	if st := a.peek(n); st != nil {
+		fmt.Fprintf(b, "  (rows=%d batches=%d time=%s", st.RowsOut, st.Batches, st.Wall.Round(time.Microsecond))
+		if _, ok := n.(*plan.Audit); ok {
+			fmt.Fprintf(b, " probes=%d hits=%d distinct_ids=%d", st.Probes, st.Hits, st.DistinctIDs)
+		}
+		b.WriteString(")")
+	} else {
+		b.WriteString("  (never executed)")
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children() {
+		renderAnalyze(b, c, a, depth+1)
+	}
+	plan.WalkNodeExprs(n, func(e plan.Expr) {
+		if sq, ok := e.(*plan.Subquery); ok {
+			b.WriteString(strings.Repeat("  ", depth+1))
+			b.WriteString("Subquery\n")
+			renderAnalyze(b, sq.Plan, a, depth+2)
+		}
+	})
+}

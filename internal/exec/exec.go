@@ -28,6 +28,10 @@ type Ctx struct {
 	Extra map[string][]value.Row
 	// Stats accumulates execution counters for this statement.
 	Stats Stats
+	// Analyze, when set, collects per-operator counters for EXPLAIN
+	// ANALYZE: Open wraps every iterator and disables scan–audit fusion
+	// so each plan node reports its own rows, batches, and wall time.
+	Analyze *Analyze
 }
 
 // Stats counts per-statement execution work. Execution is
@@ -125,8 +129,18 @@ func collect(n plan.Node, ctx *Ctx) ([]value.Row, error) {
 	}
 }
 
-// Open builds the iterator tree for a plan node.
+// Open builds the iterator tree for a plan node. Under EXPLAIN
+// ANALYZE (ctx.Analyze set) every iterator is wrapped in a per-node
+// counting shim.
 func Open(n plan.Node, ctx *Ctx) (Iterator, error) {
+	it, err := open(n, ctx)
+	if err != nil || ctx.Analyze == nil {
+		return it, err
+	}
+	return ctx.Analyze.wrap(n, it), nil
+}
+
+func open(n plan.Node, ctx *Ctx) (Iterator, error) {
 	switch x := n.(type) {
 	case *plan.Scan:
 		return openScan(x, ctx)
@@ -167,8 +181,9 @@ func Open(n plan.Node, ctx *Ctx) (Iterator, error) {
 		// batch pass applies the pushed predicate and the sensitive-ID
 		// probe without an extra operator boundary per row. Semantics
 		// match auditIter-over-scan exactly (probe sees post-predicate
-		// rows); only the probe granularity changes.
-		if s, ok := x.Child.(*plan.Scan); ok {
+		// rows); only the probe granularity changes. EXPLAIN ANALYZE
+		// keeps the operators separate so each reports its own counters.
+		if s, ok := x.Child.(*plan.Scan); ok && ctx.Analyze == nil {
 			child, err := openScan(s, ctx)
 			if err != nil {
 				return nil, err

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the registry at /metrics
+// (Prometheus text format) and a trivial liveness probe at /healthz.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// MetricsServer is a running /metrics + /healthz HTTP listener.
+type MetricsServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ListenAndServe binds addr (":0" picks a free port) and serves the
+// registry in a background goroutine. It returns once the listener is
+// bound, so Addr() is immediately valid.
+func (r *Registry) ListenAndServe(addr string) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &MetricsServer{srv: srv, ln: ln}, nil
+}
+
+// Addr is the bound listen address.
+func (m *MetricsServer) Addr() net.Addr { return m.ln.Addr() }
+
+// Close stops the listener.
+func (m *MetricsServer) Close() error { return m.srv.Close() }

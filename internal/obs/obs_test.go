@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("auditdb_frobs_total", "frobs", "Frobs performed.")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.NewGauge("auditdb_depth", "depth", "Current depth.")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	r.NewGaugeFunc("auditdb_fixed", "fixed", "Constant.", func() int64 { return 42 })
+
+	snap := r.Snapshot()
+	if snap["frobs"] != 5 || snap["depth"] != 5 || snap["fixed"] != 42 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+// TestHistogramBoundaries checks that bucket math is exact at bucket
+// edges: upper bounds are inclusive (Prometheus le semantics), so an
+// observation exactly equal to a bound lands in that bound's bucket,
+// and the next representable value lands in the following bucket.
+func TestHistogramBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("auditdb_lat_seconds", "lat", "Test latencies.", []float64{0.001, 0.01, 0.1})
+
+	h.Observe(0.001)  // exactly on the first edge -> bucket 0
+	h.Observe(0.0011) // just above -> bucket 1
+	h.Observe(0.01)   // exactly on the second edge -> bucket 1
+	h.Observe(0.1)    // exactly on the third edge -> bucket 2
+	h.Observe(0.5)    // beyond every edge -> +Inf bucket
+	h.Observe(0)      // below everything -> bucket 0
+
+	want := []int64{2, 2, 1, 1}
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if diff := h.Sum() - 0.6121; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sum = %g, want 0.6121", h.Sum())
+	}
+
+	// Cumulative rendering: le="0.01" must include the le="0.001"
+	// observations.
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		`auditdb_lat_seconds_bucket{le="0.001"} 2`,
+		`auditdb_lat_seconds_bucket{le="0.01"} 4`,
+		`auditdb_lat_seconds_bucket{le="0.1"} 5`,
+		`auditdb_lat_seconds_bucket{le="+Inf"} 6`,
+		`auditdb_lat_seconds_count 6`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("rendering missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestLatencyBucketsSorted(t *testing.T) {
+	for i := 1; i < len(LatencyBuckets); i++ {
+		if LatencyBuckets[i-1] >= LatencyBuckets[i] {
+			t.Fatalf("LatencyBuckets not strictly ascending at %d", i)
+		}
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("auditdb_rows_audited_total", "rows_audited_table", "Rows audited per table.", "table")
+	v.With("Patients").Add(3)
+	v.With("Orders").Add(2)
+	v.With("Patients").Inc()
+	if v.Total() != 6 {
+		t.Fatalf("total = %d, want 6", v.Total())
+	}
+	snap := r.Snapshot()
+	if snap["rows_audited_table_patients"] != 4 || snap["rows_audited_table_orders"] != 2 || snap["rows_audited_table"] != 6 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Label values sorted for deterministic scrapes.
+	i := strings.Index(out, `auditdb_rows_audited_total{table="Orders"} 2`)
+	j := strings.Index(out, `auditdb_rows_audited_total{table="Patients"} 4`)
+	if i < 0 || j < 0 || i > j {
+		t.Fatalf("vec rendering wrong:\n%s", out)
+	}
+}
+
+// TestSnapshotAndPrometheusAgree is the invariant the stats wire op
+// relies on: both views read the same atomics.
+func TestSnapshotAndPrometheusAgree(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("auditdb_queries_total", "queries", "Queries.")
+	c.Add(9)
+	snap := r.Snapshot()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if snap["queries"] != 9 || !strings.Contains(b.String(), "auditdb_queries_total 9") {
+		t.Fatalf("views disagree: snapshot=%v prometheus=%s", snap, b.String())
+	}
+}
+
+// TestDuplicateRegistrationShares verifies that registering the same
+// name twice yields the same underlying metric (two servers over one
+// engine must share counters, not panic).
+func TestDuplicateRegistrationShares(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("auditdb_x_total", "x", "")
+	b := r.NewCounter("auditdb_x_total", "x", "")
+	if a != b {
+		t.Fatal("duplicate registration returned a distinct counter")
+	}
+	a.Inc()
+	if b.Load() != 1 {
+		t.Fatal("shared counter not shared")
+	}
+}
+
+// TestRegistryConcurrency hammers every metric type from many
+// goroutines while scrapes run, for the race detector.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("auditdb_c_total", "c", "")
+	g := r.NewGauge("auditdb_g", "g", "")
+	h := r.NewHistogram("auditdb_h_seconds", "h", "", LatencyBuckets)
+	v := r.NewCounterVec("auditdb_v_total", "v", "", "table")
+	r.NewUptimeGauge("auditdb_uptime_seconds", "uptime_seconds")
+
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(float64(i) * 1e-6)
+				v.With([]string{"patients", "orders", "log"}[i%3]).Inc()
+				if i%100 == 0 {
+					r.WritePrometheus(io.Discard)
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Load() != workers*iters {
+		t.Fatalf("counter = %d, want %d", c.Load(), workers*iters)
+	}
+	if h.Count() != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	if v.Total() != workers*iters {
+		t.Fatalf("vec total = %d, want %d", v.Total(), workers*iters)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("auditdb_pings_total", "pings", "Pings.").Add(3)
+	ms, err := r.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	cl := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get("http://" + ms.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "auditdb_pings_total 3") {
+		t.Fatalf("/metrics: status=%d body=%s", resp.StatusCode, body)
+	}
+
+	resp, err = cl.Get("http://" + ms.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("/healthz: status=%d body=%q", resp.StatusCode, body)
+	}
+}

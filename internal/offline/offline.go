@@ -57,6 +57,11 @@ type Report struct {
 	Candidates int
 	// Executions counts full query re-executions performed.
 	Executions int
+	// RowsScanned totals the storage rows read across every execution
+	// (baseline, candidate pass, and deletion tests) — the offline
+	// audit's actual I/O cost, for comparison against the online audit
+	// operators' near-zero overhead (§V).
+	RowsScanned int64
 }
 
 // Audit computes the exact accessed set of the query for the audit
@@ -81,18 +86,20 @@ func (a *Auditor) AuditPlan(root plan.Node, ae *core.AuditExpression) (*Report, 
 	rep := &Report{}
 
 	// Baseline digest of Q(D).
-	base, err := a.runDigest(root, nil)
+	base, scanned, err := a.runDigest(root, nil)
 	if err != nil {
 		return nil, err
 	}
 	rep.Executions++
+	rep.RowsScanned += scanned
 
 	// Candidate set: leaf-node instrumented run (Claim 3.5 superset).
-	candidates, err := a.leafCandidates(root, ae)
+	candidates, scanned, err := a.leafCandidates(root, ae)
 	if err != nil {
 		return nil, err
 	}
 	rep.Executions++
+	rep.RowsScanned += scanned
 	rep.Candidates = len(candidates)
 
 	// Map candidate IDs to their row IDs in the sensitive table.
@@ -160,9 +167,10 @@ func (a *Auditor) AuditPlan(root plan.Node, ae *core.AuditExpression) (*Report, 
 				}
 				mask := storage.NewMask()
 				mask.Hide(ae.Meta.SensitiveTable, t.rid)
-				digest, err := a.runDigest(root, mask)
+				digest, scanned, err := a.runDigest(root, mask)
 				mu.Lock()
 				rep.Executions++
+				rep.RowsScanned += scanned
 				if err != nil {
 					if firstEr == nil {
 						firstEr = err
@@ -190,12 +198,12 @@ func (a *Auditor) AuditPlan(root plan.Node, ae *core.AuditExpression) (*Report, 
 // hash join emitted rows in a different order. Queries whose row ORDER
 // is semantically significant (ORDER BY ... LIMIT) are still handled
 // correctly because a changed top-k membership changes the multiset.
-func (a *Auditor) runDigest(root plan.Node, mask *storage.Mask) (uint64, error) {
+func (a *Auditor) runDigest(root plan.Node, mask *storage.Mask) (uint64, int64, error) {
 	ctx := exec.NewCtx(a.store)
 	ctx.Mask = mask
 	rows, err := exec.Run(root, ctx)
 	if err != nil {
-		return 0, err
+		return 0, ctx.Stats.RowsScanned, err
 	}
 	var digest uint64
 	for _, row := range rows {
@@ -203,19 +211,19 @@ func (a *Auditor) runDigest(root plan.Node, mask *storage.Mask) (uint64, error) 
 		digest += value.HashRow(row)
 	}
 	digest ^= uint64(len(rows)) << 1
-	return digest, nil
+	return digest, ctx.Stats.RowsScanned, nil
 }
 
 // leafCandidates runs the plan once with leaf-node audit operators and
-// returns the observed sensitive IDs.
-func (a *Auditor) leafCandidates(root plan.Node, ae *core.AuditExpression) ([]value.Value, error) {
+// returns the observed sensitive IDs plus the rows scanned doing so.
+func (a *Auditor) leafCandidates(root plan.Node, ae *core.AuditExpression) ([]value.Value, int64, error) {
 	acc := core.NewAccessed()
 	instrumented := core.Instrument(clonePlanForInstrumentation(root), ae, &core.Probe{Expr: ae, Acc: acc}, core.LeafNode)
 	ctx := exec.NewCtx(a.store)
 	if _, err := exec.Run(instrumented, ctx); err != nil {
-		return nil, err
+		return nil, ctx.Stats.RowsScanned, err
 	}
-	return acc.IDs(ae.Meta.Name), nil
+	return acc.IDs(ae.Meta.Name), ctx.Stats.RowsScanned, nil
 }
 
 // clonePlanForInstrumentation isolates the caller's plan from the

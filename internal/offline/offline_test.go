@@ -264,3 +264,27 @@ func TestOfflineCandidatePruning(t *testing.T) {
 		t.Errorf("executions = %d, want 4", rep.Executions)
 	}
 }
+
+// TestOfflineRowsScanned checks the report's I/O accounting: the
+// baseline run, the candidate pass, and every deletion test each read
+// all 5 patient rows (the visibility mask hides the tuple after the
+// storage read), so the total is exactly (2 + candidates) * 5 for a
+// single-table query.
+func TestOfflineRowsScanned(t *testing.T) {
+	_, aud, ae := setup(t)
+	rep, err := aud.Audit("SELECT * FROM Patients WHERE Age > 30", ae)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsScanned == 0 {
+		t.Fatal("RowsScanned not counted")
+	}
+	want := int64((2 + rep.Candidates) * 5)
+	if rep.RowsScanned != want {
+		t.Errorf("RowsScanned = %d, want %d (%d executions x 5 rows)",
+			rep.RowsScanned, want, 2+rep.Candidates)
+	}
+	if rep.Executions != 2+rep.Candidates {
+		t.Errorf("Executions = %d, want %d", rep.Executions, 2+rep.Candidates)
+	}
+}

@@ -197,11 +197,18 @@ func (p *parser) parseStatement() (ast.Stmt, error) {
 		return p.parseIf()
 	case "EXPLAIN":
 		p.next()
+		// ANALYZE is not a reserved word (it stays usable as an
+		// identifier), so match it as a bare ident after EXPLAIN.
+		analyze := false
+		if t := p.peek(); t.Kind == lexer.TokIdent && strings.EqualFold(t.Text, "ANALYZE") {
+			p.next()
+			analyze = true
+		}
 		q, err := p.parseSelect()
 		if err != nil {
 			return nil, err
 		}
-		return &ast.Explain{Query: q}, nil
+		return &ast.Explain{Query: q, Analyze: analyze}, nil
 	case "BEGIN":
 		p.next()
 		return &ast.TxBegin{}, nil

@@ -62,6 +62,8 @@ func (c *conn) serve() {
 	defer func() {
 		c.srv.removeConn(c)
 		c.nc.Close()
+		c.srv.log.Info("connection closed", "remote", c.nc.RemoteAddr().String(),
+			"user", c.sess.User())
 		// The session owns the engine-side state (notably any open
 		// transaction holding the writer lock). Close it only after
 		// every in-flight statement finished, asynchronously so a
@@ -179,6 +181,7 @@ func (c *conn) set(key, val string) *wire.Response {
 			return errResp("set user: empty name")
 		}
 		c.sess.SetUser(val)
+		c.srv.log.Info("session user set", "remote", c.nc.RemoteAddr().String(), "user", val)
 	case wire.KeyAuditAll:
 		switch val {
 		case "on", "true":
@@ -227,6 +230,8 @@ func (c *conn) guard(f func() *wire.Response) *wire.Response {
 	case <-timer.C:
 		c.dead = true
 		c.srv.queryTimeouts.Add(1)
+		c.srv.log.Warn("query timeout", "remote", c.nc.RemoteAddr().String(),
+			"user", c.sess.User(), "timeout", c.srv.cfg.QueryTimeout)
 		return errResp("statement exceeded query timeout %s; closing connection", c.srv.cfg.QueryTimeout)
 	}
 }

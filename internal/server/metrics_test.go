@@ -1,0 +1,158 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// scrape GETs a path from the metrics listener and returns the body.
+func scrape(t *testing.T, base, path string) string {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// promValue extracts a single un-labeled sample value from exposition
+// text.
+func promValue(t *testing.T, text, name string) int64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("metric %s not found in exposition:\n%s", name, text)
+	}
+	v, err := strconv.ParseInt(m[1], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestMetricsEndpoint drives audited queries through the wire protocol
+// and checks that the HTTP /metrics exposition and the stats wire op
+// agree — they read the same registry — and that the acceptance-
+// criteria families are all present.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := startServer(t, Config{})
+	ms, err := srv.Metrics().ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	base := "http://" + ms.Addr().String()
+
+	if h := scrape(t, base, "/healthz"); !strings.Contains(h, "ok") {
+		t.Fatalf("/healthz = %q", h)
+	}
+
+	c := dial(t, srv)
+	if err := c.SetUser("dr_mallory"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query("SELECT Name FROM Patients WHERE Name = 'Alice'"); err != nil {
+		t.Fatal(err)
+	}
+	// A top-k query lands in the conservative placement bucket.
+	if _, err := c.Query("SELECT Name FROM Patients ORDER BY Age DESC LIMIT 2"); err != nil {
+		t.Fatal(err)
+	}
+
+	text := scrape(t, base, "/metrics")
+	for _, want := range []string{
+		"# TYPE auditdb_query_latency_seconds histogram",
+		`auditdb_query_latency_seconds_bucket{le="+Inf"}`,
+		`auditdb_rows_audited_total{table="patients"}`,
+		"auditdb_placement_exact_total",
+		"auditdb_placement_conservative_total",
+		"auditdb_uptime_seconds",
+		"auditdb_server_conns_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rescrape after the stats call so neither side has moved between
+	// the two reads of counters the stats op itself does not touch.
+	text = scrape(t, base, "/metrics")
+	for prom, alias := range map[string]string{
+		"auditdb_placement_exact_total":        "placement_exact",
+		"auditdb_placement_conservative_total": "placement_conservative",
+		"auditdb_triggers_fired_total":         "triggers_fired",
+		"auditdb_server_conns_total":           "server_conns_total",
+	} {
+		if got, want := promValue(t, text, prom), stats[alias]; got != want {
+			t.Errorf("%s = %d but stats[%s] = %d", prom, got, alias, want)
+		}
+	}
+	if stats["placement_exact"] < 1 || stats["placement_conservative"] < 1 {
+		t.Errorf("placement outcomes not counted: %v", stats)
+	}
+
+	// The per-table family agrees with the aggregate alias.
+	re := regexp.MustCompile(`auditdb_rows_audited_total\{table="patients"\} (\d+)`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatal("per-table rows_audited sample missing")
+	}
+	if perTable, _ := strconv.ParseInt(m[1], 10, 64); perTable != stats["rows_audited"] {
+		t.Errorf("per-table rows_audited %d != aggregate %d", perTable, stats["rows_audited"])
+	}
+
+	// Latency histogram observed both queries (and the trigger-body
+	// statements' parses): count must be at least the two SELECTs.
+	if n := promValue(t, text, "auditdb_query_latency_seconds_count"); n < 2 {
+		t.Errorf("query latency count = %d, want >= 2", n)
+	}
+}
+
+// TestStatsOpMatchesRegistrySnapshot pins the wire-visible stat keys
+// older clients depend on.
+func TestStatsOpMatchesRegistrySnapshot(t *testing.T) {
+	srv := startServer(t, Config{})
+	c := dial(t, srv)
+	if _, err := c.Query("SELECT COUNT(*) FROM Patients"); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"queries", "statements", "rows_scanned", "sessions",
+		"server_conns_active", "server_conns_total", "server_conns_rejected",
+		"server_query_timeouts", "uptime_seconds",
+	} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("stats op missing key %q: %v", key, stats)
+		}
+	}
+	if stats["server_conns_active"] < 1 {
+		t.Errorf("server_conns_active = %d, want >= 1", stats["server_conns_active"])
+	}
+	snap := srv.Engine().StatsSnapshot()
+	if stats["queries"] != snap["queries"] {
+		// The wire op is a pass-through of the registry snapshot; a
+		// second snapshot taken with no traffic in between must agree.
+		t.Errorf("stats op queries=%d, snapshot queries=%d", stats["queries"], snap["queries"])
+	}
+}

@@ -10,12 +10,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"auditdb/internal/engine"
+	"auditdb/internal/obs"
 )
 
 // Config tunes a Server.
@@ -34,12 +37,17 @@ type Config struct {
 	// IdleTimeout closes connections with no request for this long; 0
 	// disables it.
 	IdleTimeout time.Duration
+	// Logger receives structured connection-lifecycle events; nil
+	// discards them. It is also installed on the engine so trigger
+	// firings and slow queries land in the same stream.
+	Logger *slog.Logger
 }
 
 // Server serves one engine over TCP.
 type Server struct {
 	eng *engine.Engine
 	cfg Config
+	log *slog.Logger
 
 	ln       net.Listener
 	mu       sync.Mutex
@@ -47,14 +55,37 @@ type Server struct {
 	connWG   sync.WaitGroup
 	draining atomic.Bool
 
-	connsTotal    atomic.Int64
-	connsRejected atomic.Int64
-	queryTimeouts atomic.Int64
+	// Server counters live in the engine's obs registry beside the
+	// engine's own, so the wire "stats" op and /metrics read one source.
+	connsTotal    *obs.Counter
+	connsRejected *obs.Counter
+	queryTimeouts *obs.Counter
 }
 
 // New wraps an engine in an unstarted server.
 func New(eng *engine.Engine, cfg Config) *Server {
-	return &Server{eng: eng, cfg: cfg, conns: make(map[*conn]struct{})}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	} else {
+		eng.SetLogger(log)
+	}
+	r := eng.Metrics()
+	s := &Server{
+		eng: eng,
+		cfg: cfg,
+		log: log,
+		connsTotal: r.NewCounter("auditdb_server_conns_total", "server_conns_total",
+			"Connections accepted."),
+		connsRejected: r.NewCounter("auditdb_server_conns_rejected_total", "server_conns_rejected",
+			"Connections refused at the MaxConns limit."),
+		queryTimeouts: r.NewCounter("auditdb_server_query_timeouts_total", "server_query_timeouts",
+			"Statements killed by the query timeout."),
+		conns: make(map[*conn]struct{}),
+	}
+	r.NewGaugeFunc("auditdb_server_conns_active", "server_conns_active",
+		"Connections currently served.", func() int64 { return int64(s.activeConns()) })
+	return s
 }
 
 // Engine returns the served engine (daemon setup scripts use it).
@@ -69,6 +100,8 @@ func (s *Server) Start() error {
 		return fmt.Errorf("auditdbd: listen %s: %w", s.cfg.Addr, err)
 	}
 	s.ln = ln
+	s.log.Info("server listening", "addr", ln.Addr().String(),
+		"max_conns", s.cfg.MaxConns, "query_timeout", s.cfg.QueryTimeout)
 	go s.acceptLoop()
 	return nil
 }
@@ -89,10 +122,13 @@ func (s *Server) acceptLoop() {
 		}
 		if s.cfg.MaxConns > 0 && s.activeConns() >= s.cfg.MaxConns {
 			s.connsRejected.Add(1)
+			s.log.Warn("connection refused", "remote", nc.RemoteAddr().String(),
+				"limit", s.cfg.MaxConns)
 			refuse(nc, fmt.Sprintf("connection limit reached (%d)", s.cfg.MaxConns))
 			continue
 		}
 		s.connsTotal.Add(1)
+		s.log.Info("connection accepted", "remote", nc.RemoteAddr().String())
 		c := newConn(s, nc)
 		s.mu.Lock()
 		s.conns[c] = struct{}{}
@@ -114,15 +150,16 @@ func (s *Server) removeConn(c *conn) {
 	s.mu.Unlock()
 }
 
-// Stats merges the engine's counters with the server's own.
+// Stats returns the shared obs-registry snapshot: engine counters and
+// server counters come from the same registry /metrics renders, so the
+// wire op and the Prometheus endpoint can never disagree.
 func (s *Server) Stats() map[string]int64 {
-	m := s.eng.StatsSnapshot()
-	m["server_conns_active"] = int64(s.activeConns())
-	m["server_conns_total"] = s.connsTotal.Load()
-	m["server_conns_rejected"] = s.connsRejected.Load()
-	m["server_query_timeouts"] = s.queryTimeouts.Load()
-	return m
+	return s.eng.StatsSnapshot()
 }
+
+// Metrics exposes the registry backing Stats so the daemon can mount
+// it on an HTTP /metrics listener.
+func (s *Server) Metrics() *obs.Registry { return s.eng.Metrics() }
 
 // Shutdown stops accepting connections and drains gracefully: every
 // in-flight statement runs to completion and its response is written
@@ -132,6 +169,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.draining.CompareAndSwap(false, true) {
 		return errors.New("auditdbd: already shut down")
 	}
+	s.log.Info("server draining", "active_conns", s.activeConns())
 	s.ln.Close()
 	// Unblock connections idle in a read; busy ones notice draining
 	// after writing their current response.
