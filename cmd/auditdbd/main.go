@@ -34,6 +34,7 @@ import (
 	"auditdb"
 	"auditdb/internal/engine"
 	"auditdb/internal/server"
+	"auditdb/internal/wal"
 )
 
 func main() {
@@ -49,6 +50,10 @@ func main() {
 		logFormat    = flag.String("log-format", "text", "log output format: text or json")
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		slowQuery    = flag.Duration("slow-query", 0, "log SELECTs with end-to-end latency at or above this (0 = disabled)")
+		dataDir      = flag.String("data-dir", "", "directory for the write-ahead log and checkpoints (empty = in-memory only)")
+		syncMode     = flag.String("sync", "interval", "WAL fsync policy: always, interval, or off")
+		syncInterval = flag.Duration("sync-interval", 50*time.Millisecond, "fsync period under -sync interval")
+		ckptInterval = flag.Duration("checkpoint-interval", 5*time.Minute, "periodic checkpoint cadence (0 = only on shutdown)")
 	)
 	flag.Parse()
 
@@ -72,7 +77,48 @@ func main() {
 
 	eng := engine.New()
 	eng.SetSlowQueryThreshold(*slowQuery)
-	if *demo {
+
+	// Durability: recover from the data directory, then attach the WAL
+	// so everything after this point — including -demo/-init — is
+	// logged. Recovered state means the seed scripts already ran on a
+	// previous boot; re-running them would double-apply.
+	fresh := true
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*syncMode)
+		if err != nil {
+			logger.Error("bad -sync", "err", err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		m, rec, err := wal.Open(*dataDir, wal.Options{
+			Sync:         policy,
+			SyncInterval: *syncInterval,
+			Metrics:      wal.NewMetrics(eng.Metrics()),
+		})
+		if err != nil {
+			logger.Error("opening data dir failed", "dir", *dataDir, "err", err)
+			os.Exit(1)
+		}
+		if err := eng.Recover(rec); err != nil {
+			logger.Error("recovery failed", "dir", *dataDir, "err", err)
+			os.Exit(1)
+		}
+		eng.AttachWAL(m)
+		fresh = rec.WasFresh()
+		logger.Info("recovered from data dir",
+			"dir", *dataDir,
+			"snapshot", rec.HasSnapshot,
+			"replayed_commits", len(rec.Commits),
+			"audit_seq", rec.AuditSeq,
+			"repaired_torn_tail", rec.Repaired,
+			"sync", policy.String(),
+			"took", time.Since(start))
+	}
+
+	if *demo && !fresh {
+		logger.Info("skipping -demo: data dir holds recovered state")
+	}
+	if *demo && fresh {
 		if _, err := eng.ExecScript(auditdb.HealthcareDemo); err != nil {
 			logger.Error("loading demo failed", "err", err)
 			os.Exit(1)
@@ -80,7 +126,10 @@ func main() {
 		logger.Info("loaded healthcare demo",
 			"audit_expression", "Audit_Alice", "trigger", "Log_Alice")
 	}
-	if *initScript != "" {
+	if *initScript != "" && !fresh {
+		logger.Info("skipping -init: data dir holds recovered state", "path", *initScript)
+	}
+	if *initScript != "" && fresh {
 		script, err := os.ReadFile(*initScript)
 		if err != nil {
 			logger.Error("reading init script failed", "path", *initScript, "err", err)
@@ -121,6 +170,32 @@ func main() {
 			"endpoints", "/metrics /healthz")
 	}
 
+	// Periodic checkpoints bound recovery time and data-WAL growth.
+	ckptStop := make(chan struct{})
+	ckptDone := make(chan struct{})
+	if eng.WAL() != nil && *ckptInterval > 0 {
+		go func() {
+			defer close(ckptDone)
+			ticker := time.NewTicker(*ckptInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					start := time.Now()
+					if err := eng.Checkpoint(); err != nil {
+						logger.Error("periodic checkpoint failed", "err", err)
+					} else {
+						logger.Info("checkpoint complete", "took", time.Since(start))
+					}
+				case <-ckptStop:
+					return
+				}
+			}
+		}()
+	} else {
+		close(ckptDone)
+	}
+
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	sig := <-sigCh
@@ -130,6 +205,18 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		logger.Error("shutdown failed", "err", err)
 		os.Exit(1)
+	}
+	if eng.WAL() != nil {
+		close(ckptStop)
+		<-ckptDone
+		// A clean shutdown leaves one snapshot and an empty data WAL, so
+		// the next boot recovers from the checkpoint alone.
+		if err := eng.Checkpoint(); err != nil {
+			logger.Error("shutdown checkpoint failed", "err", err)
+		}
+		if err := eng.CloseWAL(); err != nil {
+			logger.Error("closing wal failed", "err", err)
+		}
 	}
 	for k, v := range srv.Stats() {
 		fmt.Printf("  %-22s %d\n", k, v)

@@ -493,6 +493,10 @@ type Notify struct {
 	Message Expr
 }
 
+// VerifyAuditLog re-reads the on-disk audit trail and reports whether
+// the hash chain is intact (VERIFY AUDIT LOG).
+type VerifyAuditLog struct{}
+
 // TxBegin starts an explicit transaction (BEGIN).
 type TxBegin struct{}
 
@@ -533,6 +537,7 @@ func (*Explain) stmtNode()               {}
 func (*TxBegin) stmtNode()               {}
 func (*TxCommit) stmtNode()              {}
 func (*TxRollback) stmtNode()            {}
+func (*VerifyAuditLog) stmtNode()        {}
 
 // WalkExprs calls fn for every sub-expression of e (including e),
 // without descending into subquery Select nodes.

@@ -214,6 +214,41 @@ func (c *Client) Ping() error {
 	return err
 }
 
+// VerifyResult is the server's audit-trail integrity verdict.
+type VerifyResult struct {
+	Valid   bool
+	Records uint64
+	Head    string
+	Reason  string
+}
+
+// VerifyAuditLog asks the server to re-read its on-disk audit trail
+// and check the hash chain. A nil error with Valid=false means the
+// check ran and found tampering or truncation; an error means the
+// check itself could not run (e.g. durability is disabled).
+func (c *Client) VerifyAuditLog() (*VerifyResult, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpVerifyAudit})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Verify == nil {
+		return nil, fmt.Errorf("server returned no verify result")
+	}
+	return &VerifyResult{
+		Valid:   resp.Verify.Valid,
+		Records: resp.Verify.Records,
+		Head:    resp.Verify.Head,
+		Reason:  resp.Verify.Reason,
+	}, nil
+}
+
+// Checkpoint asks the server to snapshot the database and truncate
+// covered WAL segments.
+func (c *Client) Checkpoint() error {
+	_, err := c.roundTrip(&wire.Request{Op: wire.OpCheckpoint})
+	return err
+}
+
 // Stmt is a server-side prepared statement bound to this connection's
 // session.
 type Stmt struct {

@@ -8,6 +8,7 @@ import (
 	"auditdb/internal/plan"
 	"auditdb/internal/storage"
 	"auditdb/internal/value"
+	"auditdb/internal/wal"
 	"fmt"
 )
 
@@ -283,6 +284,7 @@ func (e *Engine) afterDML(meta *catalog.TableMeta, applied []change, sql string,
 	if len(applied) == 0 {
 		return nil
 	}
+	e.bufferDML(env, meta, applied)
 	var inserted, deleted []value.Row
 	for _, c := range applied {
 		if c.new != nil {
@@ -386,7 +388,20 @@ func (e *Engine) LoadRows(table string, rows []value.Row) error {
 		stored, _ := tbl.Get(id)
 		applied = append(applied, change{table: tbl, id: id, new: stored})
 	}
+	// One commit record for the whole batch, appended while the writer
+	// lock still excludes checkpoints.
+	var walErr error
+	if e.wal != nil && len(applied) > 0 {
+		ops := make([]wal.Op, len(applied))
+		for i, c := range applied {
+			ops[i] = wal.Op{Kind: wal.OpInsert, Table: meta.Name, New: c.new}
+		}
+		walErr = e.wal.AppendCommit(ops)
+	}
 	e.dmlMu.Unlock()
+	if walErr != nil {
+		return walErr
+	}
 	inserted := make([]value.Row, len(applied))
 	for i, c := range applied {
 		inserted[i] = c.new

@@ -10,13 +10,18 @@ import (
 	"auditdb/internal/value"
 )
 
-// Dump serializes the whole database — schema, data, indexes, audit
-// expressions and triggers — as a SQL script this engine can replay.
-// Loading a dump with ExecScript (or Restore) reproduces the database,
-// including compiled audit state, because the auditing DDL is emitted
-// after the data, so materialized ID sets are rebuilt from the loaded
-// rows.
-func (e *Engine) Dump(w io.Writer) error {
+// dumpLocked serializes the whole database — schema, data, indexes,
+// audit expressions and triggers — as a SQL script this engine can
+// replay. Loading a dump with ExecScript (or Restore) reproduces the
+// database, including compiled audit state, because the auditing DDL
+// is emitted after the data, so materialized ID sets are rebuilt from
+// the loaded rows.
+//
+// The caller must hold dmlMu (Engine.Dump in durability.go does; the
+// WAL checkpoint path already holds it). Without the writer lock a
+// dump could interleave with concurrent DML and serialize a state no
+// transaction ever produced.
+func (e *Engine) dumpLocked(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintln(bw, "-- auditdb dump"); err != nil {
 		return err

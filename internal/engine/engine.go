@@ -25,6 +25,7 @@ import (
 	"auditdb/internal/plan"
 	"auditdb/internal/storage"
 	"auditdb/internal/value"
+	"auditdb/internal/wal"
 )
 
 // MaxCascadeDepth bounds trigger cascades (SELECT trigger actions can
@@ -39,6 +40,14 @@ type Engine struct {
 
 	// dmlMu serializes writers; readers run against storage snapshots.
 	dmlMu sync.Mutex
+
+	// wal enables durability when non-nil (set once via AttachWAL before
+	// serving). ckptMu fences commits against checkpoints: autocommit
+	// statements hold the read side from first write to WAL flush,
+	// Checkpoint holds the write side. Lock order: ckptMu, then dmlMu.
+	// See durability.go.
+	wal    *wal.Manager
+	ckptMu sync.RWMutex
 
 	mu       sync.RWMutex
 	notify   func(msg string)
@@ -288,14 +297,19 @@ type actionEnv struct {
 	// trigger actions — the paper's system transactions).
 	lockHeld bool
 	depth    int
+	// unit buffers WAL operations for the atomic unit this statement
+	// belongs to; trigger cascades share their firing statement's unit,
+	// SELECT-trigger system transactions get their own (trigger.go).
+	unit *walUnit
 }
 
 func rootActionEnv() *actionEnv { return &actionEnv{} }
 
 func (a *actionEnv) child() *actionEnv {
 	// Classic trigger actions join the enclosing transaction's undo
-	// scope; SELECT-trigger actions clear txn via systemChild.
-	return &actionEnv{depth: a.depth + 1, txn: a.txn, sess: a.sess, lockHeld: a.lockHeld}
+	// scope (and its WAL unit); SELECT-trigger actions clear txn via
+	// systemChild.
+	return &actionEnv{depth: a.depth + 1, txn: a.txn, sess: a.sess, lockHeld: a.lockHeld, unit: a.unit}
 }
 
 // systemChild derives the environment for a SELECT trigger's action:
@@ -321,6 +335,29 @@ func (e *Engine) execStmt(stmt ast.Stmt, sql string, env *actionEnv) (*Result, e
 	if env.txn == nil && env.depth == 0 {
 		env.txn = e.sessionOf(env).openTxn()
 	}
+	// A top-level autocommit statement is one durable atomic unit:
+	// everything it and its trigger cascade write becomes a single WAL
+	// commit record, flushed when the statement finishes (on error too —
+	// with no transaction there is no undo, so applied changes stay in
+	// memory and must reach the log). The checkpoint read-lock spans
+	// apply and flush so a checkpoint can never capture a change in its
+	// snapshot while the change's commit record lands in a segment the
+	// checkpoint does not truncate.
+	if e.wal != nil && env.depth == 0 && env.txn == nil && env.unit == nil {
+		e.ckptMu.RLock()
+		env.unit = &walUnit{}
+		res, err := e.dispatchStmt(stmt, sql, env)
+		flushErr := e.flushUnit(env.unit)
+		e.ckptMu.RUnlock()
+		if err == nil {
+			err = flushErr
+		}
+		return res, err
+	}
+	return e.dispatchStmt(stmt, sql, env)
+}
+
+func (e *Engine) dispatchStmt(stmt ast.Stmt, sql string, env *actionEnv) (*Result, error) {
 	switch s := stmt.(type) {
 	case *ast.Select:
 		return e.runSelect(s, sql, env)
@@ -331,19 +368,19 @@ func (e *Engine) execStmt(stmt ast.Stmt, sql string, env *actionEnv) (*Result, e
 	case *ast.Delete:
 		return e.runDelete(s, sql, env)
 	case *ast.CreateTable:
-		return e.runCreateTable(s)
+		return e.execDDL(env, stmt, func() (*Result, error) { return e.runCreateTable(s) })
 	case *ast.CreateIndex:
-		return e.runCreateIndex(s)
+		return e.execDDL(env, stmt, func() (*Result, error) { return e.runCreateIndex(s) })
 	case *ast.DropTable:
-		return e.runDropTable(s)
+		return e.execDDL(env, stmt, func() (*Result, error) { return e.runDropTable(s) })
 	case *ast.CreateAuditExpression:
-		return e.runCreateAuditExpression(s)
+		return e.execDDL(env, stmt, func() (*Result, error) { return e.runCreateAuditExpression(s) })
 	case *ast.DropAuditExpression:
-		return e.runDropAuditExpression(s)
+		return e.execDDL(env, stmt, func() (*Result, error) { return e.runDropAuditExpression(s) })
 	case *ast.CreateTrigger:
-		return e.runCreateTrigger(s)
+		return e.execDDL(env, stmt, func() (*Result, error) { return e.runCreateTrigger(s) })
 	case *ast.DropTrigger:
-		return e.runDropTrigger(s)
+		return e.execDDL(env, stmt, func() (*Result, error) { return e.runDropTrigger(s) })
 	case *ast.If:
 		return e.runIf(s, sql, env)
 	case *ast.Notify:
@@ -351,14 +388,27 @@ func (e *Engine) execStmt(stmt ast.Stmt, sql string, env *actionEnv) (*Result, e
 	case *ast.Explain:
 		return e.runExplain(s, sql, env)
 	case *ast.CreateView:
-		return e.runCreateView(s)
+		return e.execDDL(env, stmt, func() (*Result, error) { return e.runCreateView(s) })
 	case *ast.DropView:
-		return e.runDropView(s)
+		return e.execDDL(env, stmt, func() (*Result, error) { return e.runDropView(s) })
 	case *ast.DropIndex:
-		return e.runDropIndex(s)
+		return e.execDDL(env, stmt, func() (*Result, error) { return e.runDropIndex(s) })
+	case *ast.VerifyAuditLog:
+		return e.runVerifyAuditLog()
 	default:
 		return nil, fmt.Errorf("unsupported statement %T", stmt)
 	}
+}
+
+// execDDL runs one DDL statement and, on success, buffers its
+// canonical text on the current atomic unit so replay re-executes it
+// in order with the surrounding DML.
+func (e *Engine) execDDL(env *actionEnv, stmt ast.Stmt, run func() (*Result, error)) (*Result, error) {
+	res, err := run()
+	if err == nil {
+		e.bufferDDL(env, stmt)
+	}
+	return res, err
 }
 
 // planEnv builds the plan environment for a statement executed under

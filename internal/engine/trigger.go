@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"auditdb/internal/catalog"
 	"auditdb/internal/core"
@@ -37,6 +38,16 @@ func (e *Engine) fireAccessTriggers(ae *core.AuditExpression, acc *core.Accessed
 		rows[i] = value.Row{id}
 	}
 
+	// The firing itself is evidence: append it to the hash-chained audit
+	// stream before the action bodies run, so even an action that errors
+	// leaves the access on record.
+	if e.wal != nil {
+		err := e.wal.AppendAudit(e.sessionOf(env).User(), ae.Meta.Name, sql, ids, time.Now().UnixNano())
+		if err != nil {
+			return fmt.Errorf("audit log append: %w", err)
+		}
+	}
+
 	for _, meta := range triggers {
 		ct := e.compiled(meta.Name)
 		if ct == nil {
@@ -44,10 +55,14 @@ func (e *Engine) fireAccessTriggers(ae *core.AuditExpression, acc *core.Accessed
 		}
 		// The action is its own system transaction (§II): its writes do
 		// not roll back with a reading transaction, keeping the audit
-		// trail tamper-resistant.
+		// trail tamper-resistant — and its own WAL unit, committed when
+		// the action completes, for the same reason.
 		sub := env.systemChild()
 		sub.extraSchema = map[string]plan.Schema{accessedName: schema}
 		sub.extraRows = map[string][]value.Row{accessedName: rows}
+		if e.wal != nil {
+			sub.unit = &walUnit{}
+		}
 		e.stats.TriggersFired.Add(1)
 		e.Logger().Info("select trigger fired",
 			"trigger", meta.Name,
@@ -57,10 +72,21 @@ func (e *Engine) fireAccessTriggers(ae *core.AuditExpression, acc *core.Accessed
 			"accessed_ids", len(ids),
 			"sql", sql,
 		)
+		var bodyErr error
 		for _, stmt := range ct.body {
 			if _, err := e.execStmt(stmt, sql, sub); err != nil {
-				return fmt.Errorf("trigger %s: %w", meta.Name, err)
+				bodyErr = fmt.Errorf("trigger %s: %w", meta.Name, err)
+				break
 			}
+		}
+		// Flush even on error: a partially executed action's applied
+		// writes stay in memory (system transactions have no undo), so
+		// they must reach the log too.
+		if err := e.flushUnit(sub.unit); err != nil && bodyErr == nil {
+			bodyErr = fmt.Errorf("trigger %s: %w", meta.Name, err)
+		}
+		if bodyErr != nil {
+			return bodyErr
 		}
 	}
 	return nil

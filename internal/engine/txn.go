@@ -5,6 +5,7 @@ import (
 
 	"auditdb/internal/ast"
 	"auditdb/internal/parser"
+	"auditdb/internal/wal"
 )
 
 // Txn is an explicit transaction: the engine's writer lock is held for
@@ -19,6 +20,11 @@ type Txn struct {
 	// actions); nil means the default session.
 	sess *Session
 	undo []change
+	// wal buffers the transaction's operations (created lazily); Commit
+	// appends them as one record before releasing the writer lock, so a
+	// checkpoint acquiring it afterwards always sees the record in a
+	// segment its snapshot covers.
+	wal  *walUnit
 	done bool
 }
 
@@ -52,20 +58,29 @@ func (t *Txn) Exec(sql string) (*Result, error) {
 // Query runs a SELECT inside the transaction (audited as usual).
 func (t *Txn) Query(sql string) (*Result, error) { return t.Exec(sql) }
 
-// Commit makes the transaction's changes permanent and releases the
-// writer lock.
+// Commit makes the transaction's changes permanent — durably, when a
+// WAL is attached: the commit record (trigger-cascade writes
+// included) is appended and group-committed before the writer lock is
+// released.
 func (t *Txn) Commit() error {
 	if t.done {
 		return fmt.Errorf("transaction already finished")
 	}
 	t.done = true
 	t.undo = nil
+	var err error
+	if t.wal != nil {
+		err = t.e.flushUnit(t.wal)
+		t.wal = nil
+	}
 	t.e.dmlMu.Unlock()
-	return nil
+	return err
 }
 
 // Rollback undoes the transaction's changes (reverse order), restores
-// the audit-expression ID sets, and releases the writer lock.
+// the audit-expression ID sets, and releases the writer lock. DDL is
+// not undone by rollback in this engine, so any DDL the transaction
+// ran is still logged (DML ops are discarded with the rollback).
 func (t *Txn) Rollback() error {
 	if t.done {
 		return fmt.Errorf("transaction already finished")
@@ -73,9 +88,25 @@ func (t *Txn) Rollback() error {
 	t.done = true
 	undo(t.undo)
 	t.undo = nil
+	var walErr error
+	if t.wal != nil {
+		n := 0
+		for _, op := range t.wal.ops {
+			if op.Kind == wal.OpDDL {
+				t.wal.ops[n] = op
+				n++
+			}
+		}
+		t.wal.ops = t.wal.ops[:n]
+		walErr = t.e.flushUnit(t.wal)
+		t.wal = nil
+	}
 	err := t.e.reg.RefreshAll()
 	t.e.dmlMu.Unlock()
-	return err
+	if err != nil {
+		return err
+	}
+	return walErr
 }
 
 // record registers applied changes for rollback.

@@ -177,6 +177,10 @@ func (p *parser) parseStatement() (ast.Stmt, error) {
 	if t.Kind == lexer.TokIdent && strings.EqualFold(t.Text, "NOTIFY") {
 		return p.parseNotify()
 	}
+	// VERIFY is likewise soft: only "VERIFY AUDIT LOG" is a statement.
+	if t.Kind == lexer.TokIdent && strings.EqualFold(t.Text, "VERIFY") {
+		return p.parseVerifyAuditLog()
+	}
 	if t.Kind != lexer.TokKeyword {
 		return nil, p.errf("expected statement, found %s", p.describe(t))
 	}
@@ -915,4 +919,21 @@ func (p *parser) parseNotify() (ast.Stmt, error) {
 		return nil, err
 	}
 	return &ast.Notify{Message: msg}, nil
+}
+
+func (p *parser) parseVerifyAuditLog() (ast.Stmt, error) {
+	if t := p.peek(); t.Kind != lexer.TokIdent || !strings.EqualFold(t.Text, "VERIFY") {
+		return nil, p.errf("expected VERIFY, found %s", p.describe(t))
+	}
+	p.next()
+	// AUDIT is reserved (audit-expression DDL); LOG is an ordinary
+	// identifier.
+	if err := p.expectKeyword("AUDIT"); err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.Kind != lexer.TokIdent || !strings.EqualFold(t.Text, "LOG") {
+		return nil, p.errf("expected LOG after VERIFY AUDIT, found %s", p.describe(t))
+	}
+	p.next()
+	return &ast.VerifyAuditLog{}, nil
 }

@@ -169,6 +169,26 @@ func (c *conn) dispatch(req *wire.Request) *wire.Response {
 	case wire.OpCloseStmt:
 		delete(c.stmts, req.Stmt)
 		return &wire.Response{OK: true}
+	case wire.OpVerifyAudit:
+		rep, err := c.srv.eng.VerifyAuditLog()
+		if err != nil {
+			return errResp("%v", err)
+		}
+		return &wire.Response{OK: true, Verify: &wire.VerifyResult{
+			Valid:   rep.Valid,
+			Records: rep.Records,
+			Head:    rep.HeadHex,
+			Reason:  rep.Reason,
+		}}
+	case wire.OpCheckpoint:
+		// Checkpoints exclude all writers; run under the query timeout so
+		// a wedged one cannot hold the connection forever.
+		return c.guard(func() *wire.Response {
+			if err := c.srv.eng.Checkpoint(); err != nil {
+				return errResp("%v", err)
+			}
+			return &wire.Response{OK: true}
+		})
 	default:
 		return errResp("unknown op %q", req.Op)
 	}

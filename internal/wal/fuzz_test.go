@@ -1,0 +1,56 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+
+	"auditdb/internal/value"
+)
+
+// FuzzScanBytes pins the decoder's safety contract: arbitrary bytes —
+// torn writes, bit flips, truncated tails, hostile length prefixes —
+// must never panic, must never claim more valid bytes than exist, and
+// the decoded records must re-encode to exactly the valid prefix (the
+// canonical-encoding property the audit hash chain relies on).
+func FuzzScanBytes(f *testing.F) {
+	var seed []byte
+	for _, r := range []*Record{
+		{Type: RecCommit, Commit: &Commit{Ops: []Op{
+			{Kind: OpInsert, Table: "T", New: value.Row{{Kind: value.KindInt, I: 42}}},
+			{Kind: OpUpdate, Table: "T",
+				Old: value.Row{{Kind: value.KindString, S: "a"}},
+				New: value.Row{{Kind: value.KindFloat, F: 1.5}}},
+			{Kind: OpDelete, Table: "T", Old: value.Row{value.Null, {Kind: value.KindBool, I: 1}}},
+			{Kind: OpDDL, SQL: "CREATE TABLE T (A INT)"},
+		}}},
+		{Type: RecAudit, Audit: &Audit{Seq: 1, User: "u", Expr: "e", SQL: "SELECT 1",
+			UnixNano: 7, IDs: []value.Value{{Kind: value.KindDate, I: 19000}}}},
+		{Type: RecCheckpoint, Checkpoint: &Checkpoint{AuditSeq: 3, UnixNano: 9}},
+	} {
+		seed = AppendRecord(seed, r)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)-5])                            // torn tail
+	f.Add([]byte{})                                      // empty
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1}) // hostile length
+	mut := append([]byte(nil), seed...)
+	mut[6] ^= 0x20 // CRC flip
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, valid, err := ScanBytes(data)
+		if valid > len(data) {
+			t.Fatalf("valid %d exceeds input %d", valid, len(data))
+		}
+		if err == nil && valid != len(data) {
+			t.Fatalf("no error but only %d of %d bytes consumed", valid, len(data))
+		}
+		var re []byte
+		for _, r := range recs {
+			re = AppendRecord(re, r)
+		}
+		if !bytes.Equal(re, data[:valid]) {
+			t.Fatalf("re-encoded records differ from the valid prefix")
+		}
+	})
+}

@@ -1,0 +1,524 @@
+package wal
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"auditdb/internal/value"
+)
+
+// Layout under the data directory:
+//
+//	wal/%06d.wal          committed DML/DDL + checkpoint markers
+//	audit/%06d.wal        hash-chained trigger-firing records
+//	checkpoint-%06d.sql   snapshot; the index is the first data
+//	                      segment NOT covered by the snapshot
+//
+// The audit stream is never truncated by checkpoints: it is the
+// evidence the system exists to keep. A checkpoint file's first line
+// is a meta comment anchoring the audit chain (seq + head hash) at
+// snapshot time; because the file is fsynced before old segments are
+// deleted, the anchor makes truncation of the audit log detectable
+// even across restarts, when the in-memory head is itself rebuilt
+// from the (possibly truncated) disk state.
+const (
+	dataDirName  = "wal"
+	auditDirName = "audit"
+	ckptPrefix   = "checkpoint-"
+	ckptExt      = ".sql"
+	metaComment  = "-- auditdb-checkpoint "
+)
+
+// Options configures Open.
+type Options struct {
+	Sync         SyncPolicy
+	SyncInterval time.Duration // fsync period under SyncInterval (default 50ms)
+	MaxSegBytes  int64         // segment rotation threshold (default 4 MiB)
+	Metrics      *Metrics      // nil = no metrics
+}
+
+// Recovery is what Open found on disk: the state the engine must
+// rebuild before serving. Commits excludes units already covered by
+// the snapshot.
+type Recovery struct {
+	SnapshotSQL string // latest checkpoint's dump ("" = none)
+	HasSnapshot bool
+	Commits     []*Commit
+	AuditSeq    uint64 // audit-chain position after load
+	Repaired    bool   // a torn tail was truncated in either stream
+}
+
+// WasFresh reports whether the data directory held no prior state.
+func (r *Recovery) WasFresh() bool {
+	return !r.HasSnapshot && len(r.Commits) == 0 && r.AuditSeq == 0
+}
+
+// ckptMeta is the JSON in a checkpoint file's leading meta comment.
+type ckptMeta struct {
+	AuditSeq  uint64 `json:"audit_seq"`
+	AuditHead string `json:"audit_head"` // hex SHA-256
+	UnixNano  int64  `json:"unix_nano"`
+}
+
+// Manager owns one data directory's log streams and checkpoints.
+type Manager struct {
+	dir      string
+	opts     Options
+	metrics  *Metrics
+	dataW    *logWriter
+	auditW   *logWriter
+	closeMu  sync.Mutex
+	closedCh bool
+
+	// Audit chain head. auditMu also serializes appends with
+	// verification and anchor capture.
+	auditMu   sync.Mutex
+	auditSeq  uint64
+	auditHead [HashSize]byte
+
+	// Latest checkpoint's anchor, for VerifyAudit.
+	anchorMu sync.Mutex
+	anchor   *ckptMeta
+}
+
+// Open prepares dir (created if missing), repairs torn tails, loads
+// the latest checkpoint and the records after it, rebuilds the audit
+// chain head, and starts the group-commit writers.
+func Open(dir string, opts Options) (*Manager, *Recovery, error) {
+	if opts.SyncInterval <= 0 {
+		opts.SyncInterval = 50 * time.Millisecond
+	}
+	if opts.MaxSegBytes <= 0 {
+		opts.MaxSegBytes = 4 << 20
+	}
+	dataDir := filepath.Join(dir, dataDirName)
+	auditDir := filepath.Join(dir, auditDirName)
+	for _, d := range []string{dataDir, auditDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, nil, err
+		}
+	}
+	removeStaleTemps(dir)
+
+	m := &Manager{dir: dir, opts: opts, metrics: opts.Metrics}
+	rec := &Recovery{}
+
+	// Latest checkpoint, if any.
+	ckptIdx, meta, sql, err := loadLatestCheckpoint(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if meta != nil {
+		rec.SnapshotSQL = sql
+		rec.HasSnapshot = true
+		m.anchor = meta
+	}
+
+	// Finish any interrupted truncation: data segments below the
+	// checkpoint index are fully covered by the snapshot.
+	if ckptIdx > 0 {
+		if err := removeSegmentsBelow(dataDir, ckptIdx); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	dataScan, err := scanDir(dataDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range dataScan.records {
+		if r.Type == RecCommit {
+			rec.Commits = append(rec.Commits, r.Commit)
+		}
+	}
+
+	auditScan, err := scanDir(auditDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range auditScan.records {
+		if r.Type != RecAudit {
+			continue
+		}
+		m.auditSeq = r.Audit.Seq
+		m.auditHead = r.Audit.Hash()
+	}
+	rec.AuditSeq = m.auditSeq
+	rec.Repaired = dataScan.repaired || auditScan.repaired
+
+	m.dataW, err = newLogWriter(dataDir, dataScan.tail, dataScan.tailSize,
+		opts.Sync, opts.SyncInterval, opts.MaxSegBytes, m.metrics)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.auditW, err = newLogWriter(auditDir, auditScan.tail, auditScan.tailSize,
+		opts.Sync, opts.SyncInterval, opts.MaxSegBytes, m.metrics)
+	if err != nil {
+		m.dataW.close()
+		return nil, nil, err
+	}
+	return m, rec, nil
+}
+
+// Close flushes and stops both writers.
+func (m *Manager) Close() error {
+	m.closeMu.Lock()
+	defer m.closeMu.Unlock()
+	if m.closedCh {
+		return nil
+	}
+	m.closedCh = true
+	err1 := m.dataW.close()
+	err2 := m.auditW.close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Dir returns the data directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// AppendCommit logs one atomic unit's operations and blocks until the
+// group-commit batch containing it reaches the log (and, under
+// SyncAlways, the disk).
+func (m *Manager) AppendCommit(ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	frame := AppendRecord(nil, &Record{Type: RecCommit, Commit: &Commit{Ops: ops}})
+	return m.dataW.submit(frame)
+}
+
+// AppendAudit logs one trigger firing's accessed-ID set, chained to
+// its predecessor. Chain order and log order must agree, so the
+// enqueue happens under the chain mutex; the wait for durability does
+// not, preserving group commit across concurrent auditors.
+func (m *Manager) AppendAudit(user, expr, sql string, ids []value.Value, unixNano int64) error {
+	m.auditMu.Lock()
+	a := &Audit{
+		Seq:      m.auditSeq + 1,
+		Prev:     m.auditHead,
+		User:     user,
+		Expr:     expr,
+		SQL:      sql,
+		UnixNano: unixNano,
+		IDs:      ids,
+	}
+	frame := AppendRecord(nil, &Record{Type: RecAudit, Audit: a})
+	ch, err := m.auditW.submitAsync(frame)
+	if err != nil {
+		m.auditMu.Unlock()
+		return err
+	}
+	m.auditSeq = a.Seq
+	m.auditHead = a.Hash()
+	m.auditMu.Unlock()
+	return <-ch
+}
+
+// AuditState returns the in-memory chain position.
+func (m *Manager) AuditState() (seq uint64, head [HashSize]byte) {
+	m.auditMu.Lock()
+	defer m.auditMu.Unlock()
+	return m.auditSeq, m.auditHead
+}
+
+// Checkpoint writes a snapshot (via dump, typically engine.Dump) and
+// truncates the data segments it covers. The caller must hold the
+// engine's commit locks: no commit may land between the rotation
+// barrier and the dump, or replay would double-apply it.
+func (m *Manager) Checkpoint(dump func(io.Writer) error) error {
+	start := time.Now()
+
+	// Make the audit records the anchor will vouch for durable first.
+	if err := m.auditW.barrier(false); err != nil {
+		return fmt.Errorf("wal: audit flush before checkpoint: %w", err)
+	}
+	m.auditMu.Lock()
+	meta := &ckptMeta{
+		AuditSeq:  m.auditSeq,
+		AuditHead: hex.EncodeToString(m.auditHead[:]),
+		UnixNano:  start.UnixNano(),
+	}
+	auditHead := m.auditHead
+	m.auditMu.Unlock()
+
+	// Seal the data log: everything before the new tail segment is in
+	// the snapshot's past.
+	tail, err := m.dataW.barrierRotate()
+	if err != nil {
+		return fmt.Errorf("wal: sealing data log: %w", err)
+	}
+
+	// Snapshot to a temp file, fsync, rename: the checkpoint either
+	// exists completely or not at all.
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(m.dir, checkpointName(tail))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	werr := func() error {
+		if _, err := fmt.Fprintf(f, "%s%s\n", metaComment, metaJSON); err != nil {
+			return err
+		}
+		if err := dump(f); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: writing checkpoint: %w", werr)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	if err := syncDir(m.dir); err != nil {
+		return err
+	}
+	m.anchorMu.Lock()
+	m.anchor = meta
+	m.anchorMu.Unlock()
+
+	// Marker in the new segment, then drop what the snapshot covers.
+	marker := AppendRecord(nil, &Record{Type: RecCheckpoint, Checkpoint: &Checkpoint{
+		AuditSeq:  meta.AuditSeq,
+		AuditHead: auditHead,
+		UnixNano:  meta.UnixNano,
+	}})
+	if err := m.dataW.submit(marker); err != nil {
+		return err
+	}
+	if err := removeSegmentsBelow(filepath.Join(m.dir, dataDirName), tail); err != nil {
+		return err
+	}
+	if err := removeCheckpointsBelow(m.dir, tail); err != nil {
+		return err
+	}
+	if m.metrics != nil {
+		m.metrics.Checkpoints.Inc()
+		m.metrics.CheckpointDur.ObserveDuration(time.Since(start))
+	}
+	return nil
+}
+
+// VerifyReport is the result of a VERIFY AUDIT LOG pass.
+type VerifyReport struct {
+	Valid   bool
+	Records uint64
+	HeadHex string
+	Reason  string // why Valid is false
+}
+
+// VerifyAudit re-reads the audit stream from disk and checks every
+// link: each record's Prev must equal its predecessor's SHA-256,
+// sequence numbers must be gapless from 1, the recomputed head must
+// match the live in-memory head, and the latest checkpoint's anchor
+// must sit on the chain — so an edited record, a truncated tail, or a
+// deleted segment is reported even after a restart rebuilt the
+// in-memory head from the tampered file.
+func (m *Manager) VerifyAudit() (*VerifyReport, error) {
+	// Quiesce appends and flush buffered records so disk is current.
+	m.auditMu.Lock()
+	defer m.auditMu.Unlock()
+	if err := m.auditW.barrier(false); err != nil {
+		return nil, err
+	}
+
+	auditDir := filepath.Join(m.dir, auditDirName)
+	idx, err := listSegments(auditDir)
+	if err != nil {
+		return nil, err
+	}
+	invalid := func(format string, args ...any) (*VerifyReport, error) {
+		return &VerifyReport{Valid: false, Reason: fmt.Sprintf(format, args...)}, nil
+	}
+	var (
+		seq  uint64
+		head [HashSize]byte
+	)
+	anchorChecked := false
+	m.anchorMu.Lock()
+	anchor := m.anchor
+	m.anchorMu.Unlock()
+	if anchor != nil && anchor.AuditSeq == 0 {
+		anchorChecked = true // chain was empty at checkpoint; nothing to pin
+	}
+	for _, n := range idx {
+		b, err := os.ReadFile(filepath.Join(auditDir, segmentName(n)))
+		if err != nil {
+			return nil, err
+		}
+		recs, valid, scanErr := ScanBytes(b)
+		if scanErr != nil {
+			return invalid("segment %s corrupt at offset %d: %v", segmentName(n), valid, scanErr)
+		}
+		for _, r := range recs {
+			if r.Type != RecAudit {
+				return invalid("segment %s holds a non-audit record (type %d)", segmentName(n), r.Type)
+			}
+			a := r.Audit
+			if a.Seq != seq+1 {
+				return invalid("sequence gap: record %d follows record %d", a.Seq, seq)
+			}
+			if a.Prev != head {
+				return invalid("broken hash chain at record %d: stored predecessor hash does not match", a.Seq)
+			}
+			seq = a.Seq
+			head = a.Hash()
+			if anchor != nil && seq == anchor.AuditSeq {
+				if hex.EncodeToString(head[:]) != anchor.AuditHead {
+					return invalid("checkpoint anchor mismatch at record %d: chain was rewritten before the last checkpoint", seq)
+				}
+				anchorChecked = true
+			}
+		}
+	}
+	if anchor != nil && !anchorChecked {
+		return invalid("audit log truncated: checkpoint anchors record %d, log ends at %d", anchor.AuditSeq, seq)
+	}
+	if seq != m.auditSeq || head != m.auditHead {
+		return invalid("on-disk chain (record %d) does not match live head (record %d): log modified underneath the server", seq, m.auditSeq)
+	}
+	return &VerifyReport{Valid: true, Records: seq, HeadHex: hex.EncodeToString(head[:])}, nil
+}
+
+// ---- checkpoint files ----
+
+func checkpointName(index uint64) string {
+	return fmt.Sprintf("%s%06d%s", ckptPrefix, index, ckptExt)
+}
+
+// listCheckpoints returns checkpoint indexes in dir, ascending.
+func listCheckpoints(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var idx []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptExt) {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptExt), 10, 64)
+		if err != nil || n == 0 {
+			continue
+		}
+		idx = append(idx, n)
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	return idx, nil
+}
+
+// loadLatestCheckpoint returns the highest checkpoint's index, meta,
+// and snapshot SQL (meta line stripped). Index 0 means none.
+func loadLatestCheckpoint(dir string) (uint64, *ckptMeta, string, error) {
+	idx, err := listCheckpoints(dir)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	if len(idx) == 0 {
+		return 0, nil, "", nil
+	}
+	n := idx[len(idx)-1]
+	b, err := os.ReadFile(filepath.Join(dir, checkpointName(n)))
+	if err != nil {
+		return 0, nil, "", err
+	}
+	line, rest, _ := bytes.Cut(b, []byte("\n"))
+	if !bytes.HasPrefix(line, []byte(metaComment)) {
+		return 0, nil, "", fmt.Errorf("wal: checkpoint %s has no meta line", checkpointName(n))
+	}
+	meta := &ckptMeta{}
+	if err := json.Unmarshal(bytes.TrimPrefix(line, []byte(metaComment)), meta); err != nil {
+		return 0, nil, "", fmt.Errorf("wal: checkpoint %s meta: %w", checkpointName(n), err)
+	}
+	if h, err := hex.DecodeString(meta.AuditHead); err != nil || len(h) != HashSize {
+		return 0, nil, "", fmt.Errorf("wal: checkpoint %s meta: bad audit head", checkpointName(n))
+	}
+	return n, meta, string(rest), nil
+}
+
+func removeSegmentsBelow(dir string, index uint64) error {
+	idx, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for _, n := range idx {
+		if n >= index {
+			break
+		}
+		if err := os.Remove(filepath.Join(dir, segmentName(n))); err != nil {
+			return err
+		}
+		removed = true
+	}
+	if removed {
+		return syncDir(dir)
+	}
+	return nil
+}
+
+func removeCheckpointsBelow(dir string, index uint64) error {
+	idx, err := listCheckpoints(dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for _, n := range idx {
+		if n >= index {
+			break
+		}
+		if err := os.Remove(filepath.Join(dir, checkpointName(n))); err != nil {
+			return err
+		}
+		removed = true
+	}
+	if removed {
+		return syncDir(dir)
+	}
+	return nil
+}
+
+// removeStaleTemps deletes checkpoint temp files left by a crash
+// mid-checkpoint; the rename never happened, so they are garbage.
+func removeStaleTemps(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, ckptPrefix) && strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// sha256Zero is the chain's genesis predecessor (all zero bytes).
+var sha256Zero [sha256.Size]byte
+
+// GenesisPrev returns the Prev value of the chain's first record.
+func GenesisPrev() [HashSize]byte { return sha256Zero }

@@ -1,0 +1,67 @@
+package wal
+
+import "auditdb/internal/obs"
+
+// Metrics is the WAL's slice of the process metrics registry. A nil
+// *Metrics is valid and drops every observation, so the log can run
+// without observability wired (unit tests, embedded use).
+type Metrics struct {
+	BytesWritten  *obs.Counter   // wal_bytes_written
+	Fsyncs        *obs.Counter   // wal_fsyncs
+	Records       *obs.Counter   // wal_records_appended
+	BatchSize     *obs.Histogram // group-commit batch size (records per write)
+	CheckpointDur *obs.Histogram // checkpoint wall time, seconds
+	RecoveryDur   *obs.Histogram // startup recovery wall time, seconds
+	Checkpoints   *obs.Counter   // wal_checkpoints
+}
+
+// batchBuckets covers the useful group-commit range: a batch of 1
+// means no batching benefit; the high end is bounded by the writer's
+// channel capacity.
+var batchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// NewMetrics registers the WAL metrics on r. Registration is
+// idempotent (obs returns existing entries), so engine restarts over
+// one registry are safe.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		BytesWritten: r.NewCounter("auditdb_wal_bytes_written_total", "wal_bytes_written",
+			"Bytes appended to write-ahead log segments (data and audit streams)."),
+		Fsyncs: r.NewCounter("auditdb_wal_fsyncs_total", "wal_fsyncs",
+			"fsync calls issued by the WAL writer."),
+		Records: r.NewCounter("auditdb_wal_records_appended_total", "wal_records_appended",
+			"Records appended to the write-ahead log."),
+		BatchSize: r.NewHistogram("auditdb_wal_group_commit_batch_size", "wal_batch_size",
+			"Records coalesced per group-commit write.", batchBuckets),
+		CheckpointDur: r.NewHistogram("auditdb_wal_checkpoint_seconds", "wal_checkpoint_seconds",
+			"Checkpoint duration in seconds (snapshot write + segment truncation).", obs.LatencyBuckets),
+		RecoveryDur: r.NewHistogram("auditdb_wal_recovery_seconds", "wal_recovery_seconds",
+			"Startup recovery duration in seconds (checkpoint load + log replay).", obs.LatencyBuckets),
+		Checkpoints: r.NewCounter("auditdb_wal_checkpoints_total", "wal_checkpoints",
+			"Checkpoints completed."),
+	}
+}
+
+func (m *Metrics) addBytes(n int64) {
+	if m != nil {
+		m.BytesWritten.Add(n)
+	}
+}
+
+func (m *Metrics) incFsync() {
+	if m != nil {
+		m.Fsyncs.Inc()
+	}
+}
+
+func (m *Metrics) addRecords(n int64) {
+	if m != nil {
+		m.Records.Add(n)
+	}
+}
+
+func (m *Metrics) observeBatch(n int) {
+	if m != nil {
+		m.BatchSize.Observe(float64(n))
+	}
+}

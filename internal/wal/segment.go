@@ -1,0 +1,110 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// segmentExt is the suffix of log segment files. Segments are named
+// %06d.wal by 1-based index; the data log and the audit log each keep
+// their own independently numbered stream in their own directory.
+const segmentExt = ".wal"
+
+func segmentName(index uint64) string {
+	return fmt.Sprintf("%06d%s", index, segmentExt)
+}
+
+// listSegments returns the segment indexes present in dir, ascending.
+// Files that don't match the naming scheme are ignored.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var idx []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if !strings.HasSuffix(name, segmentExt) {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(name, segmentExt), 10, 64)
+		if err != nil || n == 0 {
+			continue
+		}
+		idx = append(idx, n)
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	return idx, nil
+}
+
+// scanResult is what scanning one segment stream yields: the records of
+// every fully valid frame in index order, plus where writing resumes.
+type scanResult struct {
+	records  []*Record
+	segments []uint64 // indexes present after repair, ascending
+	tail     uint64   // segment index to append to (0 = start fresh at 1)
+	tailSize int64    // valid bytes in the tail segment
+	repaired bool     // a torn/corrupt tail was truncated during open
+}
+
+// scanDir reads every segment in dir in index order, truncating the
+// stream at the first torn or corrupt record: the bad segment is
+// truncated to its valid prefix and any later segments are deleted.
+// This is the recovery contract — a crash mid-write loses at most the
+// record being written, never an earlier one.
+func scanDir(dir string) (*scanResult, error) {
+	idx, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	res := &scanResult{}
+	for i, n := range idx {
+		path := filepath.Join(dir, segmentName(n))
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		recs, valid, scanErr := ScanBytes(b)
+		res.records = append(res.records, recs...)
+		res.segments = append(res.segments, n)
+		res.tail = n
+		res.tailSize = int64(valid)
+		if scanErr == nil {
+			continue
+		}
+		// Torn or corrupt: keep the valid prefix of this segment and
+		// drop everything after it.
+		res.repaired = true
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return nil, fmt.Errorf("wal: truncating torn segment %s: %w", path, err)
+		}
+		for _, later := range idx[i+1:] {
+			if err := os.Remove(filepath.Join(dir, segmentName(later))); err != nil {
+				return nil, fmt.Errorf("wal: removing post-tear segment: %w", err)
+			}
+		}
+		if err := syncDir(dir); err != nil {
+			return nil, err
+		}
+		break
+	}
+	return res, nil
+}
+
+// syncDir fsyncs a directory so renames/creates/removes inside it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,371 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// SyncPolicy controls when the log writer fsyncs.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs once per group-commit batch: every acknowledged
+	// record is durable. Group commit amortizes the fsync across the
+	// batch, which is what keeps this policy affordable.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a timer: a crash can lose up to one
+	// interval of acknowledged records, never corrupt earlier ones.
+	SyncInterval
+	// SyncOff never fsyncs (the OS flushes when it pleases). A crash
+	// can lose anything not yet written back; torn tails are still
+	// repaired by recovery.
+	SyncOff
+)
+
+// ParseSyncPolicy maps the -sync flag values to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval, or off)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// walReq is one submission to the writer goroutine: a frame to append,
+// or a control request (frame == nil) that forces an fsync and
+// optionally a segment rotation before acknowledging.
+type walReq struct {
+	frame  []byte
+	rotate bool
+	seg    uint64 // tail segment index after the batch; set before ack
+	err    chan error
+}
+
+// logWriter appends frames to one segment stream through a single
+// goroutine. Concurrent submitters' frames are drained as a batch and
+// written with one write(2) call — and, under SyncAlways, one fsync —
+// which is the group commit: N committers waiting on the same disk
+// flush instead of N flushes.
+type logWriter struct {
+	dir         string
+	policy      SyncPolicy
+	interval    time.Duration
+	maxSegBytes int64
+	metrics     *Metrics
+
+	mu     sync.Mutex // guards submits against close
+	closed bool
+	ch     chan *walReq
+	done   chan struct{}
+
+	// Writer-goroutine state.
+	f        *os.File
+	segIndex uint64
+	segSize  int64
+	dirty    bool   // bytes written since the last fsync
+	sticky   error  // first write/sync failure; poisons all later requests
+	scratch  []byte // reused coalescing buffer for multi-frame batches
+}
+
+// newLogWriter opens the tail segment (creating segment 1 when the
+// stream is empty) and starts the writer goroutine.
+func newLogWriter(dir string, tail uint64, tailSize int64, policy SyncPolicy, interval time.Duration, maxSegBytes int64, m *Metrics) (*logWriter, error) {
+	w := &logWriter{
+		dir:         dir,
+		policy:      policy,
+		interval:    interval,
+		maxSegBytes: maxSegBytes,
+		metrics:     m,
+		ch:          make(chan *walReq, 256),
+		done:        make(chan struct{}),
+		segIndex:    tail,
+		segSize:     tailSize,
+	}
+	if w.segIndex == 0 {
+		w.segIndex = 1
+		w.segSize = 0
+	}
+	f, err := os.OpenFile(w.segPath(w.segIndex), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w.f = f
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	go w.run()
+	return w, nil
+}
+
+func (w *logWriter) segPath(index uint64) string {
+	return filepath.Join(w.dir, segmentName(index))
+}
+
+// reqPool recycles submissions (with their ack channels) on the
+// synchronous path, where the caller is done with the request as soon
+// as the ack arrives. Async submissions hand their channel to the
+// caller and are never pooled.
+var reqPool = sync.Pool{
+	New: func() any { return &walReq{err: make(chan error, 1)} },
+}
+
+// submit appends one frame and blocks until the batch containing it
+// has been written (and, under SyncAlways, fsynced).
+func (w *logWriter) submit(frame []byte) error {
+	req := reqPool.Get().(*walReq)
+	req.frame, req.rotate = frame, false
+	if err := w.send(req); err != nil {
+		req.frame = nil
+		reqPool.Put(req)
+		return err
+	}
+	err := <-req.err
+	req.frame = nil
+	reqPool.Put(req)
+	return err
+}
+
+// submitAsync enqueues one frame and returns the channel its batch's
+// outcome will arrive on. Used where enqueue order must match an
+// externally imposed order (the audit hash chain) but the wait for
+// durability can happen outside the ordering lock.
+func (w *logWriter) submitAsync(frame []byte) (<-chan error, error) {
+	req := &walReq{frame: frame, err: make(chan error, 1)}
+	if err := w.send(req); err != nil {
+		return nil, err
+	}
+	return req.err, nil
+}
+
+// barrier blocks until everything submitted before it is written and
+// fsynced (regardless of policy).
+func (w *logWriter) barrier(rotate bool) error {
+	_, err := w.barrierSeg(rotate)
+	return err
+}
+
+// barrierRotate seals the current segment and opens the next,
+// returning the new tail index; earlier segments are immutable from
+// the caller's point of view.
+func (w *logWriter) barrierRotate() (uint64, error) {
+	return w.barrierSeg(true)
+}
+
+func (w *logWriter) barrierSeg(rotate bool) (uint64, error) {
+	req := &walReq{rotate: rotate, err: make(chan error, 1)}
+	if err := w.send(req); err != nil {
+		return 0, err
+	}
+	err := <-req.err
+	return req.seg, err
+}
+
+// send enqueues under the mutex so a concurrent close can never turn
+// the enqueue into a send-on-closed-channel panic.
+func (w *logWriter) send(req *walReq) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return fmt.Errorf("wal: writer closed")
+	}
+	w.ch <- req
+	w.mu.Unlock()
+	return nil
+}
+
+// close drains outstanding requests, fsyncs, and stops the goroutine.
+func (w *logWriter) close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	close(w.ch)
+	w.mu.Unlock()
+	<-w.done
+	return w.sticky
+}
+
+// run is the writer goroutine: one blocking receive, then a
+// non-blocking drain — whatever accumulated while the previous batch
+// was on its way to disk becomes the next batch.
+func (w *logWriter) run() {
+	defer close(w.done)
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if w.policy == SyncInterval && w.interval > 0 {
+		ticker = time.NewTicker(w.interval)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	var batch []*walReq
+	for {
+		batch = batch[:0]
+		select {
+		case req, ok := <-w.ch:
+			if !ok {
+				w.shutdown()
+				return
+			}
+			batch = append(batch, req)
+		case <-tick:
+			w.maybeSync()
+			continue
+		}
+	drain:
+		for {
+			select {
+			case req, ok := <-w.ch:
+				if !ok {
+					w.flush(batch)
+					w.shutdown()
+					return
+				}
+				batch = append(batch, req)
+			default:
+				break drain
+			}
+		}
+		w.flush(batch)
+	}
+}
+
+// flush writes one batch: all frames in one write call, one fsync when
+// the policy (or a barrier in the batch) demands it, then rotation if
+// a barrier asked for it or the segment outgrew its cap.
+func (w *logWriter) flush(batch []*walReq) {
+	if len(batch) == 0 {
+		return
+	}
+	if w.sticky != nil {
+		for _, req := range batch {
+			req.seg = w.segIndex
+			req.err <- w.sticky
+		}
+		return
+	}
+	frames, rotate := 0, false
+	var single []byte
+	for _, req := range batch {
+		if req.frame != nil {
+			single = req.frame
+			frames++
+		}
+		if req.rotate {
+			rotate = true
+		}
+	}
+	var buf []byte
+	switch {
+	case frames == 1:
+		// The common uncontended case: write the frame directly, no
+		// coalescing copy.
+		buf = single
+	case frames > 1:
+		buf = w.scratch[:0]
+		for _, req := range batch {
+			if req.frame != nil {
+				buf = append(buf, req.frame...)
+			}
+		}
+		w.scratch = buf[:0]
+	}
+	var err error
+	if frames > 0 {
+		_, err = w.f.Write(buf)
+		if err == nil {
+			w.segSize += int64(len(buf))
+			w.dirty = true
+			w.metrics.addBytes(int64(len(buf)))
+			w.metrics.addRecords(int64(frames))
+			w.metrics.observeBatch(frames)
+		}
+	}
+	// A barrier request (frames == len) forces the fsync regardless of
+	// policy: checkpoints and clean shutdowns must not ack into thin air.
+	needSync := w.policy == SyncAlways && w.dirty || frames < len(batch)
+	if err == nil && needSync && w.dirty {
+		err = w.sync()
+	}
+	if err == nil && (rotate || w.maxSegBytes > 0 && w.segSize >= w.maxSegBytes) {
+		err = w.rotate()
+	}
+	if err != nil {
+		w.sticky = err
+	}
+	for _, req := range batch {
+		req.seg = w.segIndex
+		req.err <- err
+	}
+}
+
+func (w *logWriter) sync() error {
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.dirty = false
+	w.metrics.incFsync()
+	return nil
+}
+
+func (w *logWriter) maybeSync() {
+	if w.sticky != nil || !w.dirty {
+		return
+	}
+	if err := w.sync(); err != nil {
+		w.sticky = err
+	}
+}
+
+// rotate seals the current segment (fsync + close) and opens the next.
+func (w *logWriter) rotate() error {
+	if w.dirty {
+		if err := w.sync(); err != nil {
+			return err
+		}
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.segIndex++
+	w.segSize = 0
+	f, err := os.OpenFile(w.segPath(w.segIndex), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	return syncDir(w.dir)
+}
+
+// shutdown runs on the writer goroutine after the channel closes.
+func (w *logWriter) shutdown() {
+	if w.sticky == nil && w.dirty {
+		if err := w.sync(); err != nil {
+			w.sticky = err
+		}
+	}
+	if err := w.f.Close(); err != nil && w.sticky == nil {
+		w.sticky = err
+	}
+}

@@ -25,6 +25,9 @@ const (
 	OpStats     = "stats"      // engine + server counters
 	OpPing      = "ping"
 	OpQuit      = "quit"
+	// Durability ops (served only when the daemon runs with -data-dir).
+	OpVerifyAudit = "verify_audit" // check the audit trail's hash chain
+	OpCheckpoint  = "checkpoint"   // snapshot + truncate the data WAL
 )
 
 // Set keys.
@@ -57,6 +60,17 @@ type Response struct {
 	Stats     map[string]int64 `json:"stats,omitempty"`
 	Stmt      int              `json:"stmt,omitempty"`
 	NumParams int              `json:"num_params,omitempty"`
+	Verify    *VerifyResult    `json:"verify,omitempty"`
+}
+
+// VerifyResult reports an audit-trail integrity check ("verify_audit").
+// OK stays true even for an invalid chain — the check itself succeeded;
+// Valid is the verdict.
+type VerifyResult struct {
+	Valid   bool   `json:"valid"`
+	Records uint64 `json:"records"`
+	Head    string `json:"head"`
+	Reason  string `json:"reason,omitempty"`
 }
 
 // ToWire converts an engine scalar to its JSON representation.
