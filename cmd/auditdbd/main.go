@@ -28,6 +28,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -54,6 +55,7 @@ func main() {
 		syncMode     = flag.String("sync", "interval", "WAL fsync policy: always, interval, or off")
 		syncInterval = flag.Duration("sync-interval", 50*time.Millisecond, "fsync period under -sync interval")
 		ckptInterval = flag.Duration("checkpoint-interval", 5*time.Minute, "periodic checkpoint cadence (0 = only on shutdown)")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "default per-query worker budget for parallel execution (1 = serial; sessions override with SET workers)")
 	)
 	flag.Parse()
 
@@ -77,6 +79,7 @@ func main() {
 
 	eng := engine.New()
 	eng.SetSlowQueryThreshold(*slowQuery)
+	eng.SetDefaultWorkers(*workers)
 
 	// Durability: recover from the data directory, then attach the WAL
 	// so everything after this point — including -demo/-init — is

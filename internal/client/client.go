@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -196,6 +197,13 @@ func (c *Client) SetAuditAll(on bool) error {
 // "leaf", "hcn", or "highest".
 func (c *Client) SetPlacement(p string) error {
 	_, err := c.roundTrip(&wire.Request{Op: wire.OpSet, Key: wire.KeyPlacement, Value: p})
+	return err
+}
+
+// SetWorkers sets this session's parallel-execution worker budget:
+// 1 forces serial execution, 0 resets to the server default.
+func (c *Client) SetWorkers(n int) error {
+	_, err := c.roundTrip(&wire.Request{Op: wire.OpSet, Key: wire.KeyWorkers, Value: strconv.Itoa(n)})
 	return err
 }
 

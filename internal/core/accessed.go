@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"auditdb/internal/plan"
 	"auditdb/internal/value"
 )
 
@@ -140,6 +141,32 @@ func (a *Accessed) Expressions() []string {
 // Observed returns how many rows flowed through audit operators.
 func (a *Accessed) Observed() int64 { return a.observed.Load() }
 
+// MergeSets unions a worker-local observation set into the expression's
+// record under one lock acquisition — the union-merge step of parallel
+// audit probing. Audit probes are pure and commutative (paper Claim
+// 3.6), so the union over workers equals the serial ACCESSED set
+// regardless of how morsels were interleaved.
+func (a *Accessed) MergeSets(expr string, ints map[int64]struct{}, other map[string]value.Value) {
+	if len(ints) == 0 && len(other) == 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rec := a.record(expr)
+	if len(ints) > 0 && rec.ints == nil {
+		rec.ints = make(map[int64]struct{}, len(ints))
+	}
+	for i := range ints {
+		rec.ints[i] = struct{}{}
+	}
+	if len(other) > 0 && rec.other == nil {
+		rec.other = make(map[string]value.Value, len(other))
+	}
+	for k, v := range other {
+		rec.other[k] = v
+	}
+}
+
 // Probe is the audit operator's sink (plan.AuditSink): a hash probe of
 // the expression's materialized sensitive-ID set; matches are recorded
 // into the ACCESSED state. This is the paper's "hash join whose build
@@ -185,6 +212,70 @@ func (p *Probe) ObserveBatch(vs []value.Value) {
 	if len(p.fresh) > 0 {
 		p.Acc.RecordBatch(p.Expr.Meta.Name, p.fresh)
 	}
+}
+
+// Fork implements plan.ParallelAuditSink: it returns a worker-local
+// probe whose matches accumulate in private sets, untouched by any
+// lock, until Merge folds them into the shared ACCESSED state. The
+// membership side (Expr.Contains) reads an atomic snapshot of the ID
+// set and is safe to share across workers.
+func (p *Probe) Fork() plan.WorkerAuditSink {
+	return &workerProbe{parent: p}
+}
+
+// workerProbe is one worker's forked audit sink. All fields are
+// touched by exactly one goroutine until Merge, which the exchange
+// operator calls after the worker has stopped producing.
+type workerProbe struct {
+	parent   *Probe
+	ints     map[int64]struct{}
+	other    map[string]value.Value
+	observed int64
+}
+
+// Observe implements plan.AuditSink on the worker-local sink.
+func (w *workerProbe) Observe(v value.Value) {
+	w.observed++
+	if !w.parent.Expr.Contains(v) {
+		return
+	}
+	w.add(v)
+}
+
+// ObserveBatch implements plan.BatchAuditSink on the worker-local
+// sink: no locks, no atomics — the whole batch lands in private maps.
+func (w *workerProbe) ObserveBatch(vs []value.Value) {
+	w.observed += int64(len(vs))
+	for _, v := range vs {
+		if w.parent.Expr.Contains(v) {
+			w.add(v)
+		}
+	}
+}
+
+func (w *workerProbe) add(v value.Value) {
+	if v.Kind == value.KindInt {
+		if w.ints == nil {
+			w.ints = make(map[int64]struct{})
+		}
+		w.ints[v.I] = struct{}{}
+		return
+	}
+	if w.other == nil {
+		w.other = make(map[string]value.Value)
+	}
+	w.other[value.KeyOf(v)] = v
+}
+
+// Merge folds this worker's observations into the parent's ACCESSED
+// state: one atomic add for the observed counter and one MergeSets
+// lock acquisition — per worker per query, not per batch.
+func (w *workerProbe) Merge() {
+	if w.observed > 0 {
+		w.parent.Acc.observed.Add(w.observed)
+	}
+	w.parent.Acc.MergeSets(w.parent.Expr.Meta.Name, w.ints, w.other)
+	w.ints, w.other, w.observed = nil, nil, 0
 }
 
 // match performs the sensitive-ID membership probe and the first-seen

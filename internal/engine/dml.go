@@ -415,7 +415,7 @@ func (e *Engine) LoadRows(table string, rows []value.Row) error {
 func (e *Engine) RunPlan(n plan.Node, sql string) ([]value.Row, error) {
 	ctx := e.execCtx(rootActionEnv(), sql)
 	rows, err := exec.Run(n, ctx)
-	e.stats.RowsScanned.Add(ctx.Stats.RowsScanned)
+	e.stats.RowsScanned.Add(ctx.Stats.RowsScanned.Load())
 	return rows, err
 }
 
@@ -426,7 +426,7 @@ func (e *Engine) RunPlan(n plan.Node, sql string) ([]value.Row, error) {
 func (e *Engine) DrainPlan(n plan.Node, sql string) (int, error) {
 	ctx := e.execCtx(rootActionEnv(), sql)
 	count, err := exec.Drain(n, ctx)
-	e.stats.RowsScanned.Add(ctx.Stats.RowsScanned)
+	e.stats.RowsScanned.Add(ctx.Stats.RowsScanned.Load())
 	return count, err
 }
 

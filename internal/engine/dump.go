@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"auditdb/internal/catalog"
+	"auditdb/internal/storage"
 	"auditdb/internal/value"
 )
 
@@ -108,7 +109,23 @@ func dumpTable(w *bufio.Writer, e *Engine, meta *catalog.TableMeta) error {
 	if !ok {
 		return fmt.Errorf("dump: table %q has no storage", meta.Name)
 	}
-	return dumpRows(w, meta.Name, tbl.Rows())
+	// Stream the heap one INSERT batch at a time instead of
+	// materializing a full copy of the table: memory stays bounded by
+	// dumpBatch regardless of table size. dmlMu (held by the caller)
+	// keeps the data stable across chunk boundaries.
+	buf := make([]value.Row, dumpBatch)
+	ids := make([]storage.RowID, dumpBatch)
+	for pos := 0; pos >= 0; {
+		var n int
+		n, pos = tbl.ScanChunk(pos, buf, ids)
+		if n == 0 {
+			continue
+		}
+		if err := dumpRows(w, meta.Name, buf[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func dumpRows(w *bufio.Writer, table string, rows []value.Row) error {

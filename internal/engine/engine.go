@@ -80,6 +80,22 @@ type Engine struct {
 	// slow-query log for SELECTs at or above the threshold.
 	logger         atomic.Pointer[slog.Logger]
 	slowQueryNanos atomic.Int64
+
+	// defaultWorkers is the per-query worker budget sessions inherit
+	// when they have not run SET WORKERS. It defaults to 1 (serial);
+	// auditdbd raises it to GOMAXPROCS via -workers. parallelMinRows is
+	// the estimated driving-scan size below which opt.Parallelize
+	// leaves a plan serial. ddlVersion increments on every successful
+	// DDL statement and invalidates session plan caches.
+	defaultWorkers  atomic.Int64
+	parallelMinRows atomic.Int64
+	ddlVersion      atomic.Int64
+
+	// Parallel-execution metrics (registered in initMetrics).
+	execWorkers       *obs.Gauge
+	morselsDispatched *obs.Counter
+	parallelQueries   *obs.Counter
+	planCacheHits     *obs.Counter
 }
 
 // Stats counts engine activity. Each field is a counter registered in
@@ -142,6 +158,9 @@ func New() *Engine {
 	}
 	e.initMetrics()
 	e.logger.Store(slog.New(slog.NewTextHandler(io.Discard, nil)))
+	e.defaultWorkers.Store(1)
+	e.parallelMinRows.Store(DefaultParallelMinRows)
+	e.execWorkers.Set(1)
 	e.defSess = newSession(e, "system", false, core.HighestCommutativeNode)
 	return e
 }
@@ -178,6 +197,14 @@ func (e *Engine) initMetrics() {
 	e.queryLatency = r.NewHistogram("auditdb_query_latency_seconds", "query_latency_seconds",
 		"End-to-end SELECT latency in seconds, trigger firing included.", obs.LatencyBuckets)
 	r.NewUptimeGauge("auditdb_uptime_seconds", "uptime_seconds")
+	e.execWorkers = r.NewGauge("auditdb_exec_workers", "exec_workers",
+		"Default per-query worker budget for parallel execution (1 = serial).")
+	e.morselsDispatched = r.NewCounter("auditdb_morsels_dispatched_total", "morsels_dispatched",
+		"Morsels handed out by parallel scan cursors.")
+	e.parallelQueries = r.NewCounter("auditdb_parallel_queries_total", "parallel_queries",
+		"SELECTs executed with a parallel operator (Gather exchange or two-phase aggregate) in their plan.")
+	e.planCacheHits = r.NewCounter("auditdb_plan_cache_hits_total", "plan_cache_hits",
+		"SELECTs served from a session's prepared-plan cache, skipping plan/optimize/instrument work.")
 }
 
 // Metrics exposes the engine's observability registry so servers can
@@ -407,6 +434,10 @@ func (e *Engine) execDDL(env *actionEnv, stmt ast.Stmt, run func() (*Result, err
 	res, err := run()
 	if err == nil {
 		e.bufferDDL(env, stmt)
+		// Any successful DDL may change what a SQL text plans to
+		// (schemas, views, audit expressions, triggers): invalidate every
+		// session's cached plans by bumping the global version.
+		e.ddlVersion.Add(1)
 	}
 	return res, err
 }
@@ -473,10 +504,46 @@ func (e *Engine) auditTargets(auditAll bool) []*core.AuditExpression {
 	return out
 }
 
+// selectRun is a planned SELECT ready to execute: the (instrumented,
+// possibly parallelized) plan plus everything the execution tail needs
+// that the build phase decided.
+type selectRun struct {
+	root         plan.Node
+	targets      []*core.AuditExpression
+	acc          *core.Accessed
+	conservative bool
+	hasAudit     bool
+	parallel     bool
+	correlated   bool
+}
+
 func (e *Engine) runSelect(sel *ast.Select, sql string, env *actionEnv) (*Result, error) {
 	start := time.Now()
 	e.stats.Queries.Add(1)
 	sess := e.sessionOf(env)
+	workers := e.workersFor(sess)
+
+	// Session plan cache: a repeated SQL text under unchanged session
+	// knobs and catalog version skips build, optimize, instrumentation
+	// and parallelization entirely; only fresh probe sinks are bound.
+	key := planCacheKey{sql: sql, heuristic: sess.Heuristic(), auditAll: sess.AuditAll(), workers: workers}
+	cacheable := env.depth == 0 && env.outerSchema == nil &&
+		env.extraSchema == nil && env.extraRows == nil
+	if cacheable {
+		if cp := sess.cachedPlan(key, e.ddlVersion.Load()); cp != nil {
+			e.planCacheHits.Add(1)
+			run := selectRun{
+				root: cp.root, targets: cp.targets,
+				conservative: cp.conservative, hasAudit: cp.hasAudit, parallel: cp.parallel,
+			}
+			if len(cp.targets) > 0 {
+				run.acc = core.NewAccessed()
+				rebindProbes(cp.root, run.acc)
+			}
+			return e.executeSelect(&run, sql, env, workers, start)
+		}
+	}
+
 	var (
 		n          plan.Node
 		correlated bool
@@ -496,6 +563,7 @@ func (e *Engine) runSelect(sel *ast.Select, sql string, env *actionEnv) (*Result
 	// exactly where the paper's prototype inserts them (§IV-B).
 	targets := e.auditTargets(sess.AuditAll())
 	var acc *core.Accessed
+	hasAudit := false
 	conservative := false
 	if len(targets) > 0 {
 		acc = core.NewAccessed()
@@ -507,23 +575,59 @@ func (e *Engine) runSelect(sel *ast.Select, sql string, env *actionEnv) (*Result
 		// an operator — a query not touching any sensitive table (e.g. a
 		// trigger body reading ACCESSED) is not an audited query.
 		if core.CountAuditOps(n, true) > 0 {
-			if conservative = core.HasConservativePlacement(n); conservative {
-				e.stats.PlacementConservative.Add(1)
-			} else {
-				e.stats.PlacementExact.Add(1)
-			}
+			hasAudit = true
+			conservative = core.HasConservativePlacement(n)
 		}
 	}
+	// Parallelize last, over the instrumented plan, so audit operators
+	// land inside fragments and fork worker-local sinks.
+	if workers >= 2 {
+		n = opt.Parallelize(n, e.tableEstimate, workers, int(e.parallelMinRows.Load()))
+	}
+	run := selectRun{
+		root: n, targets: targets, acc: acc,
+		conservative: conservative, hasAudit: hasAudit,
+		parallel: planIsParallel(n), correlated: correlated,
+	}
 	e.planSeconds.ObserveDuration(time.Since(start))
+	if cacheable {
+		sess.storePlan(key, &cachedPlan{
+			root: n, targets: targets, conservative: conservative,
+			hasAudit: hasAudit, parallel: run.parallel, version: e.ddlVersion.Load(),
+		})
+	}
+	return e.executeSelect(&run, sql, env, workers, start)
+}
+
+// executeSelect is the shared execution tail for cached and freshly
+// planned SELECTs: run the plan, fire ON ACCESS triggers, account
+// metrics and the slow-query log.
+func (e *Engine) executeSelect(run *selectRun, sql string, env *actionEnv, workers int, start time.Time) (*Result, error) {
+	sess := e.sessionOf(env)
+	n, acc, targets := run.root, run.acc, run.targets
+	if run.hasAudit {
+		if run.conservative {
+			e.stats.PlacementConservative.Add(1)
+		} else {
+			e.stats.PlacementExact.Add(1)
+		}
+	}
+	if run.parallel {
+		e.parallelQueries.Add(1)
+	}
 
 	ctx := e.execCtx(env, sql)
-	if correlated {
+	ctx.Workers = workers
+	if run.correlated {
 		ctx.Eval.PushOuter(env.outerRow)
 	}
 	execStart := time.Now()
 	rows, err := exec.Run(n, ctx)
 	e.execSeconds.ObserveDuration(time.Since(execStart))
-	e.stats.RowsScanned.Add(ctx.Stats.RowsScanned)
+	e.stats.RowsScanned.Add(ctx.Stats.RowsScanned.Load())
+	if m := ctx.Stats.MorselsClaimed.Load(); m > 0 {
+		e.morselsDispatched.Add(m)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -568,7 +672,7 @@ func (e *Engine) runSelect(sel *ast.Select, sql string, env *actionEnv) (*Result
 		placement := "uninstrumented"
 		if acc != nil {
 			placement = "exact"
-			if conservative {
+			if run.conservative {
 				placement = "conservative"
 			}
 		}
@@ -576,7 +680,7 @@ func (e *Engine) runSelect(sel *ast.Select, sql string, env *actionEnv) (*Result
 			"sql", sql,
 			"user", sess.User(),
 			"latency", elapsed,
-			"rows_scanned", ctx.Stats.RowsScanned,
+			"rows_scanned", ctx.Stats.RowsScanned.Load(),
 			"rows_audited", audited,
 			"placement", placement,
 		)
@@ -655,6 +759,9 @@ func (e *Engine) runExplain(s *ast.Explain, sql string, env *actionEnv) (*Result
 	sess := e.sessionOf(env)
 	for _, ae := range e.auditTargets(sess.AuditAll()) {
 		n = core.Instrument(n, ae, &core.Probe{Expr: ae, Acc: core.NewAccessed()}, sess.Heuristic())
+	}
+	if workers := e.workersFor(sess); workers >= 2 {
+		n = opt.Parallelize(n, e.tableEstimate, workers, int(e.parallelMinRows.Load()))
 	}
 	res := &Result{Columns: []string{"plan"}}
 	for _, line := range strings.Split(strings.TrimRight(plan.Explain(n), "\n"), "\n") {

@@ -89,13 +89,18 @@ func (e *Engine) runExplainAnalyze(s *ast.Explain, sql string, env *actionEnv) (
 		// sink is swapped for an analyzeSink below.
 		n = core.Instrument(n, ae, &core.Probe{Expr: ae, Acc: core.NewAccessed()}, heur)
 	}
+	workers := e.workersFor(sess)
+	if workers >= 2 {
+		n = opt.Parallelize(n, e.tableEstimate, workers, int(e.parallelMinRows.Load()))
+	}
 	az := exec.NewAnalyze()
 	analyzeAuditSinks(n, az)
 
 	ctx := e.execCtx(env, sql)
+	ctx.Workers = workers
 	ctx.Analyze = az
 	rows, err := exec.Run(n, ctx)
-	e.stats.RowsScanned.Add(ctx.Stats.RowsScanned)
+	e.stats.RowsScanned.Add(ctx.Stats.RowsScanned.Load())
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +112,7 @@ func (e *Engine) runExplainAnalyze(s *ast.Explain, sql string, env *actionEnv) (
 	}
 	res.Rows = append(res.Rows, value.Row{value.NewString(fmt.Sprintf(
 		"Execution: rows=%d rows_scanned=%d time=%s",
-		len(rows), ctx.Stats.RowsScanned, elapsed.Round(time.Microsecond)))})
+		len(rows), ctx.Stats.RowsScanned.Load(), elapsed.Round(time.Microsecond)))})
 	return res, nil
 }
 

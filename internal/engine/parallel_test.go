@@ -1,0 +1,309 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"auditdb/internal/value"
+	"auditdb/internal/wal"
+)
+
+// newAuditedHealthDB is newHealthDB plus the paper's Audit_Alice
+// expression and logging trigger.
+func newAuditedHealthDB(t *testing.T) *Engine {
+	t.Helper()
+	e := newHealthDB(t)
+	script := `
+		CREATE TABLE Log (At VARCHAR(30), UserID VARCHAR(30), SQL VARCHAR(500), PatientID INT);
+		CREATE AUDIT EXPRESSION Audit_Alice AS
+			SELECT * FROM Patients WHERE Name = 'Alice'
+			FOR SENSITIVE TABLE Patients, PARTITION BY PatientID;
+		CREATE TRIGGER Log_Alice ON ACCESS TO Audit_Alice AS
+			INSERT INTO Log SELECT now(), userid(), sqltext(), PatientID FROM ACCESSED;
+	`
+	if _, err := e.ExecScript(script); err != nil {
+		t.Fatalf("audit setup: %v", err)
+	}
+	return e
+}
+
+func ids(t *testing.T, r *Result, expr string) []int64 {
+	t.Helper()
+	if r.Accessed == nil {
+		return nil
+	}
+	var out []int64
+	for _, v := range r.Accessed.IDs(expr) {
+		out = append(out, v.Int())
+	}
+	return out
+}
+
+// TestPlanCacheHitRecordsAccesses: a repeated SELECT must hit the
+// session plan cache AND still record accesses into a fresh ACCESSED
+// state — the probe-rebinding half of caching is what this guards.
+func TestPlanCacheHitRecordsAccesses(t *testing.T) {
+	e := newAuditedHealthDB(t)
+	const q = "SELECT Name FROM Patients WHERE Zip = '48109'"
+	r1 := mustQuery(t, e, q)
+	if got := ids(t, r1, "Audit_Alice"); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("first run accessed = %v, want [1]", got)
+	}
+	before := e.StatsSnapshot()["plan_cache_hits"]
+	r2 := mustQuery(t, e, q)
+	after := e.StatsSnapshot()["plan_cache_hits"]
+	if after != before+1 {
+		t.Fatalf("plan_cache_hits %d -> %d, want a hit on the repeat", before, after)
+	}
+	if got := ids(t, r2, "Audit_Alice"); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("cached run accessed = %v, want [1] (stale probe binding?)", got)
+	}
+	// The trigger must have fired on both executions.
+	logRows := mustQuery(t, e, "SELECT PatientID FROM Log")
+	if len(logRows.Rows) != 2 {
+		t.Fatalf("Log has %d rows after two audited queries, want 2", len(logRows.Rows))
+	}
+}
+
+// TestPlanCacheInvalidatedByDDL: auditing DDL executed after a plan is
+// cached must invalidate it — a stale uninstrumented plan would silently
+// stop auditing.
+func TestPlanCacheInvalidatedByDDL(t *testing.T) {
+	e := newHealthDB(t)
+	const q = "SELECT Name FROM Patients WHERE Zip = '48109'"
+	r := mustQuery(t, e, q)
+	if r.Accessed != nil {
+		t.Fatal("no audit expressions exist yet; accessed should be nil")
+	}
+	mustQuery(t, e, q) // cache the uninstrumented plan
+
+	script := `
+		CREATE TABLE Log (At VARCHAR(30), UserID VARCHAR(30), SQL VARCHAR(500), PatientID INT);
+		CREATE AUDIT EXPRESSION Audit_Alice AS
+			SELECT * FROM Patients WHERE Name = 'Alice'
+			FOR SENSITIVE TABLE Patients, PARTITION BY PatientID;
+		CREATE TRIGGER Log_Alice ON ACCESS TO Audit_Alice AS
+			INSERT INTO Log SELECT now(), userid(), sqltext(), PatientID FROM ACCESSED;
+	`
+	if _, err := e.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+	r = mustQuery(t, e, q)
+	if got := ids(t, r, "Audit_Alice"); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("post-DDL accessed = %v, want [1] (stale cached plan survived DDL?)", got)
+	}
+}
+
+// TestPlanCacheKeyedBySessionKnobs: changing a knob that steers
+// planning (workers) must miss the cache rather than reuse a plan built
+// under the old knob.
+func TestPlanCacheKeyedBySessionKnobs(t *testing.T) {
+	e := newHealthDB(t)
+	e.SetParallelMinRows(1)
+	s := e.NewSession()
+	defer s.Close()
+	const q = "SELECT Name FROM Patients WHERE Age > 30"
+	if _, err := s.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	s.SetWorkers(4)
+	r, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(r.Rows))
+	}
+	if e.StatsSnapshot()["parallel_queries"] == 0 {
+		t.Fatal("query after SET WORKERS 4 did not run parallel (stale serial plan reused?)")
+	}
+}
+
+// TestParallelQueryMatchesSerial runs the audited healthcare workload
+// at several worker counts and requires identical result sets and
+// identical ACCESSED id-sets as serial execution.
+func TestParallelQueryMatchesSerial(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM Patients",
+		"SELECT Name FROM Patients WHERE Zip = '48109'",
+		"SELECT p.Name, d.Disease FROM Patients p, Disease d WHERE p.PatientID = d.PatientID",
+		"SELECT Zip, COUNT(*) FROM Patients GROUP BY Zip",
+	}
+	serial := newAuditedHealthDB(t)
+	for _, workers := range []int{1, 2, 8} {
+		par := newAuditedHealthDB(t)
+		par.SetDefaultWorkers(workers)
+		par.SetParallelMinRows(1)
+		for _, q := range queries {
+			rs := mustQuery(t, serial, q)
+			rp := mustQuery(t, par, q)
+			if got, want := canonRows(rp.Rows), canonRows(rs.Rows); !equalStrings(got, want) {
+				t.Fatalf("workers=%d %q: results diverge from serial", workers, q)
+			}
+			if got, want := ids(t, rp, "Audit_Alice"), ids(t, rs, "Audit_Alice"); !equalInts(got, want) {
+				t.Fatalf("workers=%d %q: ACCESSED %v, serial %v", workers, q, got, want)
+			}
+		}
+	}
+}
+
+func canonRows(rows []value.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		var b []byte
+		for _, v := range r {
+			b = value.EncodeKey(b, v)
+		}
+		out[i] = string(b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalInts(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestExplainShowsParallelOperators: with a worker budget, EXPLAIN
+// must show the Gather exchange and [parallel] operator marks.
+func TestExplainShowsParallelOperators(t *testing.T) {
+	e := newHealthDB(t)
+	e.SetDefaultWorkers(4)
+	e.SetParallelMinRows(1)
+	r := mustExec(t, e, "EXPLAIN SELECT Name FROM Patients WHERE Age > 30")
+	var out strings.Builder
+	for _, row := range r.Rows {
+		out.WriteString(row[0].S)
+		out.WriteByte('\n')
+	}
+	for _, want := range []string{"Gather", "[parallel]"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("EXPLAIN missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestExplainAnalyzeParallelCounters: EXPLAIN ANALYZE of a parallel
+// query must execute (workers folded per node) and render worker and
+// morsel counts.
+func TestExplainAnalyzeParallelCounters(t *testing.T) {
+	e := newAuditedHealthDB(t)
+	e.SetDefaultWorkers(4)
+	e.SetParallelMinRows(1)
+	out, err := e.ExplainAnalyze("SELECT Name FROM Patients WHERE Age > 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"workers=", "morsels=", "probes="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN ANALYZE missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestParallelMetricsMove: a parallel query must move the
+// parallel_queries and morsels_dispatched counters.
+func TestParallelMetricsMove(t *testing.T) {
+	e := newHealthDB(t)
+	e.SetDefaultWorkers(4)
+	e.SetParallelMinRows(1)
+	if got := e.StatsSnapshot()["exec_workers"]; got != 4 {
+		t.Fatalf("exec_workers = %d, want 4", got)
+	}
+	mustQuery(t, e, "SELECT * FROM Patients")
+	snap := e.StatsSnapshot()
+	if snap["parallel_queries"] == 0 {
+		t.Error("parallel_queries did not move")
+	}
+	if snap["morsels_dispatched"] == 0 {
+		t.Error("morsels_dispatched did not move")
+	}
+}
+
+// TestConcurrentParallelSessionsWithDML is the stress half of the
+// determinism suite: 8 concurrent sessions mixing parallel audited
+// SELECTs with WAL-logged DML. Run under -race this exercises the
+// shared morsel cursor, worker-local audit sinks, the session plan
+// caches, and the WAL group-commit path together.
+func TestConcurrentParallelSessionsWithDML(t *testing.T) {
+	dir := t.TempDir()
+	m, rec, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	e := newAuditedHealthDB(t)
+	if err := e.Recover(rec); err != nil {
+		t.Fatal(err)
+	}
+	e.AttachWAL(m)
+	e.SetDefaultWorkers(4)
+	e.SetParallelMinRows(1)
+
+	const sessions = 8
+	const iters = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s := e.NewSession()
+			defer s.Close()
+			s.SetUser(fmt.Sprintf("user%d", id))
+			for j := 0; j < iters; j++ {
+				if id%2 == 0 {
+					r, err := s.Query("SELECT p.Name, d.Disease FROM Patients p, Disease d WHERE p.PatientID = d.PatientID")
+					if err != nil {
+						errs <- err
+						return
+					}
+					if r.Accessed == nil || r.Accessed.Len("Audit_Alice") != 1 {
+						errs <- fmt.Errorf("session %d iter %d: Alice not audited", id, j)
+						return
+					}
+				} else {
+					pid := 100 + id*1000 + j
+					if _, err := s.Exec(fmt.Sprintf(
+						"INSERT INTO Disease VALUES (%d, 'cold')", pid)); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// All DML landed: 5 seed rows + 4 writer sessions * 20 inserts.
+	r := mustQuery(t, e, "SELECT COUNT(*) FROM Disease")
+	if got := r.Rows[0][0].Int(); got != 5+4*20 {
+		t.Fatalf("Disease rows = %d, want %d", got, 5+4*20)
+	}
+}

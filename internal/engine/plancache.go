@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"auditdb/internal/core"
+	"auditdb/internal/plan"
+)
+
+// Session-scoped prepared-plan cache. A SELECT's physical plan depends
+// only on its SQL text, the session knobs that steer planning
+// (placement heuristic, audit-all, worker budget) and the catalog
+// version — parameters are evaluated at open time, so one cached plan
+// serves every binding of a prepared statement. Caching per session
+// keeps the cache lock-free (a Session is single-goroutine by
+// contract) and makes invalidation trivial: DDL bumps the engine's
+// global version and stale entries fall out lazily on next lookup.
+
+// planCacheKey identifies one plannable (SQL, session-knob) point.
+type planCacheKey struct {
+	sql       string
+	heuristic core.Heuristic
+	auditAll  bool
+	workers   int
+}
+
+// cachedPlan is a fully planned, instrumented and (possibly)
+// parallelized SELECT, minus the per-execution state: ACCESSED is
+// recreated and probe sinks rebound on every hit.
+type cachedPlan struct {
+	root         plan.Node
+	targets      []*core.AuditExpression
+	conservative bool
+	hasAudit     bool
+	parallel     bool
+	version      int64 // engine ddlVersion at plan time
+}
+
+// planCacheCap bounds one session's cache. Eviction is wholesale: a
+// session cycling through more than this many distinct texts is not a
+// repeat-heavy workload, and wholesale reset is cheaper than LRU
+// bookkeeping on the hit path.
+const planCacheCap = 128
+
+// cachedPlan returns the session's cached plan for key if present and
+// still valid against the current catalog version; stale entries are
+// dropped on sight.
+func (s *Session) cachedPlan(key planCacheKey, version int64) *cachedPlan {
+	s.lock()
+	defer s.unlock()
+	cp, ok := s.planCache[key]
+	if !ok {
+		return nil
+	}
+	if cp.version != version {
+		delete(s.planCache, key)
+		return nil
+	}
+	return cp
+}
+
+// storePlan caches a freshly planned SELECT for the session.
+func (s *Session) storePlan(key planCacheKey, cp *cachedPlan) {
+	s.lock()
+	defer s.unlock()
+	if s.planCache == nil {
+		s.planCache = make(map[planCacheKey]*cachedPlan)
+	}
+	if len(s.planCache) >= planCacheCap {
+		s.planCache = make(map[planCacheKey]*cachedPlan)
+	}
+	s.planCache[key] = cp
+}
+
+// rebindProbes points every audit operator in a cached plan (main tree
+// and all subquery blocks) at a fresh Probe bound to this execution's
+// ACCESSED state. Like core.Instrument, all audit operators for one
+// expression share one Probe, so the first-seen dedup cache spans the
+// whole query exactly as it does on a fresh plan.
+func rebindProbes(root plan.Node, acc *core.Accessed) {
+	probes := make(map[*core.AuditExpression]*core.Probe)
+	rebind(root, acc, probes)
+}
+
+func rebind(root plan.Node, acc *core.Accessed, probes map[*core.AuditExpression]*core.Probe) {
+	plan.Walk(root, func(n plan.Node) {
+		a, ok := n.(*plan.Audit)
+		if !ok {
+			return
+		}
+		old, ok := a.Sink.(*core.Probe)
+		if !ok {
+			return
+		}
+		p, ok := probes[old.Expr]
+		if !ok {
+			p = &core.Probe{Expr: old.Expr, Acc: acc}
+			probes[old.Expr] = p
+		}
+		a.Sink = p
+	})
+	plan.Subplans(root, func(sq *plan.Subquery) {
+		rebind(sq.Plan, acc, probes)
+	})
+}
+
+// planIsParallel reports whether the parallelizer actually rewrote the
+// plan — a Gather exchange or a two-phase aggregate anywhere in it.
+func planIsParallel(root plan.Node) bool {
+	parallel := false
+	plan.Walk(root, func(n plan.Node) {
+		switch x := n.(type) {
+		case *plan.Gather:
+			parallel = true
+		case *plan.Aggregate:
+			if x.Parallel {
+				parallel = true
+			}
+		}
+	})
+	return parallel
+}

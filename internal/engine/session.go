@@ -26,6 +26,10 @@ type Session struct {
 	user      string
 	auditAll  bool
 	heuristic core.Heuristic
+	// workers is this session's SET WORKERS override for parallel
+	// query execution; 0 means inherit the engine default.
+	workers   int
+	planCache map[planCacheKey]*cachedPlan
 	txn       *Txn // open SQL-level BEGIN ... COMMIT/ROLLBACK transaction
 	closed    bool
 }
@@ -41,9 +45,11 @@ func newSession(e *Engine, user string, auditAll bool, h core.Heuristic) *Sessio
 func (e *Engine) NewSession() *Session {
 	d := e.defSess
 	d.lock()
-	user, auditAll, h := d.user, d.auditAll, d.heuristic
+	user, auditAll, h, workers := d.user, d.auditAll, d.heuristic, d.workers
 	d.unlock()
-	return newSession(e, user, auditAll, h)
+	s := newSession(e, user, auditAll, h)
+	s.workers = workers
+	return s
 }
 
 // DefaultSession returns the engine's built-in session, the one
@@ -99,6 +105,26 @@ func (s *Session) Heuristic() core.Heuristic {
 	s.lock()
 	defer s.unlock()
 	return s.heuristic
+}
+
+// SetWorkers sets this session's worker budget for parallel query
+// execution (SET WORKERS). 1 forces serial execution; 0 resets to the
+// engine default; negatives clamp to serial.
+func (s *Session) SetWorkers(n int) {
+	if n < 0 {
+		n = 1
+	}
+	s.lock()
+	s.workers = n
+	s.unlock()
+}
+
+// Workers returns the session's worker budget; 0 means the engine
+// default applies.
+func (s *Session) Workers() int {
+	s.lock()
+	defer s.unlock()
+	return s.workers
 }
 
 // rootEnv builds the top-level action environment for a statement this

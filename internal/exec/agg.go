@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"auditdb/internal/plan"
 	"auditdb/internal/value"
@@ -29,7 +30,12 @@ type aggGroup struct {
 // openAggregate performs hash aggregation: consume the entire child,
 // bucket by group-by keys, fold each aggregate, then emit one row per
 // group (or exactly one row for a global aggregate over empty input).
+// A Parallel-marked aggregate executing with a worker budget runs the
+// two-phase path instead.
 func openAggregate(a *plan.Aggregate, ctx *Ctx) (Iterator, error) {
+	if a.Parallel && ctx.Workers >= 2 {
+		return openParallelAggregate(a, ctx)
+	}
 	child, err := Open(a.Child, ctx)
 	if err != nil {
 		return nil, err
@@ -37,15 +43,21 @@ func openAggregate(a *plan.Aggregate, ctx *Ctx) (Iterator, error) {
 	defer child.Close()
 
 	groups := make(map[string]*aggGroup)
-	var order []string // deterministic output order: first appearance
-	// A global aggregate (no GROUP BY) has exactly one group, always
-	// emitted (even over empty input); skip key encoding and the
-	// per-row map lookup entirely.
+	if err := foldInput(a, child, ctx, groups); err != nil {
+		return nil, err
+	}
+	return emitGroups(a, groups, ctx), nil
+}
+
+// foldInput drains child into the group table. A global aggregate (no
+// GROUP BY) has exactly one group under the empty key, always present
+// (even over empty input); it skips key encoding and the per-row map
+// lookup entirely.
+func foldInput(a *plan.Aggregate, child Iterator, ctx *Ctx, groups map[string]*aggGroup) error {
 	var global *aggGroup
 	if len(a.GroupBy) == 0 {
 		global = &aggGroup{states: make([]aggState, len(a.Aggs))}
 		groups[""] = global
-		order = append(order, "")
 	}
 	var in *Batch
 	keyVals := make(value.Row, len(a.GroupBy)) // per-row scratch
@@ -54,10 +66,10 @@ func openAggregate(a *plan.Aggregate, ctx *Ctx) (Iterator, error) {
 		in = grown(in)
 		bn, err := nextBatch(child, in)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if bn == 0 {
-			break
+			return nil
 		}
 		for _, row := range in.Rows {
 			grp := global
@@ -66,7 +78,7 @@ func openAggregate(a *plan.Aggregate, ctx *Ctx) (Iterator, error) {
 				for i, g := range a.GroupBy {
 					v, err := g.Eval(ctx.Eval, row)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					keyVals[i] = v
 					keyBuf = value.EncodeKey(keyBuf, v)
@@ -79,17 +91,27 @@ func openAggregate(a *plan.Aggregate, ctx *Ctx) (Iterator, error) {
 					k := string(keyBuf)
 					grp = &aggGroup{keys: keyVals.Clone(), states: make([]aggState, len(a.Aggs))}
 					groups[k] = grp
-					order = append(order, k)
 				}
 			}
 			for i, spec := range a.Aggs {
 				if err := fold(&grp.states[i], spec, ctx, row); err != nil {
-					return nil, err
+					return err
 				}
 			}
 		}
 	}
+}
 
+// emitGroups renders the group table as result rows in sorted
+// encoded-key order — deterministic by construction, and identical
+// between the serial and two-phase parallel paths (first-appearance
+// order would differ run to run under parallel folding).
+func emitGroups(a *plan.Aggregate, groups map[string]*aggGroup, ctx *Ctx) *scanIter {
+	order := make([]string, 0, len(groups))
+	for k := range groups {
+		order = append(order, k)
+	}
+	sort.Strings(order)
 	rows := make([]value.Row, 0, len(groups))
 	for _, k := range order {
 		grp := groups[k]
@@ -100,7 +122,99 @@ func openAggregate(a *plan.Aggregate, ctx *Ctx) (Iterator, error) {
 		}
 		rows = append(rows, out)
 	}
-	return &scanIter{rows: rows, ctx: ctx}, nil
+	return &scanIter{rows: rows, ctx: ctx}
+}
+
+// mergeState folds one worker's partial aggregate state into dst. The
+// planner never parallelizes DISTINCT aggregates (per-worker seen-sets
+// are not mergeable into correct counts) and gates SUM/AVG to integer
+// arguments (float accumulation order would leak into results), so the
+// merge is exact: counts and integer sums add, extrema compare.
+func mergeState(dst, src *aggState) {
+	dst.count += src.count
+	dst.sumI += src.sumI
+	dst.sumF += src.sumF
+	dst.isFloat = dst.isFloat || src.isFloat
+	dst.any = dst.any || src.any
+	if !src.min.IsNull() && (dst.min.IsNull() || value.Compare(src.min, dst.min) < 0) {
+		dst.min = src.min
+	}
+	if !src.max.IsNull() && (dst.max.IsNull() || value.Compare(src.max, dst.max) > 0) {
+		dst.max = src.max
+	}
+}
+
+// openParallelAggregate is the two-phase path: one fragment per worker
+// folds morsels of the child into a private group table (no shared
+// state, no locks), then the partials merge serially in worker-index
+// order and the merged table emits exactly like the serial operator.
+func openParallelAggregate(a *plan.Aggregate, ctx *Ctx) (Iterator, error) {
+	workers := ctx.Workers
+	pr, err := newParallelRun(a.Child, ctx, workers)
+	if err != nil {
+		return nil, err
+	}
+	type workerFold struct {
+		iter   Iterator
+		merges []plan.WorkerAuditSink
+		ctx    *Ctx
+		groups map[string]*aggGroup
+		err    error
+	}
+	ws := make([]*workerFold, workers)
+	for i := range ws {
+		wctx := workerCtx(ctx)
+		var merges []plan.WorkerAuditSink
+		fit, ferr := pr.fragment(a.Child, wctx, &merges)
+		if ferr != nil {
+			for j := 0; j < i; j++ {
+				ws[j].iter.Close()
+			}
+			return nil, ferr
+		}
+		ws[i] = &workerFold{iter: fit, merges: merges, ctx: wctx, groups: make(map[string]*aggGroup)}
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range ws {
+		wg.Add(1)
+		go func(w *workerFold) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					w.err = fmt.Errorf("exec: parallel aggregation worker panic: %v", r)
+				}
+			}()
+			defer func() {
+				w.iter.Close()
+				for _, m := range w.merges {
+					m.Merge()
+				}
+			}()
+			w.err = foldInput(a, w.iter, w.ctx, w.groups)
+		}(w)
+	}
+	wg.Wait()
+	for _, w := range ws {
+		if w.err != nil {
+			return nil, w.err
+		}
+	}
+
+	groups := make(map[string]*aggGroup)
+	for _, w := range ws {
+		for k, g := range w.groups {
+			dst, ok := groups[k]
+			if !ok {
+				groups[k] = g
+				continue
+			}
+			for i := range dst.states {
+				mergeState(&dst.states[i], &g.states[i])
+			}
+		}
+	}
+	return emitGroups(a, groups, ctx), nil
 }
 
 func fold(st *aggState, spec plan.AggSpec, ctx *Ctx, row value.Row) error {

@@ -47,6 +47,23 @@ func (a *Analyze) peek(n plan.Node) *obs.NodeStats {
 	return a.nodes[n]
 }
 
+// merge folds a worker-local stats record into a node's shared record
+// under the collector's lock. Parallel fragments use it so the shared
+// record is only touched once per worker per node, at close.
+func (a *Analyze) merge(n plan.Node, st *obs.NodeStats) {
+	dst := a.Node(n)
+	a.mu.Lock()
+	dst.RowsOut += st.RowsOut
+	dst.Batches += st.Batches
+	dst.Wall += st.Wall
+	dst.Probes += st.Probes
+	dst.Hits += st.Hits
+	dst.DistinctIDs += st.DistinctIDs
+	dst.Morsels += st.Morsels
+	dst.Workers += st.Workers
+	a.mu.Unlock()
+}
+
 // wrap shims an iterator with the node's counters.
 func (a *Analyze) wrap(n plan.Node, it Iterator) Iterator {
 	return &analyzedIter{child: it, st: a.Node(n)}
@@ -83,6 +100,50 @@ func (it *analyzedIter) Next() (value.Row, bool, error) {
 
 func (it *analyzedIter) Close() { it.child.Close() }
 
+// workerAnalyzedIter is the parallel-fragment variant of analyzedIter:
+// each worker counts into a private record (no contention on the hot
+// path) and folds it into the shared per-node record exactly once, at
+// Close — which the exchange operator guarantees happens before the
+// query's EXPLAIN ANALYZE output renders. A fragment's scan kernel is
+// kept so its morsel-claim count can be harvested at the same moment.
+type workerAnalyzedIter struct {
+	child  Iterator
+	az     *Analyze
+	node   plan.Node
+	kernel *scanKernel
+	st     obs.NodeStats
+}
+
+func (it *workerAnalyzedIter) NextBatch(b *Batch) (int, error) {
+	start := time.Now()
+	n, err := nextBatch(it.child, b)
+	it.st.Wall += time.Since(start)
+	if n > 0 {
+		it.st.Batches++
+		it.st.RowsOut += int64(n)
+	}
+	return n, err
+}
+
+func (it *workerAnalyzedIter) Next() (value.Row, bool, error) {
+	start := time.Now()
+	row, ok, err := it.child.Next()
+	it.st.Wall += time.Since(start)
+	if ok {
+		it.st.RowsOut++
+	}
+	return row, ok, err
+}
+
+func (it *workerAnalyzedIter) Close() {
+	it.child.Close()
+	if it.kernel != nil {
+		it.st.Morsels = it.kernel.morsels
+	}
+	it.st.Workers = 1
+	it.az.merge(it.node, &it.st)
+}
+
 // RenderAnalyze renders the plan tree with each operator's observed
 // counters, in the same indented shape as plan.Explain. Subquery
 // blocks referenced by a node's expressions are rendered beneath it
@@ -102,6 +163,12 @@ func renderAnalyze(b *strings.Builder, n plan.Node, a *Analyze, depth int) {
 		fmt.Fprintf(b, "  (rows=%d batches=%d time=%s", st.RowsOut, st.Batches, st.Wall.Round(time.Microsecond))
 		if _, ok := n.(*plan.Audit); ok {
 			fmt.Fprintf(b, " probes=%d hits=%d distinct_ids=%d", st.Probes, st.Hits, st.DistinctIDs)
+		}
+		if st.Workers > 0 {
+			fmt.Fprintf(b, " workers=%d", st.Workers)
+		}
+		if st.Morsels > 0 {
+			fmt.Fprintf(b, " morsels=%d", st.Morsels)
 		}
 		b.WriteString(")")
 	} else {

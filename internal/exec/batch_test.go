@@ -55,8 +55,8 @@ func TestLimitScanStreamsBoundedWork(t *testing.T) {
 	if len(rows) != 1 {
 		t.Fatalf("rows = %d, want 1", len(rows))
 	}
-	if ctx.Stats.RowsScanned > batchSeed {
-		t.Errorf("LIMIT 1 scanned %d storage rows, want <= %d (one seed batch)", ctx.Stats.RowsScanned, batchSeed)
+	if ctx.Stats.RowsScanned.Load() > batchSeed {
+		t.Errorf("LIMIT 1 scanned %d storage rows, want <= %d (one seed batch)", ctx.Stats.RowsScanned.Load(), batchSeed)
 	}
 }
 
@@ -76,8 +76,8 @@ func TestLimitWithPredicateStreamsBoundedWork(t *testing.T) {
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d, want 2", len(rows))
 	}
-	if ctx.Stats.RowsScanned >= 5000 {
-		t.Errorf("LIMIT 2 walked the whole heap (%d rows scanned)", ctx.Stats.RowsScanned)
+	if ctx.Stats.RowsScanned.Load() >= 5000 {
+		t.Errorf("LIMIT 2 walked the whole heap (%d rows scanned)", ctx.Stats.RowsScanned.Load())
 	}
 }
 
@@ -94,8 +94,8 @@ func TestPointLookupProbesOnlyIndexResult(t *testing.T) {
 	if len(rows) != 1 || rows[0][0].S != "v17" {
 		t.Fatalf("rows = %v", rows)
 	}
-	if ctx.Stats.RowsScanned != 1 {
-		t.Errorf("point lookup scanned %d storage rows, want 1", ctx.Stats.RowsScanned)
+	if ctx.Stats.RowsScanned.Load() != 1 {
+		t.Errorf("point lookup scanned %d storage rows, want 1", ctx.Stats.RowsScanned.Load())
 	}
 }
 

@@ -7,6 +7,7 @@ package exec
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"auditdb/internal/plan"
 	"auditdb/internal/storage"
@@ -26,21 +27,31 @@ type Ctx struct {
 	// Extra supplies transient named relations (ACCESSED, NEW, OLD);
 	// keys are lower-case.
 	Extra map[string][]value.Row
-	// Stats accumulates execution counters for this statement.
-	Stats Stats
+	// Stats accumulates execution counters for this statement. It is a
+	// pointer so worker contexts cloned by the Gather exchange share
+	// one accumulator with the statement's root context.
+	Stats *Stats
+	// Workers is the parallelism budget a Gather operator may spend
+	// (<= 1 means serial; the planner normally decides this before the
+	// executor ever sees the plan).
+	Workers int
 	// Analyze, when set, collects per-operator counters for EXPLAIN
 	// ANALYZE: Open wraps every iterator and disables scan–audit fusion
 	// so each plan node reports its own rows, batches, and wall time.
 	Analyze *Analyze
 }
 
-// Stats counts per-statement execution work. Execution is
-// single-threaded, so plain fields suffice.
+// Stats counts per-statement execution work. Fields are atomic
+// because parallel scan workers account into the same statement
+// context concurrently.
 type Stats struct {
 	// RowsScanned is the number of heap/index rows the scan kernels
 	// actually read from storage — the measure that a LIMIT 1 query
 	// streams with bounded work instead of materializing whole tables.
-	RowsScanned int64
+	RowsScanned atomic.Int64
+	// MorselsClaimed counts morsels handed out by parallel scan
+	// cursors across the statement.
+	MorselsClaimed atomic.Int64
 }
 
 // NewCtx returns a context over the given store with a fresh
@@ -48,7 +59,7 @@ type Stats struct {
 // standalone expression evaluation (trigger IF conditions, DML
 // predicates) can run subplans too.
 func NewCtx(store *storage.Store) *Ctx {
-	ctx := &Ctx{Store: store, Eval: &plan.EvalCtx{}}
+	ctx := &Ctx{Store: store, Eval: &plan.EvalCtx{}, Stats: &Stats{}}
 	ctx.Eval.RunSubquery = func(sub plan.Node, _ *plan.EvalCtx) ([]value.Row, error) {
 		return collect(sub, ctx)
 	}
@@ -67,6 +78,9 @@ func Run(n plan.Node, ctx *Ctx) ([]value.Row, error) {
 	if ctx.Eval == nil {
 		ctx.Eval = &plan.EvalCtx{}
 	}
+	if ctx.Stats == nil {
+		ctx.Stats = &Stats{}
+	}
 	if ctx.Eval.RunSubquery == nil {
 		ctx.Eval.RunSubquery = func(sub plan.Node, _ *plan.EvalCtx) ([]value.Row, error) {
 			return collect(sub, ctx)
@@ -82,6 +96,9 @@ func Run(n plan.Node, ctx *Ctx) ([]value.Row, error) {
 func Drain(n plan.Node, ctx *Ctx) (int, error) {
 	if ctx.Eval == nil {
 		ctx.Eval = &plan.EvalCtx{}
+	}
+	if ctx.Stats == nil {
+		ctx.Stats = &Stats{}
 	}
 	if ctx.Eval.RunSubquery == nil {
 		ctx.Eval.RunSubquery = func(sub plan.Node, _ *plan.EvalCtx) ([]value.Row, error) {
@@ -162,6 +179,8 @@ func open(n plan.Node, ctx *Ctx) (Iterator, error) {
 		return openJoin(x, ctx)
 	case *plan.Aggregate:
 		return openAggregate(x, ctx)
+	case *plan.Gather:
+		return openGather(x, ctx)
 	case *plan.Sort:
 		return openSort(x, ctx)
 	case *plan.Limit:
@@ -236,6 +255,16 @@ type scanKernel struct {
 	useIDs bool
 	ids    []storage.RowID
 	idPos  int
+
+	// Morsel-driven mode (parallel scans): src is the shared claim
+	// cursor; the kernel works one claimed window at a time —
+	// [pos, morselEnd) heap positions, or [idPos, idEnd) offsets into
+	// the shared ids slice — and claims the next window when it runs
+	// dry. morsels counts this worker's claims for EXPLAIN ANALYZE.
+	src       *morselSource
+	morselEnd int
+	idEnd     int
+	morsels   int64
 
 	// Fused audit probe (sink nil when not fused).
 	sink  plan.AuditSink
@@ -327,17 +356,40 @@ func (k *scanKernel) NextBatch(b *Batch) (int, error) {
 		var n int
 		var chunkIDs []storage.RowID
 		if k.useIDs {
-			if k.idPos >= len(k.ids) {
+			if k.src != nil && k.idPos >= k.idEnd {
+				lo, hi, ok := k.src.claim()
+				if !ok {
+					break
+				}
+				k.idPos, k.idEnd = lo, hi
+				k.morsels++
+			}
+			bound := len(k.ids)
+			if k.src != nil {
+				bound = k.idEnd
+			}
+			if k.idPos >= bound {
 				break
 			}
 			end := k.idPos + (limit - kept)
-			if end > len(k.ids) {
-				end = len(k.ids)
+			if end > bound {
+				end = bound
 			}
 			chunk := k.ids[k.idPos:end]
 			k.idPos = end
 			n = k.tbl.FetchRows(chunk, k.raw)
 			chunkIDs = chunk[:n]
+		} else if k.src != nil {
+			if k.pos < 0 {
+				lo, hi, ok := k.src.claim()
+				if !ok {
+					break
+				}
+				k.pos, k.morselEnd = lo, hi
+				k.morsels++
+			}
+			n, k.pos = k.tbl.ScanRange(k.pos, k.morselEnd, k.raw[:limit-kept], k.rawIDs)
+			chunkIDs = k.rawIDs[:n]
 		} else {
 			if k.pos < 0 {
 				break
@@ -345,7 +397,7 @@ func (k *scanKernel) NextBatch(b *Batch) (int, error) {
 			n, k.pos = k.tbl.ScanChunk(k.pos, k.raw[:limit-kept], k.rawIDs)
 			chunkIDs = k.rawIDs[:n]
 		}
-		k.ctx.Stats.RowsScanned += int64(n)
+		k.ctx.Stats.RowsScanned.Add(int64(n))
 		for i := 0; i < n; i++ {
 			row := k.raw[i]
 			if k.mask != nil && k.mask.Hidden(k.name, chunkIDs[i]) {

@@ -40,10 +40,14 @@ type joinBucket struct {
 // scratch buffers, and the vectorized path emits pairs into one
 // backing array per output batch instead of one allocation per row.
 type hashJoinIter struct {
-	j          *plan.Join
-	left       Iterator
-	ctx        *Ctx
+	j    *plan.Join
+	left Iterator
+	ctx  *Ctx
+	// Exactly one of table/parts is set: table is the single-map serial
+	// build; parts is the partitioned table shared by the workers of a
+	// parallel join (each probe hashes its key onto a partition first).
 	table      map[string]*joinBucket
+	parts      []map[string]*joinBucket
 	leftWidth  int
 	rightWidth int
 
@@ -195,7 +199,11 @@ func (it *hashJoinIter) NextBatch(b *Batch) (int, error) {
 		}
 		it.matches = nil
 		if !null {
-			if bkt, ok := it.table[string(it.keyBuf)]; ok {
+			table := it.table
+			if it.parts != nil {
+				table = it.parts[partitionOf(it.keyBuf, len(it.parts))]
+			}
+			if bkt, ok := table[string(it.keyBuf)]; ok {
 				it.matches = bkt.rows
 			}
 		}

@@ -1,0 +1,630 @@
+// Morsel-driven parallel execution (HyPer-style): a Gather exchange
+// runs one pipeline fragment per worker; every fragment shares the
+// same scan cursor and claims bounded morsels of the parallel leaf, so
+// work distributes dynamically without pre-partitioning the table.
+// Audit probes inside a fragment run against worker-local forked sinks
+// that are union-merged into the query's ACCESSED state at close —
+// probes are pure and commutative (paper Claim 3.6), so the merged
+// state is exactly the serial one no matter how morsels interleave.
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"auditdb/internal/plan"
+	"auditdb/internal/storage"
+	"auditdb/internal/value"
+)
+
+// MorselSize is the number of heap slots (or index-result offsets) a
+// worker claims per trip to the shared cursor. Large enough that the
+// atomic claim disappears from the per-row cost, small enough that a
+// skewed predicate cannot leave one worker holding most of the table.
+const MorselSize = 4096
+
+// morselSource is the shared claim cursor of one parallel scan: a
+// single atomic counter over a bound fixed when the source is built.
+// Claims hand out disjoint [lo, hi) windows, so no row is scanned by
+// two workers and none is skipped.
+type morselSource struct {
+	cursor atomic.Int64
+	bound  int64
+	stats  *Stats
+}
+
+// claim reserves the next morsel. ok=false means the input is fully
+// claimed (workers finishing their last window may still be running).
+func (m *morselSource) claim() (lo, hi int, ok bool) {
+	l := m.cursor.Add(MorselSize) - MorselSize
+	if l >= m.bound {
+		return 0, 0, false
+	}
+	h := l + MorselSize
+	if h > m.bound {
+		h = m.bound
+	}
+	if m.stats != nil {
+		m.stats.MorselsClaimed.Add(1)
+	}
+	return int(l), int(h), true
+}
+
+// scanSource is the shared state of one parallel scan: the resolved
+// access path plus the claim cursor. It is computed exactly once per
+// execution — in particular the index lookup runs once, so every
+// worker claims offsets into the same ids slice. Per-worker LookupEq
+// calls would each snapshot their own (potentially different) result
+// and break the disjointness of morsel claims.
+type scanSource struct {
+	tbl  *storage.Table
+	name string
+	mask *storage.Mask
+	pred plan.Expr
+
+	// Index-assisted path: workers claim offset windows into ids.
+	// useIDs is explicit because LookupEq can return an empty-but-usable
+	// result (no matching rows), which must not fall back to a heap scan.
+	useIDs bool
+	ids    []storage.RowID
+
+	src morselSource
+}
+
+func newScanSource(s *plan.Scan, ctx *Ctx) (*scanSource, error) {
+	tbl, ok := ctx.Store.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("exec: table %q does not exist", s.Table)
+	}
+	ss := &scanSource{tbl: tbl, name: s.Table, pred: s.Pushed}
+	if ctx.Mask.HidesTable(s.Table) {
+		ss.mask = ctx.Mask
+	}
+	if s.Pushed != nil {
+		if col, v, found := equalityProbe(s.Pushed, ctx); found {
+			if ids, usable := tbl.LookupEq(col, v); usable {
+				ss.useIDs = true
+				ss.ids = ids
+			}
+		}
+	}
+	if ss.useIDs {
+		ss.src.bound = int64(len(ss.ids))
+	} else {
+		// The heap bound is captured here, before workers start: rows
+		// appended by concurrent DML after this point are invisible to
+		// the scan, exactly like the serial ScanChunk cursor's snapshot
+		// behavior at its last chunk.
+		ss.src.bound = int64(tbl.HeapBound())
+	}
+	ss.src.stats = ctx.Stats
+	return ss, nil
+}
+
+// kernel builds one worker's scan kernel over the shared source.
+func (ss *scanSource) kernel(wctx *Ctx) *scanKernel {
+	k := &scanKernel{
+		tbl: ss.tbl, name: ss.name, mask: ss.mask, pred: ss.pred,
+		ctx: wctx, idIdx: -1, src: &ss.src, pos: -1,
+	}
+	if ss.pred != nil {
+		k.quick = compilePred(ss.pred, wctx)
+	}
+	if ss.useIDs {
+		k.useIDs = true
+		k.ids = ss.ids
+	}
+	return k
+}
+
+// workerCtx clones a statement context for one worker: shared store,
+// mask, transient relations, stats accumulator and analyze collector,
+// but a private evaluation context — EvalCtx carries a correlation
+// stack and a subquery cache that must not be shared across
+// goroutines. (The planner only parallelizes subquery-free fragments;
+// the runner is installed anyway so a missed gate fails loudly in
+// -race runs rather than silently corrupting shared state.)
+func workerCtx(ctx *Ctx) *Ctx {
+	w := &Ctx{
+		Store:   ctx.Store,
+		Mask:    ctx.Mask,
+		Extra:   ctx.Extra,
+		Stats:   ctx.Stats,
+		Workers: 1,
+		Analyze: ctx.Analyze,
+	}
+	ev := &plan.EvalCtx{Session: ctx.Eval.Session, Params: ctx.Eval.Params}
+	if len(ctx.Eval.Outer) > 0 {
+		ev.Outer = append([]value.Row(nil), ctx.Eval.Outer...)
+	}
+	ev.RunSubquery = func(sub plan.Node, _ *plan.EvalCtx) ([]value.Row, error) {
+		return collect(sub, w)
+	}
+	w.Eval = ev
+	return w
+}
+
+// lockedSink shares one non-forkable audit sink across workers behind
+// a mutex. It is the correctness fallback — core.Probe implements
+// ParallelAuditSink and never takes this path, but instrumentation
+// sinks (EXPLAIN ANALYZE) may not.
+type lockedSink struct {
+	mu sync.Mutex
+	s  plan.AuditSink
+	bs plan.BatchAuditSink
+}
+
+func (l *lockedSink) Observe(v value.Value) {
+	l.mu.Lock()
+	l.s.Observe(v)
+	l.mu.Unlock()
+}
+
+func (l *lockedSink) ObserveBatch(vs []value.Value) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.bs != nil {
+		l.bs.ObserveBatch(vs)
+		return
+	}
+	for _, v := range vs {
+		l.s.Observe(v)
+	}
+}
+
+// parallelRun is the shared state of one parallel subtree execution:
+// one scanSource per parallel scan, one prebuilt partitioned hash
+// table per parallel join, and the mutex-wrapped fallbacks for
+// non-forkable audit sinks. Fragments for all workers are built
+// serially from this state before any worker goroutine starts, so
+// none of the maps need locking.
+type parallelRun struct {
+	ctx     *Ctx
+	sources map[*plan.Scan]*scanSource
+	joins   map[*plan.Join]*sharedJoin
+	locked  map[plan.AuditSink]*lockedSink
+}
+
+// newParallelRun resolves the shared state for root's fragment shape.
+// Join build sides execute here, serially, before workers exist.
+func newParallelRun(root plan.Node, ctx *Ctx, workers int) (*parallelRun, error) {
+	pr := &parallelRun{
+		ctx:     ctx,
+		sources: make(map[*plan.Scan]*scanSource),
+		joins:   make(map[*plan.Join]*sharedJoin),
+		locked:  make(map[plan.AuditSink]*lockedSink),
+	}
+	if err := pr.prepare(root, workers); err != nil {
+		return nil, err
+	}
+	return pr, nil
+}
+
+func (pr *parallelRun) prepare(n plan.Node, workers int) error {
+	switch x := n.(type) {
+	case *plan.Scan:
+		if !x.Parallel {
+			return fmt.Errorf("exec: scan of %q inside a parallel fragment is not morsel-driven", x.Table)
+		}
+		ss, err := newScanSource(x, pr.ctx)
+		if err != nil {
+			return err
+		}
+		pr.sources[x] = ss
+		return nil
+	case *plan.Filter:
+		return pr.prepare(x.Child, workers)
+	case *plan.Project:
+		return pr.prepare(x.Child, workers)
+	case *plan.Audit:
+		return pr.prepare(x.Child, workers)
+	case *plan.Join:
+		if !x.Parallel || len(x.LeftKeys) == 0 {
+			return fmt.Errorf("exec: join inside a parallel fragment is not partition-parallel")
+		}
+		sj, err := buildSharedJoin(x, pr.ctx, workers)
+		if err != nil {
+			return err
+		}
+		pr.joins[x] = sj
+		return pr.prepare(x.Left, workers)
+	default:
+		return fmt.Errorf("exec: operator %T cannot run inside a parallel fragment", n)
+	}
+}
+
+// workerSink returns the audit sink one worker's fragment should feed:
+// a forked worker-local sink (recorded in merges for the post-run
+// union) when the sink supports it, otherwise a shared mutex wrapper.
+func (pr *parallelRun) workerSink(s plan.AuditSink, merges *[]plan.WorkerAuditSink) plan.AuditSink {
+	if ps, ok := s.(plan.ParallelAuditSink); ok {
+		w := ps.Fork()
+		*merges = append(*merges, w)
+		return w
+	}
+	ls, ok := pr.locked[s]
+	if !ok {
+		ls = &lockedSink{s: s}
+		if bs, isBatch := s.(plan.BatchAuditSink); isBatch {
+			ls.bs = bs
+		}
+		pr.locked[s] = ls
+	}
+	return ls
+}
+
+// fragment builds one worker's copy of the pipeline. Under EXPLAIN
+// ANALYZE every operator is wrapped in a worker-local counting shim
+// whose totals fold into the shared per-node record at close.
+func (pr *parallelRun) fragment(n plan.Node, wctx *Ctx, merges *[]plan.WorkerAuditSink) (Iterator, error) {
+	it, err := pr.fragmentBare(n, wctx, merges)
+	if err != nil || wctx.Analyze == nil {
+		return it, err
+	}
+	w := &workerAnalyzedIter{child: it, az: wctx.Analyze, node: n}
+	if k, ok := it.(*scanKernel); ok {
+		w.kernel = k
+	}
+	return w, nil
+}
+
+func (pr *parallelRun) fragmentBare(n plan.Node, wctx *Ctx, merges *[]plan.WorkerAuditSink) (Iterator, error) {
+	switch x := n.(type) {
+	case *plan.Scan:
+		ss := pr.sources[x]
+		if ss == nil {
+			return nil, fmt.Errorf("exec: scan of %q has no shared morsel source", x.Table)
+		}
+		return ss.kernel(wctx), nil
+	case *plan.Filter:
+		child, err := pr.fragment(x.Child, wctx, merges)
+		if err != nil {
+			return nil, err
+		}
+		return &filterIter{child: child, pred: x.Pred, quick: compilePred(x.Pred, wctx), ctx: wctx}, nil
+	case *plan.Project:
+		child, err := pr.fragment(x.Child, wctx, merges)
+		if err != nil {
+			return nil, err
+		}
+		return &projectIter{child: child, exprs: x.Exprs, ctx: wctx}, nil
+	case *plan.Audit:
+		sink := pr.workerSink(x.Sink, merges)
+		// Same fusion rule as the serial path: a leaf audit operator
+		// collapses into its scan kernel unless EXPLAIN ANALYZE needs
+		// the operators separated.
+		if s, ok := x.Child.(*plan.Scan); ok && wctx.Analyze == nil {
+			child, err := pr.fragmentBare(s, wctx, merges)
+			if err != nil {
+				return nil, err
+			}
+			if k, kok := child.(*scanKernel); kok {
+				k.fuseAudit(sink, x.IDIdx)
+				return k, nil
+			}
+			return newAuditIter(child, x.IDIdx, sink), nil
+		}
+		child, err := pr.fragment(x.Child, wctx, merges)
+		if err != nil {
+			return nil, err
+		}
+		return newAuditIter(child, x.IDIdx, sink), nil
+	case *plan.Join:
+		sj := pr.joins[x]
+		if sj == nil {
+			return nil, fmt.Errorf("exec: join has no shared build table")
+		}
+		left, err := pr.fragment(x.Left, wctx, merges)
+		if err != nil {
+			return nil, err
+		}
+		return &hashJoinIter{
+			j: x, left: left, ctx: wctx, parts: sj.parts,
+			leftWidth: len(x.Left.Schema()), rightWidth: len(x.Right.Schema()),
+		}, nil
+	default:
+		return nil, fmt.Errorf("exec: operator %T cannot run inside a parallel fragment", n)
+	}
+}
+
+// ---- Partitioned parallel hash-join build ----
+
+// sharedJoin is one parallel join's prebuilt hash table, split into
+// key-hash partitions so the build itself can run on all workers
+// without a shared-map bottleneck. Probes hash the key once to pick
+// the partition and then look up as usual.
+type sharedJoin struct {
+	parts []map[string]*joinBucket
+}
+
+// partitionOf hashes an encoded join key (FNV-1a) onto a partition.
+func partitionOf(key []byte, n int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, c := range key {
+		h ^= uint32(c)
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}
+
+// keyedRow pairs a build row with its materialized join key.
+type keyedRow struct {
+	key string
+	row value.Row
+}
+
+// buildSharedJoin executes the build side serially (it may be an
+// arbitrary subtree), then partitions and builds the hash table in
+// parallel: phase 1 splits the rows into contiguous segments, one
+// worker per segment, each encoding keys and binning keyed rows by
+// partition; phase 2 runs one goroutine per partition, folding the
+// segments in ascending worker order — which reproduces the serial
+// build's bucket row order exactly, so probe outputs cannot depend on
+// build parallelism.
+func buildSharedJoin(j *plan.Join, ctx *Ctx, workers int) (*sharedJoin, error) {
+	right, err := Open(j.Right, ctx)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := drainRows(right)
+	if err != nil {
+		return nil, err
+	}
+
+	segs := workers
+	if segs > len(rows) {
+		segs = len(rows)
+	}
+	per := make([][][]keyedRow, segs)
+	errs := make([]error, segs)
+	var wg sync.WaitGroup
+	for w := 0; w < segs; w++ {
+		lo, hi := len(rows)*w/segs, len(rows)*(w+1)/segs
+		per[w] = make([][]keyedRow, workers)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			wctx := workerCtx(ctx)
+			var keyBuf []byte
+			for _, row := range rows[lo:hi] {
+				var null bool
+				var err error
+				keyBuf, null, err = appendJoinKey(keyBuf[:0], j.RightKeys, wctx, row)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if null {
+					continue // NULL keys never join
+				}
+				p := partitionOf(keyBuf, workers)
+				per[w][p] = append(per[w][p], keyedRow{key: string(keyBuf), row: row})
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+
+	parts := make([]map[string]*joinBucket, workers)
+	var bw sync.WaitGroup
+	for p := 0; p < workers; p++ {
+		bw.Add(1)
+		go func(p int) {
+			defer bw.Done()
+			m := make(map[string]*joinBucket)
+			for w := 0; w < segs; w++ {
+				for _, kr := range per[w][p] {
+					if bkt, ok := m[kr.key]; ok {
+						bkt.rows = append(bkt.rows, kr.row)
+					} else {
+						m[kr.key] = &joinBucket{rows: []value.Row{kr.row}}
+					}
+				}
+			}
+			parts[p] = m
+		}(p)
+	}
+	bw.Wait()
+	return &sharedJoin{parts: parts}, nil
+}
+
+// drainRows materializes an iterator's full output and closes it.
+func drainRows(it Iterator) ([]value.Row, error) {
+	defer it.Close()
+	var out []value.Row
+	var b *Batch
+	for {
+		b = grown(b)
+		n, err := nextBatch(it, b)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+		out = append(out, b.Rows...)
+	}
+}
+
+// ---- Gather exchange ----
+
+// gatherIter funnels the batches of a worker pool into one serial row
+// stream. Row order across morsels is unspecified; operators that need
+// an order must sit above an explicit Sort. Close (or exhaustion)
+// guarantees every worker has finished and merged its audit sinks, so
+// the engine can read the ACCESSED state the moment execution returns.
+type gatherIter struct {
+	out  chan []value.Row // produced row slices, closed after last worker exits
+	free chan []value.Row // recycled slices, best-effort
+	stop chan struct{}    // closed to cancel workers (error or early Close)
+
+	stopOnce  sync.Once
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	errMu sync.Mutex
+	err   error
+
+	cur     []value.Row
+	pos     int
+	adapter batchAdapter
+}
+
+func openGather(g *plan.Gather, ctx *Ctx) (Iterator, error) {
+	workers := g.Workers
+	if workers <= 1 {
+		// A degenerate exchange executes its child serially; parallel
+		// markers below are ignored by the serial operators.
+		return Open(g.Child, ctx)
+	}
+	pr, err := newParallelRun(g.Child, ctx, workers)
+	if err != nil {
+		return nil, err
+	}
+	if az := ctx.Analyze; az != nil {
+		az.Node(g).Workers = int64(workers)
+	}
+
+	type frag struct {
+		iter   Iterator
+		merges []plan.WorkerAuditSink
+	}
+	frags := make([]frag, workers)
+	for i := range frags {
+		wctx := workerCtx(ctx)
+		var merges []plan.WorkerAuditSink
+		fit, ferr := pr.fragment(g.Child, wctx, &merges)
+		if ferr != nil {
+			for j := 0; j < i; j++ {
+				frags[j].iter.Close()
+			}
+			return nil, ferr
+		}
+		frags[i] = frag{iter: fit, merges: merges}
+	}
+
+	it := &gatherIter{
+		out:  make(chan []value.Row, workers),
+		free: make(chan []value.Row, workers*2),
+		stop: make(chan struct{}),
+	}
+	it.wg.Add(workers)
+	for i := range frags {
+		go it.runWorker(frags[i].iter, frags[i].merges)
+	}
+	go func() {
+		it.wg.Wait()
+		close(it.out)
+	}()
+	return it, nil
+}
+
+// runWorker drives one fragment to exhaustion, shipping each non-empty
+// batch to the consumer. The worker's audit sinks merge in a defer, so
+// partial observations land even on error — a superset-free subset of
+// the serial ACCESSED, and the query fails anyway.
+func (it *gatherIter) runWorker(src Iterator, merges []plan.WorkerAuditSink) {
+	defer it.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			it.fail(fmt.Errorf("exec: parallel worker panic: %v", r))
+		}
+	}()
+	defer func() {
+		src.Close()
+		for _, m := range merges {
+			m.Merge()
+		}
+	}()
+	var b *Batch
+	for {
+		select {
+		case <-it.stop:
+			return
+		default:
+		}
+		b = grown(b)
+		n, err := nextBatch(src, b)
+		if err != nil {
+			it.fail(err)
+			return
+		}
+		if n == 0 {
+			return
+		}
+		var s []value.Row
+		select {
+		case s = <-it.free:
+		default:
+		}
+		s = append(s[:0], b.Rows...)
+		select {
+		case it.out <- s:
+		case <-it.stop:
+			return
+		}
+	}
+}
+
+func (it *gatherIter) fail(err error) {
+	it.errMu.Lock()
+	if it.err == nil {
+		it.err = err
+	}
+	it.errMu.Unlock()
+	it.stopOnce.Do(func() { close(it.stop) })
+}
+
+func (it *gatherIter) takeErr() error {
+	it.errMu.Lock()
+	defer it.errMu.Unlock()
+	return it.err
+}
+
+// NextBatch refills from the worker channel. Batches buffered before
+// an error may still be delivered; the error surfaces when the channel
+// drains, and the engine discards partial results on error.
+func (it *gatherIter) NextBatch(b *Batch) (int, error) {
+	limit := b.limit()
+	for it.cur == nil || it.pos >= len(it.cur) {
+		if it.cur != nil {
+			select {
+			case it.free <- it.cur:
+			default:
+			}
+			it.cur = nil
+		}
+		s, ok := <-it.out
+		if !ok {
+			b.setRows(0)
+			return 0, it.takeErr()
+		}
+		it.cur, it.pos = s, 0
+	}
+	n := copy(b.buf[:limit], it.cur[it.pos:])
+	it.pos += n
+	b.setRows(n)
+	return n, nil
+}
+
+func (it *gatherIter) Next() (value.Row, bool, error) { return it.adapter.nextRow(it) }
+
+// Close cancels outstanding work and blocks until every worker has
+// exited — which is what makes the post-execution ACCESSED state
+// complete: all worker-local sink merges happen-before Close returns.
+func (it *gatherIter) Close() {
+	it.closeOnce.Do(func() {
+		it.stopOnce.Do(func() { close(it.stop) })
+		for range it.out {
+		}
+	})
+}

@@ -367,8 +367,10 @@ func formatBound(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) 
 // NodeStats is one plan operator's EXPLAIN ANALYZE record: what
 // actually flowed through it during one instrumented execution. The
 // executor fills the row/batch/time fields; the engine's analyzing
-// audit sink fills the probe fields for audit operators. Execution of
-// one statement is single-goroutine, so plain fields suffice.
+// audit sink fills the probe fields for audit operators. Under
+// parallel execution each worker accumulates into a private NodeStats
+// and the executor folds them into the shared record under the
+// collector's lock at close, so the fields themselves stay plain.
 type NodeStats struct {
 	// RowsOut counts rows the operator emitted.
 	RowsOut int64
@@ -376,11 +378,16 @@ type NodeStats struct {
 	Batches int64
 	// Wall is cumulative wall time spent inside the operator's
 	// NextBatch/Next calls, children included (Postgres-style
-	// "actual time").
+	// "actual time"). Under parallel execution worker walls sum, so a
+	// parallel operator can report more wall time than the query took.
 	Wall time.Duration
 
 	// Audit-operator extras (zero elsewhere): probe invocations, probes
 	// that hit the sensitive-ID set, and the number of distinct
 	// partition-by IDs those hits covered.
 	Probes, Hits, DistinctIDs int64
+
+	// Parallel-execution extras: morsels claimed by this operator's
+	// scan cursor, and the worker-pool size of a Gather exchange.
+	Morsels, Workers int64
 }

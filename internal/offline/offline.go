@@ -203,7 +203,7 @@ func (a *Auditor) runDigest(root plan.Node, mask *storage.Mask) (uint64, int64, 
 	ctx.Mask = mask
 	rows, err := exec.Run(root, ctx)
 	if err != nil {
-		return 0, ctx.Stats.RowsScanned, err
+		return 0, ctx.Stats.RowsScanned.Load(), err
 	}
 	var digest uint64
 	for _, row := range rows {
@@ -211,7 +211,7 @@ func (a *Auditor) runDigest(root plan.Node, mask *storage.Mask) (uint64, int64, 
 		digest += value.HashRow(row)
 	}
 	digest ^= uint64(len(rows)) << 1
-	return digest, ctx.Stats.RowsScanned, nil
+	return digest, ctx.Stats.RowsScanned.Load(), nil
 }
 
 // leafCandidates runs the plan once with leaf-node audit operators and
@@ -221,9 +221,9 @@ func (a *Auditor) leafCandidates(root plan.Node, ae *core.AuditExpression) ([]va
 	instrumented := core.Instrument(clonePlanForInstrumentation(root), ae, &core.Probe{Expr: ae, Acc: acc}, core.LeafNode)
 	ctx := exec.NewCtx(a.store)
 	if _, err := exec.Run(instrumented, ctx); err != nil {
-		return nil, ctx.Stats.RowsScanned, err
+		return nil, ctx.Stats.RowsScanned.Load(), err
 	}
-	return acc.IDs(ae.Meta.Name), ctx.Stats.RowsScanned, nil
+	return acc.IDs(ae.Meta.Name), ctx.Stats.RowsScanned.Load(), nil
 }
 
 // clonePlanForInstrumentation isolates the caller's plan from the

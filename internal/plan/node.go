@@ -31,6 +31,11 @@ type Scan struct {
 	Alias  string // exposed qualifier
 	Pushed Expr   // optional leaf predicate
 	Out    Schema
+	// Parallel marks the scan as morsel-driven: workers of the
+	// enclosing parallel operator (Gather, parallel Aggregate) claim
+	// bounded heap ranges from a shared cursor instead of one iterator
+	// streaming the heap. Set by opt.Parallelize.
+	Parallel bool
 }
 
 // Schema implements Node.
@@ -51,7 +56,11 @@ func (s *Scan) Label() string {
 	if s.Pushed != nil {
 		l += " WHERE " + s.Pushed.String()
 	}
-	return l + ")"
+	l += ")"
+	if s.Parallel {
+		l += " [parallel]"
+	}
+	return l
 }
 
 // ValuesScan reads a named transient relation supplied by the
@@ -154,6 +163,12 @@ type Join struct {
 	// rows.
 	LeftKeys, RightKeys []Expr
 	Residual            Expr // non-equi remainder of Cond
+	// Parallel marks a hash join for partitioned parallel execution:
+	// the build side is read once, partitioned and built by workers,
+	// then probed by the morsel workers of the enclosing exchange. Only
+	// ever set on equi-joins (LeftKeys non-empty). Set by
+	// opt.Parallelize.
+	Parallel bool
 }
 
 // Schema implements Node.
@@ -176,6 +191,9 @@ func (j *Join) Label() string {
 	l := j.Kind.String()
 	if j.Cond != nil {
 		l += "(" + j.Cond.String() + ")"
+	}
+	if j.Parallel {
+		l += " [parallel]"
 	}
 	return l
 }
@@ -225,6 +243,12 @@ type Aggregate struct {
 	GroupBy []Expr
 	Aggs    []AggSpec
 	Out     Schema
+	// Parallel marks the aggregate for two-phase execution: workers
+	// fold partial states over morsels of the child, and the partials
+	// are merged serially at close. Never set when any AggSpec is
+	// DISTINCT (per-worker seen-sets are not union-mergeable into
+	// correct sums/counts). Set by opt.Parallelize.
+	Parallel bool
 }
 
 // Schema implements Node.
@@ -245,7 +269,11 @@ func (a *Aggregate) Label() string {
 	for _, ag := range a.Aggs {
 		parts = append(parts, ag.Label())
 	}
-	return "Aggregate(" + strings.Join(parts, ", ") + ")"
+	l := "Aggregate(" + strings.Join(parts, ", ") + ")"
+	if a.Parallel {
+		l += " [parallel]"
+	}
+	return l
 }
 
 // SortKey is one ORDER BY key.
@@ -319,6 +347,30 @@ func (d *Distinct) SetChild(i int, n Node) { d.Child = n }
 // Label implements Node.
 func (d *Distinct) Label() string { return "Distinct" }
 
+// Gather is the exchange operator between a parallel subtree and its
+// serial consumers: a worker pool executes Child's pipeline fragment
+// over morsels of its parallel leaf and funnels the produced rows into
+// a single stream. Row order across morsels is unspecified — only
+// operators above an explicit Sort may rely on ordering. Inserted by
+// opt.Parallelize; never produced by the SQL front end.
+type Gather struct {
+	Child Node
+	// Workers is the pool size the planner chose (>= 2).
+	Workers int
+}
+
+// Schema implements Node.
+func (g *Gather) Schema() Schema { return g.Child.Schema() }
+
+// Children implements Node.
+func (g *Gather) Children() []Node { return []Node{g.Child} }
+
+// SetChild implements Node.
+func (g *Gather) SetChild(i int, n Node) { g.Child = n }
+
+// Label implements Node.
+func (g *Gather) Label() string { return fmt.Sprintf("Gather(workers=%d)", g.Workers) }
+
 // AuditSink receives the partition-by values that flow past an audit
 // operator during execution. internal/core implements it with a
 // sensitive-ID hash probe that records matches into the query's
@@ -336,6 +388,27 @@ type AuditSink interface {
 type BatchAuditSink interface {
 	AuditSink
 	ObserveBatch(vs []value.Value)
+}
+
+// WorkerAuditSink is one worker's private view of a forked audit
+// sink. Workers call Observe/ObserveBatch without synchronization;
+// Merge folds the worker's observations into the parent exactly once,
+// after the worker has stopped producing.
+type WorkerAuditSink interface {
+	BatchAuditSink
+	Merge()
+}
+
+// ParallelAuditSink is an audit sink that supports fork/merge
+// parallelism: Fork returns a worker-local sink whose observations are
+// union-merged into the parent by its Merge method. Because the audit
+// operator is a pure, commutative probe (paper Claim 3.6), the union
+// of per-worker ACCESSED observations equals the serial result — no
+// false negatives, no spurious entries. Sinks that do not implement
+// this interface are shared across workers behind a mutex instead.
+type ParallelAuditSink interface {
+	AuditSink
+	Fork() WorkerAuditSink
 }
 
 // Audit is the paper's audit operator: a no-op "data viewer" derived

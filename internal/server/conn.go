@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -222,6 +223,12 @@ func (c *conn) set(key, val string) *wire.Response {
 		default:
 			return errResp("set placement: want leaf|hcn|highest, got %q", val)
 		}
+	case wire.KeyWorkers:
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return errResp("set workers: want a non-negative integer, got %q", val)
+		}
+		c.sess.SetWorkers(n)
 	default:
 		return errResp("unknown setting %q", key)
 	}

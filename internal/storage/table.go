@@ -342,6 +342,45 @@ func (t *Table) ScanChunk(pos int, out []value.Row, ids []RowID) (n, next int) {
 	return n, i
 }
 
+// HeapBound returns the current heap extent: every live row sits at a
+// position in [0, HeapBound). Morsel dispatchers carve this range into
+// fixed-size claims handed to ScanRange. Rows appended after the call
+// are simply not part of the scan, matching ScanChunk's snapshot-free
+// semantics.
+func (t *Table) HeapBound() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// ScanRange is ScanChunk restricted to heap positions [pos, end): it
+// copies up to len(out) live rows from that window into out under one
+// read-lock acquisition and returns the count plus the position to
+// resume from; next < 0 means the window is exhausted. Parallel
+// workers each own disjoint [pos, end) morsels, so concurrent calls
+// never hand out the same row twice.
+func (t *Table) ScanRange(pos, end int, out []value.Row, ids []RowID) (n, next int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if end > len(t.rows) {
+		end = len(t.rows)
+	}
+	i := pos
+	for ; i < end && n < len(out); i++ {
+		row := t.rows[i]
+		if row == nil {
+			continue
+		}
+		ids[n] = RowID(i)
+		out[n] = row
+		n++
+	}
+	if i >= end {
+		return n, -1
+	}
+	return n, i
+}
+
 // FetchRows copies the live rows with the given IDs into out under one
 // read-lock acquisition, compacting the surviving IDs to the front of
 // ids in step with out. out must be at least len(ids) long. It returns
@@ -359,17 +398,6 @@ func (t *Table) FetchRows(ids []RowID, out []value.Row) int {
 		n++
 	}
 	return n
-}
-
-// Rows returns a copy of the live rows in row-ID order, for tests and
-// small utilities.
-func (t *Table) Rows() []value.Row {
-	out := make([]value.Row, 0, t.Len())
-	t.Snapshot(func(_ RowID, row value.Row) bool {
-		out = append(out, row)
-		return true
-	})
-	return out
 }
 
 // Store owns the tables of one database.

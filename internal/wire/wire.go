@@ -21,7 +21,7 @@ const (
 	OpPrepare   = "prepare"    // SQL with ? placeholders -> Stmt handle
 	OpRun       = "run"        // Stmt + Params: execute a prepared statement
 	OpCloseStmt = "close_stmt" // Stmt: drop a prepared statement
-	OpSet       = "set"        // Key in {user, audit_all, placement}, Value
+	OpSet       = "set"        // Key in {user, audit_all, placement, workers}, Value
 	OpStats     = "stats"      // engine + server counters
 	OpPing      = "ping"
 	OpQuit      = "quit"
@@ -35,6 +35,10 @@ const (
 	KeyUser      = "user"
 	KeyAuditAll  = "audit_all"
 	KeyPlacement = "placement"
+	// KeyWorkers sets the session's parallel-execution worker budget:
+	// a positive integer, 1 forcing serial, 0 resetting to the server
+	// default.
+	KeyWorkers = "workers"
 )
 
 // Request is one client line.

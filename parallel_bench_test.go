@@ -1,0 +1,102 @@
+package auditdb
+
+import (
+	"fmt"
+	"testing"
+
+	"auditdb/internal/engine"
+	"auditdb/internal/value"
+)
+
+// benchParallelEngine builds a 1M-row events table with an audit
+// expression over ~1% of users, plus a small users dimension for the
+// join benchmark. Shared across benchmarks via sync once-per-process
+// caching is deliberately avoided: each benchmark builds its own engine
+// so b.N loops never see another benchmark's plan cache.
+func benchParallelEngine(b *testing.B, rows int) *engine.Engine {
+	b.Helper()
+	e := engine.New()
+	script := `
+		CREATE TABLE events (user_id INT, kind INT, amount INT);
+		CREATE TABLE users (user_id INT PRIMARY KEY, region VARCHAR(10));
+		CREATE AUDIT EXPRESSION Audit_Watch AS
+			SELECT * FROM events WHERE user_id < 10000
+			FOR SENSITIVE TABLE events, PARTITION BY user_id;
+	`
+	if _, err := e.ExecScript(script); err != nil {
+		b.Fatal(err)
+	}
+	const users = 1000
+	batch := make([]value.Row, 0, 1<<14)
+	for i := 0; i < rows; i++ {
+		batch = append(batch, value.Row{
+			value.NewInt(int64(i % 1000000)),
+			value.NewInt(int64(i % 16)),
+			value.NewInt(int64(i % 997)),
+		})
+		if len(batch) == cap(batch) {
+			if err := e.LoadRows("events", batch); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		if err := e.LoadRows("events", batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	urows := make([]value.Row, users)
+	regions := []string{"NA", "EU", "APAC", "LATAM"}
+	for i := range urows {
+		urows[i] = value.Row{value.NewInt(int64(i)), value.NewString(regions[i%len(regions)])}
+	}
+	if err := e.LoadRows("users", urows); err != nil {
+		b.Fatal(err)
+	}
+	e.SetAuditAll(true)
+	return e
+}
+
+const benchRows = 1_000_000
+
+// runAtWorkers runs one query at a fixed worker budget as a sub-benchmark.
+func runAtWorkers(b *testing.B, e *engine.Engine, sql string, wantRows int) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e.SetDefaultWorkers(workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := e.Query(sql)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if wantRows >= 0 && len(r.Rows) != wantRows {
+					b.Fatalf("rows = %d, want %d", len(r.Rows), wantRows)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelAuditedScan is the acceptance benchmark: an audited
+// scan + filter over 1M rows, serial vs 4 workers. The filter keeps
+// ~1/16 of rows; every row is audit-probed against Audit_Watch.
+func BenchmarkParallelAuditedScan(b *testing.B) {
+	e := benchParallelEngine(b, benchRows)
+	runAtWorkers(b, e, "SELECT user_id, amount FROM events WHERE kind = 3", benchRows/16)
+}
+
+// BenchmarkParallelJoin: partitioned parallel hash join of the 1M-row
+// events table against the users dimension.
+func BenchmarkParallelJoin(b *testing.B) {
+	e := benchParallelEngine(b, benchRows)
+	runAtWorkers(b, e, "SELECT COUNT(*) FROM events e, users u WHERE e.user_id = u.user_id", 1)
+}
+
+// BenchmarkParallelGroupBy: two-phase parallel aggregation over 1M
+// rows (integer SUM and COUNT per kind).
+func BenchmarkParallelGroupBy(b *testing.B) {
+	e := benchParallelEngine(b, benchRows)
+	runAtWorkers(b, e, "SELECT kind, COUNT(*), SUM(amount) FROM events GROUP BY kind", 16)
+}
