@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"auditdb/internal/client"
+	"auditdb/internal/pgwire/pgtest"
+)
+
+// TestSIGTERMDrainsBothProtocols runs the real daemon with both front
+// doors enabled, parks an in-flight query on each protocol, sends
+// SIGTERM, and requires both responses to be delivered before the
+// process exits cleanly: graceful drain is a transport property, not a
+// per-protocol one.
+func TestSIGTERMDrainsBothProtocols(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drain test builds the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "auditdbd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building auditdbd: %v", err)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-pg-addr", "127.0.0.1:0",
+		"-grace", "15s", "-query-timeout", "0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon logs one "listening on ADDR" line per front door; the
+	// pg one is prefixed "pg listening on".
+	type addrs struct{ json, pg string }
+	addrCh := make(chan addrs, 1)
+	go func() {
+		var got addrs
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "pg listening on "); i >= 0 {
+				got.pg = strings.Fields(line[i+len("pg listening on "):])[0]
+			} else if i := strings.Index(line, "listening on "); i >= 0 {
+				got.json = strings.Fields(line[i+len("listening on "):])[0]
+			}
+			if got.json != "" && got.pg != "" {
+				addrCh <- got
+				return
+			}
+		}
+	}()
+	var a addrs
+	select {
+	case a = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not report both listen addresses")
+	}
+
+	seed, err := client.Dial(a.json, client.WithRetry(10, 50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+	var ins strings.Builder
+	ins.WriteString("CREATE TABLE N (X INT);")
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&ins, "INSERT INTO N VALUES (%d);", i)
+	}
+	if _, err := seed.Exec(ins.String()); err != nil {
+		t.Fatal(err)
+	}
+
+	const heavy = "SELECT COUNT(*) FROM N a, N b, N c WHERE a.X = b.X AND b.X = c.X"
+
+	jc, err := client.Dial(a.json)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jc.Close()
+	type jsonOut struct {
+		res *client.Result
+		err error
+	}
+	jsonDone := make(chan jsonOut, 1)
+	go func() {
+		res, err := jc.Query(heavy)
+		jsonDone <- jsonOut{res, err}
+	}()
+
+	pc, _, err := pgtest.Dial(a.pg, "drain_probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	pc.SetDeadline(time.Now().Add(30 * time.Second))
+	type pgOut struct {
+		count string
+		err   error
+	}
+	pgDone := make(chan pgOut, 1)
+	go func() {
+		if err := pc.Query(heavy); err != nil {
+			pgDone <- pgOut{err: err}
+			return
+		}
+		msgs, _, err := pc.ReadUntilReady()
+		if err != nil {
+			pgDone <- pgOut{err: err}
+			return
+		}
+		for _, m := range msgs {
+			if m.Type == 'D' {
+				row, err := pgtest.DataRow(m.Body)
+				if err != nil {
+					pgDone <- pgOut{err: err}
+					return
+				}
+				pgDone <- pgOut{count: string(row[0])}
+				return
+			}
+			if m.Type == 'E' {
+				pgDone <- pgOut{err: fmt.Errorf("server error: %v", pgtest.ErrorFields(m.Body))}
+				return
+			}
+		}
+		pgDone <- pgOut{err: fmt.Errorf("no DataRow in %v", msgs)}
+	}()
+
+	time.Sleep(50 * time.Millisecond) // let both queries reach the server
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	jo := <-jsonDone
+	if jo.err != nil {
+		t.Fatalf("in-flight line-JSON query was not drained: %v", jo.err)
+	}
+	if len(jo.res.Rows) != 1 || jo.res.Rows[0][0].(int64) != 200 {
+		t.Fatalf("json drained result = %v", jo.res.Rows)
+	}
+	po := <-pgDone
+	if po.err != nil {
+		t.Fatalf("in-flight pgwire query was not drained: %v", po.err)
+	}
+	if po.count != "200" {
+		t.Fatalf("pg drained result = %q, want 200", po.count)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

@@ -4,10 +4,13 @@
 // that connection's queries, so concurrent users are attributed
 // correctly — the paper's multi-user auditing setting.
 //
-// The protocol is line-delimited JSON (see internal/wire); the Go
-// client lives in internal/client. Example:
+// Two wire protocols share one transport: line-delimited JSON (see
+// internal/wire; the Go client lives in internal/client) on -addr, and
+// the PostgreSQL v3 wire protocol (see internal/pgwire) on -pg-addr,
+// so psql and any libpq/pgx/JDBC client can connect. Example:
 //
-//	auditdbd -addr 127.0.0.1:5433 -demo -metrics-addr 127.0.0.1:9090
+//	auditdbd -addr 127.0.0.1:5433 -pg-addr 127.0.0.1:5432 -demo -metrics-addr 127.0.0.1:9090
+//	psql 'host=127.0.0.1 port=5432 user=dr_mallory sslmode=disable'
 //	printf '%s\n' \
 //	    '{"op":"set","key":"user","value":"dr_mallory"}' \
 //	    '{"op":"query","sql":"SELECT * FROM Patients WHERE Name = '\''Alice'\''"}' \
@@ -34,13 +37,15 @@ import (
 
 	"auditdb"
 	"auditdb/internal/engine"
+	"auditdb/internal/pgwire"
 	"auditdb/internal/server"
 	"auditdb/internal/wal"
 )
 
 func main() {
 	var (
-		addr         = flag.String("addr", "127.0.0.1:5433", "TCP listen address")
+		addr         = flag.String("addr", "127.0.0.1:5433", "TCP listen address for the line-JSON protocol")
+		pgAddr       = flag.String("pg-addr", "", "TCP listen address for the PostgreSQL wire protocol (empty = disabled)")
 		maxConns     = flag.Int("max-conns", 256, "maximum concurrent connections (0 = unlimited)")
 		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-statement execution limit (0 = none)")
 		idleTimeout  = flag.Duration("idle-timeout", 10*time.Minute, "close connections idle this long (0 = none)")
@@ -152,6 +157,12 @@ func main() {
 		IdleTimeout:  *idleTimeout,
 		Logger:       logger,
 	})
+	if *pgAddr != "" {
+		if err := srv.AddListener(*pgAddr, pgwire.New(srv.Metrics())); err != nil {
+			logger.Error("adding pg listener failed", "err", err)
+			os.Exit(1)
+		}
+	}
 	if err := srv.Start(); err != nil {
 		logger.Error("start failed", "err", err)
 		os.Exit(1)
@@ -161,6 +172,12 @@ func main() {
 	// "listening on ".
 	logger.Info(fmt.Sprintf("auditdbd listening on %s (max-conns=%d query-timeout=%s)",
 		srv.Addr(), *maxConns, *queryTimeout))
+	if *pgAddr != "" {
+		// Same sed-friendly shape as above, for scripts that need the
+		// bound pg port: the field after "pg listening on ".
+		logger.Info(fmt.Sprintf("auditdbd pg listening on %s (protocol=postgresql)",
+			srv.ProtoAddr("pg")))
+	}
 
 	if *metricsAddr != "" {
 		ms, err := srv.Metrics().ListenAndServe(*metricsAddr)

@@ -136,6 +136,11 @@ type compiledTrigger struct {
 type Result struct {
 	// Columns names the output columns of a query.
 	Columns []string
+	// Kinds gives the declared value kind of each output column when
+	// the planner knows it (len(Kinds) == len(Columns)); nil for
+	// results whose schema is synthesized (EXPLAIN, VERIFY). Typed
+	// wire protocols use it for result metadata.
+	Kinds []value.Kind
 	// Rows holds query output.
 	Rows []value.Row
 	// RowsAffected counts DML changes.
@@ -635,6 +640,7 @@ func (e *Engine) executeSelect(run *selectRun, sql string, env *actionEnv, worke
 	res := &Result{Rows: rows, Accessed: acc}
 	for _, c := range n.Schema() {
 		res.Columns = append(res.Columns, c.Name)
+		res.Kinds = append(res.Kinds, c.Kind)
 	}
 
 	// Fire ON ACCESS triggers as their own system transactions after

@@ -5,6 +5,7 @@ import (
 
 	"auditdb/internal/ast"
 	"auditdb/internal/parser"
+	"auditdb/internal/plan"
 	"auditdb/internal/value"
 )
 
@@ -39,6 +40,35 @@ func prepare(sess *Session, sql string) (*Prepared, error) {
 
 // NumParams reports how many ? placeholders the statement declares.
 func (p *Prepared) NumParams() int { return p.params }
+
+// AST returns the parsed statement. Protocol front ends use it to
+// classify the statement (command tags, row-returning or not) without
+// re-parsing the SQL text.
+func (p *Prepared) AST() ast.Stmt { return p.stmt }
+
+// Describe plans the statement without executing it and reports its
+// output schema: column names and value kinds in output order. A
+// statement that returns no rows (DML, DDL, transaction control)
+// reports nil columns and no error. Planning reflects the catalog at
+// call time, so a Describe after DDL sees the new schema.
+func (p *Prepared) Describe() ([]string, []value.Kind, error) {
+	sel, ok := p.stmt.(*ast.Select)
+	if !ok {
+		return nil, nil, nil
+	}
+	n, err := plan.Build(p.sess.e.planEnv(p.sess.rootEnv()), sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	sch := n.Schema()
+	names := make([]string, len(sch))
+	kinds := make([]value.Kind, len(sch))
+	for i, c := range sch {
+		names[i] = c.Name
+		kinds[i] = c.Kind
+	}
+	return names, kinds, nil
+}
 
 // Run executes the statement with the given parameter values bound in
 // source order.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"auditdb/internal/ast"
 	"auditdb/internal/core"
 	"auditdb/internal/parser"
 )
@@ -147,6 +148,12 @@ func (s *Session) openTxn() *Txn {
 	return s.txn
 }
 
+// InTxn reports whether the session holds an open SQL-level
+// transaction (BEGIN without a matching COMMIT/ROLLBACK yet). Protocol
+// front ends use it for transaction-status reporting, e.g. the
+// PostgreSQL ReadyForQuery status byte.
+func (s *Session) InTxn() bool { return s.openTxn() != nil }
+
 // Exec parses and executes a single statement under this session.
 func (s *Session) Exec(sql string) (*Result, error) {
 	if err := s.checkOpen(); err != nil {
@@ -182,6 +189,33 @@ func (s *Session) ExecScript(sql string) (*Result, error) {
 		last = r
 	}
 	return last, nil
+}
+
+// ExecMulti parses a semicolon-separated script and executes its
+// statements one at a time, invoking fn after each with the statement
+// and its result or execution error. fn returns false to stop early —
+// protocol front ends use this to stream one response per statement
+// and to halt at the first error, the way PostgreSQL's simple query
+// protocol does. Like ExecScript, the full script text is what
+// sqltext() reports inside trigger actions. A parse error is returned
+// directly and fn is never called.
+func (s *Session) ExecMulti(sql string, fn func(stmt ast.Stmt, res *Result, err error) bool) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	parseStart := time.Now()
+	stmts, err := parser.ParseScript(sql)
+	s.e.parseSeconds.ObserveDuration(time.Since(parseStart))
+	if err != nil {
+		return err
+	}
+	for _, st := range stmts {
+		r, err := s.e.execStmt(st, sql, s.rootEnv())
+		if !fn(st, r, err) {
+			return nil
+		}
+	}
+	return nil
 }
 
 // Query parses and executes a SELECT under this session.

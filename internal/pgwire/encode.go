@@ -1,0 +1,245 @@
+package pgwire
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"auditdb/internal/value"
+)
+
+// PostgreSQL type OIDs for the engine's value kinds (pg_type.oid).
+const (
+	oidBool    = 16
+	oidInt8    = 20
+	oidInt2    = 21
+	oidInt4    = 23
+	oidText    = 25
+	oidOID     = 26
+	oidFloat4  = 700
+	oidFloat8  = 701
+	oidVarchar = 1043
+	oidDate    = 1082
+	oidNumeric = 1700
+)
+
+// kindOID maps an engine value kind to the OID reported in
+// RowDescription. Unknown/NULL columns report text, the safest choice
+// for text-format decoding.
+func kindOID(k value.Kind) uint32 {
+	switch k {
+	case value.KindBool:
+		return oidBool
+	case value.KindInt:
+		return oidInt8
+	case value.KindFloat:
+		return oidFloat8
+	case value.KindDate:
+		return oidDate
+	default:
+		return oidText
+	}
+}
+
+// oidSize is RowDescription's type length: fixed sizes for fixed
+// types, -1 (variable) otherwise.
+func oidSize(oid uint32) int16 {
+	switch oid {
+	case oidBool:
+		return 1
+	case oidInt2:
+		return 2
+	case oidInt4, oidDate, oidFloat4:
+		return 4
+	case oidInt8, oidFloat8:
+		return 8
+	default:
+		return -1
+	}
+}
+
+// encodeText renders a value in PostgreSQL text result format.
+// null=true means the column is SQL NULL (length -1 on the wire).
+func encodeText(v value.Value) (data []byte, null bool) {
+	switch v.Kind {
+	case value.KindNull:
+		return nil, true
+	case value.KindBool:
+		if v.I != 0 {
+			return []byte("t"), false
+		}
+		return []byte("f"), false
+	default:
+		// Integers, floats, strings and dates all match PG's text
+		// format in their engine String rendering (dates: YYYY-MM-DD).
+		return []byte(v.String()), false
+	}
+}
+
+// valueFromText converts a text-format parameter to an engine value
+// using the declared parameter OID; OID 0 (unspecified) infers
+// integer, then float, falling back to string — the engine's
+// comparison and coercion rules handle strings against DATE columns.
+func valueFromText(oid uint32, s string) (value.Value, error) {
+	switch oid {
+	case oidBool:
+		switch strings.ToLower(strings.TrimSpace(s)) {
+		case "t", "true", "on", "yes", "y", "1":
+			return value.NewBool(true), nil
+		case "f", "false", "off", "no", "n", "0":
+			return value.NewBool(false), nil
+		}
+		return value.Null, fmt.Errorf("invalid input syntax for type boolean: %q", s)
+	case oidInt2, oidInt4, oidInt8, oidOID:
+		i, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return value.Null, fmt.Errorf("invalid input syntax for type integer: %q", s)
+		}
+		return value.NewInt(i), nil
+	case oidFloat4, oidFloat8, oidNumeric:
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return value.Null, fmt.Errorf("invalid input syntax for type numeric: %q", s)
+		}
+		return value.NewFloat(f), nil
+	case oidDate:
+		return value.ParseDate(strings.TrimSpace(s))
+	case 0:
+		if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return value.NewInt(i), nil
+		}
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			return value.NewFloat(f), nil
+		}
+		return value.NewString(s), nil
+	case oidText, oidVarchar:
+		return value.NewString(s), nil
+	default:
+		return value.Null, fmt.Errorf("unsupported parameter type oid %d", oid)
+	}
+}
+
+// writer accumulates framed backend messages. Protocol handlers build
+// responses here; the connection decides when the bytes hit the
+// socket (at Sync/ReadyForQuery, Flush, or a fatal error).
+type writer struct {
+	out []byte
+}
+
+func (w *writer) raw(b []byte)              { w.out = append(w.out, b...) }
+func (w *writer) msg(typ byte, body []byte) { w.raw(frame(typ, body)) }
+
+func (w *writer) authenticationOK() {
+	var m msgBuf
+	m.int32(0)
+	w.msg(msgAuth, m.b)
+}
+
+func (w *writer) parameterStatus(k, v string) {
+	var m msgBuf
+	m.cstr(k)
+	m.cstr(v)
+	w.msg(msgParameterStatus, m.b)
+}
+
+func (w *writer) backendKeyData(pid, secret int32) {
+	var m msgBuf
+	m.int32(pid)
+	m.int32(secret)
+	w.msg(msgBackendKeyData, m.b)
+}
+
+func (w *writer) readyForQuery(status byte) {
+	w.msg(msgReadyForQuery, []byte{status})
+}
+
+// rowDescription emits column metadata. kinds may be nil (all columns
+// report text).
+func (w *writer) rowDescription(cols []string, kinds []value.Kind) {
+	var m msgBuf
+	m.int16(int16(len(cols)))
+	for i, name := range cols {
+		oid := uint32(oidText)
+		if i < len(kinds) {
+			oid = kindOID(kinds[i])
+		}
+		m.cstr(name)
+		m.int32(0)            // table OID: not a catalog table
+		m.int16(0)            // attribute number
+		m.int32(int32(oid))   // type OID
+		m.int16(oidSize(oid)) // type size
+		m.int32(-1)           // type modifier
+		m.int16(0)            // format: text
+	}
+	w.msg(msgRowDescription, m.b)
+}
+
+func (w *writer) dataRow(row value.Row) {
+	var m msgBuf
+	m.int16(int16(len(row)))
+	for _, v := range row {
+		data, null := encodeText(v)
+		if null {
+			m.int32(-1)
+			continue
+		}
+		m.int32(int32(len(data)))
+		m.bytes(data)
+	}
+	w.msg(msgDataRow, m.b)
+}
+
+func (w *writer) commandComplete(tag string) {
+	var m msgBuf
+	m.cstr(tag)
+	w.msg(msgCommandComplete, m.b)
+}
+
+func (w *writer) emptyQueryResponse() {
+	w.msg(msgEmptyQuery, nil)
+}
+
+func (w *writer) parseComplete()   { w.msg(msgParseComplete, nil) }
+func (w *writer) bindComplete()    { w.msg(msgBindComplete, nil) }
+func (w *writer) closeComplete()   { w.msg(msgCloseComplete, nil) }
+func (w *writer) noData()          { w.msg(msgNoData, nil) }
+func (w *writer) portalSuspended() { w.msg(msgPortalSuspended, nil) }
+
+func (w *writer) parameterDescription(oids []uint32) {
+	var m msgBuf
+	m.int16(int16(len(oids)))
+	for _, oid := range oids {
+		if oid == 0 {
+			oid = oidText
+		}
+		m.int32(int32(oid))
+	}
+	w.msg(msgParamDescription, m.b)
+}
+
+// errorFields renders an ErrorResponse or NoticeResponse body.
+func errorFields(severity, code, message string) []byte {
+	var m msgBuf
+	m.byte('S')
+	m.cstr(severity)
+	m.byte('V')
+	m.cstr(severity)
+	m.byte('C')
+	m.cstr(code)
+	m.byte('M')
+	m.cstr(message)
+	m.byte(0)
+	return m.b
+}
+
+func (w *writer) errorResponse(code, message string) {
+	w.msg(msgErrorResponse, errorFields("ERROR", code, message))
+}
+
+func (w *writer) fatalResponse(code, message string) {
+	w.msg(msgErrorResponse, errorFields("FATAL", code, message))
+}
+
+func (w *writer) notice(message string) {
+	w.msg(msgNoticeResponse, errorFields("NOTICE", "00000", message))
+}

@@ -1,0 +1,371 @@
+package pgwire
+
+import (
+	"fmt"
+	"strings"
+
+	"auditdb/internal/engine"
+	"auditdb/internal/value"
+)
+
+// pgStmt is a named (or unnamed) prepared statement created by Parse.
+// The engine's server-side prepared statements use source-order ?
+// placeholders while PostgreSQL's $n references repeat and reorder
+// freely, so argMap records, for each ? in source order, which $n
+// parameter binds it.
+type pgStmt struct {
+	name      string
+	sql       string // original text, for utility statements
+	prep      *engine.Prepared
+	util      bool // SET/SHOW/RESET, handled by the front door
+	empty     bool
+	argMap    []int
+	nParams   int      // highest $n referenced
+	paramOIDs []uint32 // declared at Parse; 0 = unspecified (inferred)
+	utilCols  []string // SHOW result shape, known at Parse time
+	utilKinds []value.Kind
+}
+
+// pgPortal is a bound statement created by Bind. Results materialize
+// at the first Execute; pos tracks row-limited (maxRows) resumption
+// across Execute messages until the portal completes or closes.
+type pgPortal struct {
+	stmt   *pgStmt
+	params []value.Value // engine source-order
+	res    *engine.Result
+	pos    int
+}
+
+// handleParse creates a prepared statement from a Parse message.
+func (pc *pgConn) handleParse(payload []byte) {
+	pr := payloadReader{b: payload}
+	name := pr.cstr()
+	query := pr.cstr()
+	nOIDs := int(pr.int16())
+	if pr.err != nil || nOIDs < 0 || nOIDs > 1<<15 {
+		pc.extErr(stateProtocolViolation, "malformed Parse message")
+		return
+	}
+	oids := make([]uint32, nOIDs)
+	for i := range oids {
+		oids[i] = uint32(pr.int32())
+	}
+	if pr.err != nil {
+		pc.extErr(stateProtocolViolation, "malformed Parse message")
+		return
+	}
+
+	st := &pgStmt{name: name, sql: query, paramOIDs: oids}
+	trimmed := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(query), ";"))
+	switch {
+	case trimmed == "":
+		st.empty = true
+	case isUtilityKeyword(trimmed):
+		st.util = true
+		if cols, kinds, ok := showShape(trimmed); ok {
+			st.utilCols, st.utilKinds = cols, kinds
+		}
+	default:
+		rewritten, argMap, nParams, err := rewritePlaceholders(query)
+		if err != nil {
+			pc.extErr(stateInvalidParameter, err.Error())
+			return
+		}
+		prep, err := pc.sess.Prepare(rewritten)
+		if err != nil {
+			pc.extErr(sqlstateFor(err), err.Error())
+			return
+		}
+		st.prep, st.argMap, st.nParams = prep, argMap, nParams
+	}
+	// Overwriting an existing name is lenient by choice (PostgreSQL
+	// raises 42P05); drivers that reuse names always Close first.
+	pc.stmts[name] = st
+	pc.buf.parseComplete()
+}
+
+// isUtilityKeyword reports whether a statement belongs to the front
+// door rather than the engine.
+func isUtilityKeyword(trimmed string) bool {
+	word := trimmed
+	if i := strings.IndexAny(word, " \t\r\n"); i >= 0 {
+		word = word[:i]
+	}
+	switch strings.ToUpper(word) {
+	case "SET", "RESET", "SHOW":
+		return true
+	}
+	return false
+}
+
+// showShape gives the result schema of a SHOW statement so Describe
+// can answer before execution; other utilities return no rows.
+func showShape(trimmed string) ([]string, []value.Kind, bool) {
+	fields := strings.Fields(trimmed)
+	if len(fields) < 2 || !strings.EqualFold(fields[0], "SHOW") {
+		return nil, nil, false
+	}
+	name := strings.ToLower(strings.Join(fields[1:], "_"))
+	return []string{name}, []value.Kind{value.KindString}, true
+}
+
+// handleBind creates a portal from a Bind message.
+func (pc *pgConn) handleBind(payload []byte) {
+	pr := payloadReader{b: payload}
+	portalName := pr.cstr()
+	stmtName := pr.cstr()
+
+	nFmt := int(pr.int16())
+	fmts := make([]int16, 0, nFmt)
+	for i := 0; i < nFmt; i++ {
+		fmts = append(fmts, pr.int16())
+	}
+	nParams := int(pr.int16())
+	type rawParam struct {
+		data []byte
+		null bool
+	}
+	raw := make([]rawParam, 0, nParams)
+	for i := 0; i < nParams; i++ {
+		data, null := pr.lenBytes()
+		raw = append(raw, rawParam{data, null})
+	}
+	nResFmt := int(pr.int16())
+	resFmts := make([]int16, 0, nResFmt)
+	for i := 0; i < nResFmt; i++ {
+		resFmts = append(resFmts, pr.int16())
+	}
+	if pr.err != nil {
+		pc.extErr(stateProtocolViolation, "malformed Bind message")
+		return
+	}
+	for _, f := range fmts {
+		if f != 0 {
+			pc.extErr(stateFeatureUnsupported, "binary parameter format is not supported; use text format")
+			return
+		}
+	}
+	for _, f := range resFmts {
+		if f != 0 {
+			pc.extErr(stateFeatureUnsupported, "binary result format is not supported; use text format")
+			return
+		}
+	}
+
+	st, ok := pc.stmts[stmtName]
+	if !ok {
+		pc.extErr(stateInvalidStmtName, fmt.Sprintf("prepared statement %q does not exist", stmtName))
+		return
+	}
+	if nParams != st.nParams {
+		pc.extErr(stateProtocolViolation, fmt.Sprintf(
+			"bind message supplies %d parameters, but prepared statement %q requires %d",
+			nParams, stmtName, st.nParams))
+		return
+	}
+
+	// Decode $n-order values using their declared OIDs, then lay them
+	// out in the engine's source (?) order through argMap.
+	pgVals := make([]value.Value, nParams)
+	for i, rp := range raw {
+		if rp.null {
+			pgVals[i] = value.Null
+			continue
+		}
+		var oid uint32
+		if i < len(st.paramOIDs) {
+			oid = st.paramOIDs[i]
+		}
+		v, err := valueFromText(oid, string(rp.data))
+		if err != nil {
+			pc.extErr(stateInvalidText, fmt.Sprintf("parameter $%d: %v", i+1, err))
+			return
+		}
+		pgVals[i] = v
+	}
+	params := make([]value.Value, len(st.argMap))
+	for j, src := range st.argMap {
+		params[j] = pgVals[src]
+	}
+	pc.portals[portalName] = &pgPortal{stmt: st, params: params}
+	pc.buf.bindComplete()
+}
+
+// handleDescribe answers a Describe for a statement ('S') or portal
+// ('P') from the plan alone, without executing.
+func (pc *pgConn) handleDescribe(payload []byte) {
+	pr := payloadReader{b: payload}
+	kind := pr.byte()
+	name := pr.cstr()
+	if pr.err != nil {
+		pc.extErr(stateProtocolViolation, "malformed Describe message")
+		return
+	}
+	switch kind {
+	case 'S':
+		st, ok := pc.stmts[name]
+		if !ok {
+			pc.extErr(stateInvalidStmtName, fmt.Sprintf("prepared statement %q does not exist", name))
+			return
+		}
+		oids := make([]uint32, st.nParams)
+		copy(oids, st.paramOIDs)
+		pc.buf.parameterDescription(oids)
+		pc.describeResult(st)
+	case 'P':
+		pt, ok := pc.portals[name]
+		if !ok {
+			pc.extErr(stateInvalidCursorName, fmt.Sprintf("portal %q does not exist", name))
+			return
+		}
+		pc.describeResult(pt.stmt)
+	default:
+		pc.extErr(stateProtocolViolation, fmt.Sprintf("invalid Describe kind %q", kind))
+	}
+}
+
+// describeResult emits RowDescription or NoData for a statement.
+func (pc *pgConn) describeResult(st *pgStmt) {
+	switch {
+	case st.util && len(st.utilCols) > 0:
+		pc.buf.rowDescription(st.utilCols, st.utilKinds)
+	case st.prep != nil:
+		cols, kinds, err := st.prep.Describe()
+		if err != nil {
+			pc.extErr(sqlstateFor(err), err.Error())
+			return
+		}
+		if len(cols) > 0 {
+			pc.buf.rowDescription(cols, kinds)
+			return
+		}
+		pc.buf.noData()
+	default:
+		pc.buf.noData()
+	}
+}
+
+// handleExecute runs (or resumes) a portal; false means the connection
+// is finished (query timeout).
+func (pc *pgConn) handleExecute(payload []byte) bool {
+	pr := payloadReader{b: payload}
+	name := pr.cstr()
+	maxRows := int(pr.int32())
+	if pr.err != nil || maxRows < 0 {
+		pc.extErr(stateProtocolViolation, "malformed Execute message")
+		return true
+	}
+	pt, ok := pc.portals[name]
+	if !ok {
+		pc.extErr(stateInvalidCursorName, fmt.Sprintf("portal %q does not exist", name))
+		return true
+	}
+	st := pt.stmt
+	if st.empty {
+		pc.buf.emptyQueryResponse()
+		return true
+	}
+	if st.util {
+		res, handled, err := tryUtility(pc.sess, st.sql)
+		if err == nil && !handled {
+			err = fmt.Errorf("unrecognized utility statement")
+		}
+		if err != nil {
+			pc.extErr(sqlstateFor(err), err.Error())
+			return true
+		}
+		for _, row := range res.rows {
+			pc.buf.dataRow(row)
+		}
+		pc.buf.commandComplete(res.tag)
+		pc.hadErr = false
+		return true
+	}
+
+	// First Execute materializes the result under the query timeout;
+	// the closure may outlive a timeout in its worker goroutine, so it
+	// only returns values and the portal is updated here.
+	if pt.res == nil {
+		type execOut struct {
+			res *engine.Result
+			err error
+		}
+		out, timedOut := pc.tc.Guard(func() any {
+			res, err := st.prep.Run(pt.params...)
+			return &execOut{res, err}
+		})
+		if timedOut {
+			pc.buf.errorResponse(stateQueryCanceled,
+				fmt.Sprintf("canceling statement due to statement timeout (%s)", pc.tc.QueryTimeout()))
+			pc.p.errors.Inc()
+			pc.buf.readyForQuery('E')
+			pc.flushOut()
+			return false
+		}
+		o := out.(*execOut)
+		if o.err != nil {
+			pc.extErr(sqlstateFor(o.err), o.err.Error())
+			return true
+		}
+		pt.res = o.res
+	}
+	pc.hadErr = false
+
+	// Execute never sends RowDescription — that is Describe's job.
+	res := pt.res
+	sent := 0
+	for pt.pos < len(res.Rows) {
+		if maxRows > 0 && sent >= maxRows {
+			pc.buf.portalSuspended()
+			return true
+		}
+		pc.buf.dataRow(res.Rows[pt.pos])
+		pt.pos++
+		sent++
+	}
+	writeAuditNotice(&pc.buf, res)
+	if st.prep != nil {
+		pc.buf.commandComplete(commandTag(st.prep.AST(), res, pt.pos))
+	} else {
+		pc.buf.commandComplete("OK")
+	}
+	return true
+}
+
+// handleClose drops a statement or portal. Closing something that does
+// not exist is not an error, per the protocol.
+func (pc *pgConn) handleClose(payload []byte) {
+	pr := payloadReader{b: payload}
+	kind := pr.byte()
+	name := pr.cstr()
+	if pr.err != nil {
+		pc.extErr(stateProtocolViolation, "malformed Close message")
+		return
+	}
+	switch kind {
+	case 'S':
+		delete(pc.stmts, name)
+	case 'P':
+		delete(pc.portals, name)
+	default:
+		pc.extErr(stateProtocolViolation, fmt.Sprintf("invalid Close kind %q", kind))
+		return
+	}
+	pc.buf.closeComplete()
+}
+
+// handleSync ends an extended-protocol batch: error recovery resets,
+// portals outside a transaction are destroyed (their lifetime is the
+// enclosing transaction; inside one they survive for row-limited
+// resumption, which is how JDBC fetchSize works), and ReadyForQuery
+// reports the transaction status.
+func (pc *pgConn) handleSync() {
+	pc.skipping = false
+	if !pc.sess.InTxn() {
+		for name := range pc.portals {
+			delete(pc.portals, name)
+		}
+	}
+	pc.buf.readyForQuery(pc.statusByte())
+	pc.flushOut()
+}

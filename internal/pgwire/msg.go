@@ -1,0 +1,199 @@
+package pgwire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frontend (client → server) message type bytes.
+const (
+	msgQuery     = 'Q'
+	msgParse     = 'P'
+	msgBind      = 'B'
+	msgDescribe  = 'D'
+	msgExecute   = 'E'
+	msgClose     = 'C'
+	msgSync      = 'S'
+	msgFlush     = 'H'
+	msgTerminate = 'X'
+	msgFuncCall  = 'F'
+	msgCopyFail  = 'f'
+	msgCopyDone  = 'c'
+	msgCopyData  = 'd'
+	msgPassword  = 'p'
+)
+
+// Backend (server → client) message type bytes.
+const (
+	msgAuth             = 'R'
+	msgParameterStatus  = 'S'
+	msgBackendKeyData   = 'K'
+	msgReadyForQuery    = 'Z'
+	msgRowDescription   = 'T'
+	msgDataRow          = 'D'
+	msgCommandComplete  = 'C'
+	msgEmptyQuery       = 'I'
+	msgErrorResponse    = 'E'
+	msgNoticeResponse   = 'N'
+	msgParseComplete    = '1'
+	msgBindComplete     = '2'
+	msgCloseComplete    = '3'
+	msgNoData           = 'n'
+	msgParamDescription = 't'
+	msgPortalSuspended  = 's'
+)
+
+// Startup-phase request codes (the first packet has no type byte).
+const (
+	protoVersion3  = 196608   // 3.0
+	sslRequest     = 80877103 // respond 'N': TLS is not offered
+	gssEncRequest  = 80877104 // respond 'N'
+	cancelRequest  = 80877102 // ignored: no out-of-band cancel support
+	maxMessageLen  = 16 << 20 // refuse anything larger, it cannot be legit
+	maxStartupLen  = 16 << 10 // startup packets are tiny
+	maxStartupTrys = 4        // SSL, GSS, then the real startup at most
+)
+
+// readStartup reads one untyped startup-phase packet: int32 length
+// (self-inclusive), int32 request code, payload.
+func readStartup(r *bufio.Reader) (code int32, payload []byte, err error) {
+	var head [4]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return 0, nil, err
+	}
+	n := int32(binary.BigEndian.Uint32(head[:]))
+	if n < 8 || n > maxStartupLen {
+		return 0, nil, fmt.Errorf("pgwire: bad startup packet length %d", n)
+	}
+	body := make([]byte, n-4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return int32(binary.BigEndian.Uint32(body[:4])), body[4:], nil
+}
+
+// readMessage reads one typed frontend message.
+func readMessage(r *bufio.Reader) (typ byte, payload []byte, err error) {
+	typ, err = r.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	var head [4]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return 0, nil, err
+	}
+	n := int32(binary.BigEndian.Uint32(head[:]))
+	if n < 4 || n > maxMessageLen {
+		return 0, nil, fmt.Errorf("pgwire: bad message length %d for %q", n, typ)
+	}
+	payload = make([]byte, n-4)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return typ, payload, nil
+}
+
+// msgBuf builds one backend message body; Frame prepends the type byte
+// and self-inclusive length.
+type msgBuf struct {
+	b []byte
+}
+
+func (m *msgBuf) byte(v byte)    { m.b = append(m.b, v) }
+func (m *msgBuf) int16(v int16)  { m.b = binary.BigEndian.AppendUint16(m.b, uint16(v)) }
+func (m *msgBuf) int32(v int32)  { m.b = binary.BigEndian.AppendUint32(m.b, uint32(v)) }
+func (m *msgBuf) bytes(v []byte) { m.b = append(m.b, v...) }
+
+// cstr appends a NUL-terminated string.
+func (m *msgBuf) cstr(s string) {
+	m.b = append(m.b, s...)
+	m.b = append(m.b, 0)
+}
+
+// frame renders the finished message.
+func frame(typ byte, body []byte) []byte {
+	out := make([]byte, 5+len(body))
+	out[0] = typ
+	binary.BigEndian.PutUint32(out[1:5], uint32(len(body)+4))
+	copy(out[5:], body)
+	return out
+}
+
+// payloadReader decodes a frontend message payload.
+type payloadReader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (p *payloadReader) fail() {
+	if p.err == nil {
+		p.err = fmt.Errorf("pgwire: truncated message payload")
+	}
+}
+
+func (p *payloadReader) cstr() string {
+	if p.err != nil {
+		return ""
+	}
+	for i := p.pos; i < len(p.b); i++ {
+		if p.b[i] == 0 {
+			s := string(p.b[p.pos:i])
+			p.pos = i + 1
+			return s
+		}
+	}
+	p.fail()
+	return ""
+}
+
+func (p *payloadReader) byte() byte {
+	if p.err != nil || p.pos >= len(p.b) {
+		p.fail()
+		return 0
+	}
+	v := p.b[p.pos]
+	p.pos++
+	return v
+}
+
+func (p *payloadReader) int16() int16 {
+	if p.err != nil || p.pos+2 > len(p.b) {
+		p.fail()
+		return 0
+	}
+	v := int16(binary.BigEndian.Uint16(p.b[p.pos:]))
+	p.pos += 2
+	return v
+}
+
+func (p *payloadReader) int32() int32 {
+	if p.err != nil || p.pos+4 > len(p.b) {
+		p.fail()
+		return 0
+	}
+	v := int32(binary.BigEndian.Uint32(p.b[p.pos:]))
+	p.pos += 4
+	return v
+}
+
+// lenBytes reads an int32 length followed by that many bytes; a length
+// of -1 reports a NULL (nil slice, null=true).
+func (p *payloadReader) lenBytes() (data []byte, null bool) {
+	n := p.int32()
+	if p.err != nil {
+		return nil, false
+	}
+	if n == -1 {
+		return nil, true
+	}
+	if n < 0 || p.pos+int(n) > len(p.b) {
+		p.fail()
+		return nil, false
+	}
+	data = p.b[p.pos : p.pos+int(n)]
+	p.pos += int(n)
+	return data, false
+}

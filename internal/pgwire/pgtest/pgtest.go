@@ -1,0 +1,393 @@
+// Package pgtest is a minimal raw-socket PostgreSQL v3 frontend for
+// integration tests. It is deliberately independent of internal/pgwire
+// — it builds and decodes wire bytes with its own code so the tests
+// exercise the protocol as an external client would, not as a mirror
+// of the server's implementation.
+package pgtest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Message is one typed backend message.
+type Message struct {
+	Type byte
+	Body []byte
+}
+
+// Field is one RowDescription column.
+type Field struct {
+	Name   string
+	OID    uint32
+	Size   int16
+	Format int16
+}
+
+// Client is one frontend connection.
+type Client struct {
+	nc net.Conn
+	r  *bufio.Reader
+}
+
+// Dial connects, performs the startup handshake as user, and consumes
+// the burst up to the first ReadyForQuery. The returned messages are
+// everything the backend sent during startup (AuthenticationOk,
+// ParameterStatus set, BackendKeyData, ReadyForQuery last).
+func Dial(addr, user string) (*Client, []Message, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := &Client{nc: nc, r: bufio.NewReader(nc)}
+	if err := c.SendStartup(map[string]string{"user": user, "database": "auditdb"}); err != nil {
+		nc.Close()
+		return nil, nil, err
+	}
+	msgs, _, err := c.ReadUntilReady()
+	if err != nil {
+		nc.Close()
+		return nil, nil, err
+	}
+	return c, msgs, nil
+}
+
+// DialRaw connects without performing any handshake, for tests that
+// drive the startup phase themselves (SSL refusal, refused limits).
+func DialRaw(addr string) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{nc: nc, r: bufio.NewReader(nc)}, nil
+}
+
+// Close terminates the connection (without sending Terminate; use
+// Terminate() first for a graceful goodbye).
+func (c *Client) Close() error { return c.nc.Close() }
+
+// SetDeadline bounds every subsequent read and write.
+func (c *Client) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
+
+// SendRaw writes arbitrary bytes (for malformed-input tests).
+func (c *Client) SendRaw(b []byte) error {
+	_, err := c.nc.Write(b)
+	return err
+}
+
+// SendStartup sends the v3 startup packet.
+func (c *Client) SendStartup(params map[string]string) error {
+	var body []byte
+	body = binary.BigEndian.AppendUint32(body, 196608)
+	for k, v := range params {
+		body = append(body, k...)
+		body = append(body, 0)
+		body = append(body, v...)
+		body = append(body, 0)
+	}
+	body = append(body, 0)
+	return c.sendUntyped(body)
+}
+
+// SendSSLRequest sends an SSLRequest and returns the single-byte
+// answer ('N' from this server).
+func (c *Client) SendSSLRequest() (byte, error) {
+	var body []byte
+	body = binary.BigEndian.AppendUint32(body, 80877103)
+	if err := c.sendUntyped(body); err != nil {
+		return 0, err
+	}
+	return c.r.ReadByte()
+}
+
+func (c *Client) sendUntyped(body []byte) error {
+	out := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(out, uint32(4+len(body)))
+	copy(out[4:], body)
+	_, err := c.nc.Write(out)
+	return err
+}
+
+// Send frames and writes one typed frontend message.
+func (c *Client) Send(typ byte, body []byte) error {
+	out := make([]byte, 5+len(body))
+	out[0] = typ
+	binary.BigEndian.PutUint32(out[1:5], uint32(4+len(body)))
+	copy(out[5:], body)
+	_, err := c.nc.Write(out)
+	return err
+}
+
+// Frontend message builders.
+
+// Query sends a simple-protocol query.
+func (c *Client) Query(sql string) error {
+	return c.Send('Q', cstr(sql))
+}
+
+// Parse sends Parse for a named statement; oids may be nil.
+func (c *Client) Parse(name, sql string, oids []uint32) error {
+	body := cstr(name)
+	body = append(body, cstr(sql)...)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(oids)))
+	for _, oid := range oids {
+		body = binary.BigEndian.AppendUint32(body, oid)
+	}
+	return c.Send('P', body)
+}
+
+// Bind sends Bind with text-format parameters; a nil entry is NULL.
+func (c *Client) Bind(portal, stmt string, params [][]byte) error {
+	body := cstr(portal)
+	body = append(body, cstr(stmt)...)
+	body = binary.BigEndian.AppendUint16(body, 0) // all-text parameter formats
+	body = binary.BigEndian.AppendUint16(body, uint16(len(params)))
+	for _, p := range params {
+		if p == nil {
+			body = binary.BigEndian.AppendUint32(body, 0xFFFFFFFF) // -1: NULL
+			continue
+		}
+		body = binary.BigEndian.AppendUint32(body, uint32(len(p)))
+		body = append(body, p...)
+	}
+	body = binary.BigEndian.AppendUint16(body, 0) // all-text result formats
+	return c.Send('B', body)
+}
+
+// BindBinary sends Bind declaring binary format for every parameter
+// (which this server refuses); used to test the 0A000 path.
+func (c *Client) BindBinary(portal, stmt string, params [][]byte) error {
+	body := cstr(portal)
+	body = append(body, cstr(stmt)...)
+	body = binary.BigEndian.AppendUint16(body, 1)
+	body = binary.BigEndian.AppendUint16(body, 1) // format code 1 = binary
+	body = binary.BigEndian.AppendUint16(body, uint16(len(params)))
+	for _, p := range params {
+		body = binary.BigEndian.AppendUint32(body, uint32(len(p)))
+		body = append(body, p...)
+	}
+	body = binary.BigEndian.AppendUint16(body, 0)
+	return c.Send('B', body)
+}
+
+// Describe sends Describe for kind 'S' (statement) or 'P' (portal).
+func (c *Client) Describe(kind byte, name string) error {
+	return c.Send('D', append([]byte{kind}, cstr(name)...))
+}
+
+// Execute sends Execute with a row limit (0 = no limit).
+func (c *Client) Execute(portal string, maxRows int32) error {
+	body := cstr(portal)
+	body = binary.BigEndian.AppendUint32(body, uint32(maxRows))
+	return c.Send('E', body)
+}
+
+// CloseStmt sends Close for kind 'S' or 'P'.
+func (c *Client) CloseStmt(kind byte, name string) error {
+	return c.Send('C', append([]byte{kind}, cstr(name)...))
+}
+
+// Sync sends Sync.
+func (c *Client) Sync() error { return c.Send('S', nil) }
+
+// Flush sends Flush.
+func (c *Client) Flush() error { return c.Send('H', nil) }
+
+// Terminate sends Terminate.
+func (c *Client) Terminate() error { return c.Send('X', nil) }
+
+// ReadMessage reads one backend message.
+func (c *Client) ReadMessage() (Message, error) {
+	typ, err := c.r.ReadByte()
+	if err != nil {
+		return Message{}, err
+	}
+	var head [4]byte
+	if _, err := io.ReadFull(c.r, head[:]); err != nil {
+		return Message{}, err
+	}
+	n := int(binary.BigEndian.Uint32(head[:]))
+	if n < 4 || n > 64<<20 {
+		return Message{}, fmt.Errorf("pgtest: bad backend message length %d", n)
+	}
+	body := make([]byte, n-4)
+	if _, err := io.ReadFull(c.r, body); err != nil {
+		return Message{}, err
+	}
+	return Message{Type: typ, Body: body}, nil
+}
+
+// ReadUntilReady collects messages through the next ReadyForQuery and
+// returns them along with its transaction-status byte.
+func (c *Client) ReadUntilReady() ([]Message, byte, error) {
+	var msgs []Message
+	for {
+		m, err := c.ReadMessage()
+		if err != nil {
+			return msgs, 0, err
+		}
+		msgs = append(msgs, m)
+		if m.Type == 'Z' {
+			if len(m.Body) != 1 {
+				return msgs, 0, fmt.Errorf("pgtest: bad ReadyForQuery body %v", m.Body)
+			}
+			return msgs, m.Body[0], nil
+		}
+	}
+}
+
+// Backend message decoders.
+
+// RowDescription decodes a 'T' body.
+func RowDescription(body []byte) ([]Field, error) {
+	d := &decoder{b: body}
+	n := int(d.int16())
+	fields := make([]Field, 0, n)
+	for i := 0; i < n; i++ {
+		var f Field
+		f.Name = d.cstr()
+		d.int32() // table OID
+		d.int16() // attribute number
+		f.OID = uint32(d.int32())
+		f.Size = d.int16()
+		d.int32() // type modifier
+		f.Format = d.int16()
+		fields = append(fields, f)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return fields, nil
+}
+
+// DataRow decodes a 'D' body; NULL columns decode as nil.
+func DataRow(body []byte) ([][]byte, error) {
+	d := &decoder{b: body}
+	n := int(d.int16())
+	row := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		ln := d.int32()
+		if ln == -1 {
+			row = append(row, nil)
+			continue
+		}
+		row = append(row, d.take(int(ln)))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return row, nil
+}
+
+// ErrorFields decodes an 'E' or 'N' body into its field map
+// (key 'C' is the SQLSTATE, 'M' the message, 'S' the severity).
+func ErrorFields(body []byte) map[byte]string {
+	fields := map[byte]string{}
+	d := &decoder{b: body}
+	for {
+		k := d.byte()
+		if d.err != nil || k == 0 {
+			return fields
+		}
+		fields[k] = d.cstr()
+	}
+}
+
+// CommandTag decodes a 'C' body.
+func CommandTag(body []byte) string {
+	if n := len(body); n > 0 && body[n-1] == 0 {
+		return string(body[:n-1])
+	}
+	return string(body)
+}
+
+// ParamOIDs decodes a 't' (ParameterDescription) body.
+func ParamOIDs(body []byte) ([]uint32, error) {
+	d := &decoder{b: body}
+	n := int(d.int16())
+	oids := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		oids = append(oids, uint32(d.int32()))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return oids, nil
+}
+
+func cstr(s string) []byte {
+	b := make([]byte, 0, len(s)+1)
+	b = append(b, s...)
+	return append(b, 0)
+}
+
+type decoder struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("pgtest: truncated message")
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || d.pos >= len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *decoder) int16() int16 {
+	if d.err != nil || d.pos+2 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := int16(binary.BigEndian.Uint16(d.b[d.pos:]))
+	d.pos += 2
+	return v
+}
+
+func (d *decoder) int32() int32 {
+	if d.err != nil || d.pos+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := int32(binary.BigEndian.Uint32(d.b[d.pos:]))
+	d.pos += 4
+	return v
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil || n < 0 || d.pos+n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	v := d.b[d.pos : d.pos+n]
+	d.pos += n
+	return v
+}
+
+func (d *decoder) cstr() string {
+	if d.err != nil {
+		return ""
+	}
+	for i := d.pos; i < len(d.b); i++ {
+		if d.b[i] == 0 {
+			s := string(d.b[d.pos:i])
+			d.pos = i + 1
+			return s
+		}
+	}
+	d.fail()
+	return ""
+}

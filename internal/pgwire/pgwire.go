@@ -1,0 +1,301 @@
+// Package pgwire implements the PostgreSQL v3 wire protocol as a
+// front door to the audit engine. It is dependency-free — the protocol
+// is small enough to speak directly — and plugs into the server
+// transport as one Protocol among others: the transport owns accept
+// loops, connection limits, timeouts and drain; this package owns only
+// the bytes. psql, libpq, pgx and JDBC can connect, run DDL/DML and
+// audited SELECTs, and observe SELECT triggers firing, with results
+// identical to the line-JSON protocol because both drive the same
+// engine.Session.
+//
+// Deviations from PostgreSQL, by design of the underlying engine:
+//
+//   - No TLS and no authentication: SSLRequest and GSSENCRequest are
+//     answered 'N'; the startup "user" parameter is trusted, exactly
+//     as the line-JSON "set user" op is (DESIGN §1: the threat model
+//     audits honest-but-curious readers, it does not authenticate).
+//   - Text format only. Binary parameter or result formats are
+//     refused with SQLSTATE 0A000.
+//   - No CancelRequest support; a CancelRequest connection is closed.
+//   - Multi-statement simple queries are not wrapped in an implicit
+//     transaction; each statement autocommits unless BEGIN is open.
+//   - A failed transaction is not sticky: the engine keeps executing
+//     statements after an error inside BEGIN…COMMIT, so ReadyForQuery
+//     reports 'E' only until the next statement succeeds.
+package pgwire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync/atomic"
+
+	"auditdb/internal/engine"
+	"auditdb/internal/obs"
+	"auditdb/internal/server"
+)
+
+// Protocol implements server.Protocol for the PostgreSQL wire format.
+// One Protocol value serves every pg connection of a transport.
+type Protocol struct {
+	messages *obs.CounterVec
+	errors   *obs.Counter
+	nextPID  atomic.Int32
+}
+
+// New creates the pg front door, registering its metrics: a per-type
+// frontend message counter and an ErrorResponse counter.
+func New(reg *obs.Registry) *Protocol {
+	return &Protocol{
+		messages: reg.NewCounterVec("auditdb_pgwire_messages_total", "pgwire_messages",
+			"Frontend messages handled by the PostgreSQL front door.", "type"),
+		errors: reg.NewCounter("auditdb_pgwire_errors_total", "pgwire_errors",
+			"ErrorResponses sent by the PostgreSQL front door."),
+	}
+}
+
+// Name identifies the protocol in logs and metrics.
+func (p *Protocol) Name() string { return "pg" }
+
+// Refuse reports a connection-limit refusal in PostgreSQL terms: the
+// client speaks first, so the SSL/GSS negotiation is swallowed before
+// the FATAL lands where libpq will read it.
+func (p *Protocol) Refuse(nc net.Conn, msg string) {
+	defer nc.Close()
+	r := bufio.NewReaderSize(nc, 512)
+	for try := 0; try < maxStartupTrys; try++ {
+		code, _, err := readStartup(r)
+		if err != nil {
+			return
+		}
+		if code == sslRequest || code == gssEncRequest {
+			if _, err := nc.Write([]byte{'N'}); err != nil {
+				return
+			}
+			continue
+		}
+		break
+	}
+	var w writer
+	w.fatalResponse(stateTooManyConnections, msg)
+	nc.Write(w.out)
+}
+
+// Serve speaks the protocol on one accepted connection.
+func (p *Protocol) Serve(c *server.Conn) {
+	pc := &pgConn{
+		p:       p,
+		tc:      c,
+		nc:      c.NetConn(),
+		r:       bufio.NewReaderSize(c.NetConn(), 32<<10),
+		sess:    c.Session(),
+		stmts:   map[string]*pgStmt{},
+		portals: map[string]*pgPortal{},
+	}
+	pc.serve()
+}
+
+// pgConn is the per-connection protocol state machine.
+type pgConn struct {
+	p    *Protocol
+	tc   *server.Conn
+	nc   net.Conn
+	r    *bufio.Reader
+	sess *engine.Session
+
+	// buf accumulates backend messages; they reach the socket at
+	// Sync, Flush, after each simple query, and on fatal errors.
+	buf writer
+
+	stmts   map[string]*pgStmt
+	portals map[string]*pgPortal
+
+	// skipping discards messages until Sync after an error in an
+	// extended-protocol batch, per the protocol's error recovery rule.
+	skipping bool
+	// hadErr tracks an error inside an open transaction for the
+	// ReadyForQuery status byte ('E'); cleared when a statement
+	// succeeds (failed transactions are not sticky here, see the
+	// package comment).
+	hadErr bool
+}
+
+// serve runs the handshake then the message loop.
+func (pc *pgConn) serve() {
+	if !pc.handshake() {
+		return
+	}
+	for {
+		if pc.tc.Closing() {
+			pc.flushOut()
+			return
+		}
+		pc.tc.ArmIdleDeadline()
+		typ, payload, err := readMessage(pc.r)
+		if err != nil {
+			return
+		}
+		pc.p.messages.With(msgName(typ)).Inc()
+		if pc.skipping && typ != msgSync && typ != msgTerminate {
+			continue
+		}
+		switch typ {
+		case msgQuery:
+			if !pc.simpleQuery(payload) {
+				return
+			}
+		case msgParse:
+			pc.handleParse(payload)
+		case msgBind:
+			pc.handleBind(payload)
+		case msgDescribe:
+			pc.handleDescribe(payload)
+		case msgExecute:
+			if !pc.handleExecute(payload) {
+				return
+			}
+		case msgClose:
+			pc.handleClose(payload)
+		case msgSync:
+			pc.handleSync()
+		case msgFlush:
+			pc.flushOut()
+		case msgTerminate:
+			return
+		default:
+			pc.extErr(stateProtocolViolation,
+				fmt.Sprintf("unsupported frontend message %q", typ))
+		}
+	}
+}
+
+// handshake performs the startup exchange; false means the connection
+// must be dropped.
+func (pc *pgConn) handshake() bool {
+	var params map[string]string
+	for try := 0; ; try++ {
+		if try >= maxStartupTrys {
+			return false
+		}
+		pc.tc.ArmIdleDeadline()
+		code, payload, err := readStartup(pc.r)
+		if err != nil {
+			return false
+		}
+		if code == sslRequest || code == gssEncRequest {
+			// TLS/GSS are not offered; 'N' tells the client to carry
+			// on in the clear.
+			if _, err := pc.nc.Write([]byte{'N'}); err != nil {
+				return false
+			}
+			continue
+		}
+		if code == cancelRequest {
+			// Out-of-band cancellation is unsupported; the protocol
+			// says to just close the cancel connection.
+			return false
+		}
+		if code != protoVersion3 {
+			pc.buf.fatalResponse(stateProtocolViolation,
+				fmt.Sprintf("unsupported frontend protocol %d.%d: server supports 3.0",
+					code>>16, code&0xffff))
+			pc.flushOut()
+			return false
+		}
+		params = startupParams(payload)
+		break
+	}
+	pc.p.messages.With("startup").Inc()
+	if user := params["user"]; user != "" {
+		// The startup user becomes the session's audit identity:
+		// userid() in trigger actions, the User column in the log.
+		pc.sess.SetUser(user)
+	}
+	pid := pc.p.nextPID.Add(1)
+
+	pc.buf.authenticationOK()
+	pc.buf.parameterStatus("server_version", serverVersion)
+	pc.buf.parameterStatus("server_encoding", "UTF8")
+	pc.buf.parameterStatus("client_encoding", "UTF8")
+	pc.buf.parameterStatus("DateStyle", "ISO, MDY")
+	pc.buf.parameterStatus("integer_datetimes", "on")
+	pc.buf.parameterStatus("standard_conforming_strings", "on")
+	pc.buf.parameterStatus("TimeZone", "UTC")
+	pc.buf.parameterStatus("is_superuser", "off")
+	pc.buf.parameterStatus("session_authorization", pc.sess.User())
+	pc.buf.backendKeyData(pid, 0) // secret 0: cancel keys are not honored
+	pc.buf.readyForQuery(pc.statusByte())
+	return pc.flushOut()
+}
+
+// startupParams decodes the key/value pairs of a v3 startup packet.
+func startupParams(payload []byte) map[string]string {
+	params := map[string]string{}
+	pr := payloadReader{b: payload}
+	for {
+		k := pr.cstr()
+		if pr.err != nil || k == "" {
+			return params
+		}
+		params[k] = pr.cstr()
+	}
+}
+
+// statusByte is the ReadyForQuery transaction indicator: 'I' idle,
+// 'T' in a transaction, 'E' in a transaction whose last statement
+// failed. Must not be called while a statement is still running.
+func (pc *pgConn) statusByte() byte {
+	if !pc.sess.InTxn() {
+		return 'I'
+	}
+	if pc.hadErr {
+		return 'E'
+	}
+	return 'T'
+}
+
+// flushOut writes everything buffered to the socket; false on a write
+// error (the connection is finished).
+func (pc *pgConn) flushOut() bool {
+	if len(pc.buf.out) == 0 {
+		return true
+	}
+	_, err := pc.nc.Write(pc.buf.out)
+	pc.buf.out = pc.buf.out[:0]
+	return err == nil
+}
+
+// extErr reports an extended-protocol error and enters error recovery
+// (messages are discarded until the next Sync).
+func (pc *pgConn) extErr(code, msg string) {
+	pc.buf.errorResponse(code, msg)
+	pc.p.errors.Inc()
+	pc.skipping = true
+	pc.hadErr = true
+}
+
+// msgName labels frontend message types for the per-type counter.
+func msgName(typ byte) string {
+	switch typ {
+	case msgQuery:
+		return "query"
+	case msgParse:
+		return "parse"
+	case msgBind:
+		return "bind"
+	case msgDescribe:
+		return "describe"
+	case msgExecute:
+		return "execute"
+	case msgClose:
+		return "close"
+	case msgSync:
+		return "sync"
+	case msgFlush:
+		return "flush"
+	case msgTerminate:
+		return "terminate"
+	default:
+		return "other"
+	}
+}

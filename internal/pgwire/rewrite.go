@@ -1,0 +1,100 @@
+package pgwire
+
+import (
+	"fmt"
+	"strings"
+)
+
+// rewritePlaceholders converts PostgreSQL-style $n parameter
+// references into the engine's positional ? placeholders. $n
+// references may repeat and appear in any order; the returned argMap
+// gives, for each ? in source order, the zero-based index of the PG
+// parameter that binds it, and nParams is the highest $n seen. String
+// literals (with ” escapes), quoted identifiers, line comments and
+// block comments are left untouched.
+func rewritePlaceholders(sql string) (rewritten string, argMap []int, nParams int, err error) {
+	var b strings.Builder
+	b.Grow(len(sql))
+	i := 0
+	for i < len(sql) {
+		c := sql[i]
+		switch {
+		case c == '\'':
+			j := scanQuoted(sql, i, '\'')
+			b.WriteString(sql[i:j])
+			i = j
+		case c == '"':
+			j := scanQuoted(sql, i, '"')
+			b.WriteString(sql[i:j])
+			i = j
+		case c == '-' && i+1 < len(sql) && sql[i+1] == '-':
+			j := strings.IndexByte(sql[i:], '\n')
+			if j < 0 {
+				j = len(sql)
+			} else {
+				j += i + 1
+			}
+			b.WriteString(sql[i:j])
+			i = j
+		case c == '/' && i+1 < len(sql) && sql[i+1] == '*':
+			j := strings.Index(sql[i+2:], "*/")
+			if j < 0 {
+				j = len(sql)
+			} else {
+				j += i + 4
+			}
+			b.WriteString(sql[i:j])
+			i = j
+		case c == '$':
+			j := i + 1
+			for j < len(sql) && sql[j] >= '0' && sql[j] <= '9' {
+				j++
+			}
+			if j == i+1 {
+				// Bare '$' (e.g. dollar quoting, which the engine's SQL
+				// dialect does not have): pass through for the parser to
+				// reject with its own message.
+				b.WriteByte(c)
+				i++
+				continue
+			}
+			n := 0
+			for _, d := range sql[i+1 : j] {
+				n = n*10 + int(d-'0')
+				if n > 65535 {
+					return "", nil, 0, fmt.Errorf("parameter number $%s out of range", sql[i+1:j])
+				}
+			}
+			if n == 0 {
+				return "", nil, 0, fmt.Errorf("there is no parameter $0")
+			}
+			b.WriteByte('?')
+			argMap = append(argMap, n-1)
+			if n > nParams {
+				nParams = n
+			}
+			i = j
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return b.String(), argMap, nParams, nil
+}
+
+// scanQuoted returns the index just past a quoted region starting at
+// sql[start] == q, honoring doubled-quote escapes.
+func scanQuoted(sql string, start int, q byte) int {
+	i := start + 1
+	for i < len(sql) {
+		if sql[i] == q {
+			if i+1 < len(sql) && sql[i+1] == q {
+				i += 2
+				continue
+			}
+			return i + 1
+		}
+		i++
+	}
+	return len(sql)
+}

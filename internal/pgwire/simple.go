@@ -1,0 +1,198 @@
+package pgwire
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"auditdb/internal/ast"
+	"auditdb/internal/engine"
+)
+
+// simpleQuery handles a 'Q' message: one or more statements separated
+// by semicolons, each answered with RowDescription/DataRows and a
+// CommandComplete, ending in ReadyForQuery. Processing stops at the
+// first error. The whole script runs under the transport's query
+// timeout; false means the connection is finished.
+func (pc *pgConn) simpleQuery(payload []byte) bool {
+	pr := payloadReader{b: payload}
+	sql := pr.cstr()
+	if pr.err != nil {
+		pc.buf.errorResponse(stateProtocolViolation, "malformed Query message")
+		pc.p.errors.Inc()
+		pc.buf.readyForQuery(pc.statusByte())
+		return pc.flushOut()
+	}
+	if strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";")) == "" {
+		pc.buf.emptyQueryResponse()
+		pc.buf.readyForQuery(pc.statusByte())
+		return pc.flushOut()
+	}
+
+	// SET/SHOW/RESET never reach the engine; psql and drivers issue
+	// them freely and they must work even mid-drain of a transaction.
+	// Only a single-statement script qualifies — a SET leading a
+	// multi-statement script would swallow the rest.
+	single := !strings.Contains(strings.TrimSuffix(strings.TrimSpace(sql), ";"), ";")
+	if res, handled, err := utilityIfSingle(pc.sess, sql, single); handled {
+		if err != nil {
+			pc.buf.errorResponse(sqlstateFor(err), err.Error())
+			pc.p.errors.Inc()
+			pc.hadErr = true
+		} else {
+			pc.writeUtility(res)
+		}
+		pc.buf.readyForQuery(pc.statusByte())
+		return pc.flushOut()
+	}
+
+	// The closure runs in a worker goroutine when a query timeout is
+	// configured, so it builds its responses in a private writer and
+	// never touches the socket or pc fields; results are applied here
+	// after Guard returns.
+	type scriptOut struct {
+		w      writer
+		hadErr bool
+	}
+	out, timedOut := pc.tc.Guard(func() any {
+		o := &scriptOut{}
+		err := pc.sess.ExecMulti(sql, func(stmt ast.Stmt, res *engine.Result, err error) bool {
+			if err != nil {
+				o.w.errorResponse(sqlstateFor(err), err.Error())
+				o.hadErr = true
+				return false
+			}
+			o.hadErr = false
+			pc.writeResult(&o.w, stmt, res)
+			return true
+		})
+		if err != nil { // parse error: nothing ran
+			o.w.errorResponse(sqlstateFor(err), err.Error())
+			o.hadErr = true
+		}
+		return o
+	})
+	if timedOut {
+		// The statement is still running; the connection is dead. The
+		// session's transaction state is unknowable from here, so the
+		// status byte reports 'E' and the transport closes us.
+		pc.buf.errorResponse(stateQueryCanceled,
+			fmt.Sprintf("canceling statement due to statement timeout (%s)", pc.tc.QueryTimeout()))
+		pc.p.errors.Inc()
+		pc.buf.readyForQuery('E')
+		pc.flushOut()
+		return false
+	}
+	o := out.(*scriptOut)
+	if o.hadErr {
+		pc.p.errors.Inc()
+	}
+	pc.hadErr = o.hadErr
+	pc.buf.raw(o.w.out)
+	pc.buf.readyForQuery(pc.statusByte())
+	return pc.flushOut()
+}
+
+// utilityIfSingle applies tryUtility only to single-statement scripts.
+func utilityIfSingle(sess *engine.Session, sql string, single bool) (*utilityResult, bool, error) {
+	if !single {
+		return nil, false, nil
+	}
+	return tryUtility(sess, sql)
+}
+
+// writeResult renders one executed statement: result rows when the
+// statement produced a schema, the audit notice when a SELECT trigger
+// fired, and the command tag.
+func (pc *pgConn) writeResult(w *writer, stmt ast.Stmt, res *engine.Result) {
+	if len(res.Columns) > 0 {
+		w.rowDescription(res.Columns, res.Kinds)
+		for _, row := range res.Rows {
+			w.dataRow(row)
+		}
+	}
+	writeAuditNotice(w, res)
+	w.commandComplete(commandTag(stmt, res, len(res.Rows)))
+}
+
+// writeUtility renders a front-door SET/SHOW/RESET result.
+func (pc *pgConn) writeUtility(res *utilityResult) {
+	if len(res.cols) > 0 {
+		pc.buf.rowDescription(res.cols, res.kinds)
+		for _, row := range res.rows {
+			pc.buf.dataRow(row)
+		}
+	}
+	pc.buf.commandComplete(res.tag)
+}
+
+// writeAuditNotice mirrors the line-JSON "audited" response field: a
+// NOTICE naming each audit expression the statement's ACCESSED state
+// matched and how many distinct IDs it recorded, so psql users see
+// SELECT triggers fire inline.
+func writeAuditNotice(w *writer, res *engine.Result) {
+	if res.Accessed == nil {
+		return
+	}
+	exprs := res.Accessed.Expressions()
+	if len(exprs) == 0 {
+		return
+	}
+	sort.Strings(exprs)
+	parts := make([]string, len(exprs))
+	for i, name := range exprs {
+		parts[i] = fmt.Sprintf("%s=%d", name, res.Accessed.Len(name))
+	}
+	w.notice("audit: " + strings.Join(parts, " "))
+}
+
+// commandTag is the CommandComplete tag for an executed statement.
+// rows is the number of rows sent to the client by this execution (for
+// suspended portals that may be fewer than len(res.Rows)).
+func commandTag(stmt ast.Stmt, res *engine.Result, rows int) string {
+	switch stmt.(type) {
+	case *ast.Select:
+		return fmt.Sprintf("SELECT %d", rows)
+	case *ast.Insert:
+		return fmt.Sprintf("INSERT 0 %d", res.RowsAffected)
+	case *ast.Update:
+		return fmt.Sprintf("UPDATE %d", res.RowsAffected)
+	case *ast.Delete:
+		return fmt.Sprintf("DELETE %d", res.RowsAffected)
+	case *ast.CreateTable:
+		return "CREATE TABLE"
+	case *ast.CreateIndex:
+		return "CREATE INDEX"
+	case *ast.CreateView:
+		return "CREATE VIEW"
+	case *ast.CreateTrigger:
+		return "CREATE TRIGGER"
+	case *ast.CreateAuditExpression:
+		return "CREATE AUDIT EXPRESSION"
+	case *ast.DropTable:
+		return "DROP TABLE"
+	case *ast.DropIndex:
+		return "DROP INDEX"
+	case *ast.DropView:
+		return "DROP VIEW"
+	case *ast.DropTrigger:
+		return "DROP TRIGGER"
+	case *ast.DropAuditExpression:
+		return "DROP AUDIT EXPRESSION"
+	case *ast.TxBegin:
+		return "BEGIN"
+	case *ast.TxCommit:
+		return "COMMIT"
+	case *ast.TxRollback:
+		return "ROLLBACK"
+	case *ast.Explain:
+		return "EXPLAIN"
+	case *ast.VerifyAuditLog:
+		return "VERIFY AUDIT LOG"
+	default:
+		if len(res.Columns) > 0 {
+			return fmt.Sprintf("SELECT %d", rows)
+		}
+		return "OK"
+	}
+}

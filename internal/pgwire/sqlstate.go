@@ -1,0 +1,75 @@
+package pgwire
+
+import "strings"
+
+// SQLSTATE codes the front door reports (PostgreSQL Appendix A).
+const (
+	stateSyntaxError        = "42601"
+	stateUndefinedTable     = "42P01"
+	stateUndefinedColumn    = "42703"
+	stateAmbiguousColumn    = "42702"
+	stateDuplicateTable     = "42P07"
+	stateDuplicateObject    = "42710"
+	stateUndefinedObject    = "42704"
+	stateDivisionByZero     = "22012"
+	stateInvalidText        = "22P02"
+	stateInvalidParameter   = "22023"
+	stateNoActiveTxn        = "25P01"
+	stateActiveTxn          = "25001"
+	stateQueryCanceled      = "57014"
+	stateConnFailure        = "08006"
+	stateProtocolViolation  = "08P01"
+	stateFeatureUnsupported = "0A000"
+	stateTooManyConnections = "53300"
+	stateProgramLimit       = "54000"
+	stateInvalidCursorName  = "34000"
+	stateInvalidStmtName    = "26000"
+	stateInternalError      = "XX000"
+)
+
+// sqlstateFor maps an engine error to the closest SQLSTATE. The
+// engine reports errors as text, so the mapping is by message shape;
+// unknown shapes land on internal_error, which clients treat as a
+// generic server error.
+func sqlstateFor(err error) string {
+	msg := strings.ToLower(err.Error())
+	has := func(s string) bool { return strings.Contains(msg, s) }
+	switch {
+	case has("parse error"), has("unexpected character"), has("unterminated"),
+		has("empty statement"), has("expected "), has("is not valid"),
+		has("select list is empty"), has("cannot be combined"),
+		has("must appear in the select list"), has("cannot be nested"):
+		return stateSyntaxError
+	case has("unknown table"), has("table") && has("does not exist"):
+		return stateUndefinedTable
+	case has("unknown column"):
+		return stateUndefinedColumn
+	case has("ambiguous column"):
+		return stateAmbiguousColumn
+	case has("table") && has("already exists"):
+		return stateDuplicateTable
+	case has("already exists"), has("listed twice"), has("duplicate column"):
+		return stateDuplicateObject
+	case has("does not exist"), has("unknown audit expression"),
+		has("unknown aggregate"), has("unknown type"), has("unknown setting"):
+		return stateUndefinedObject
+	case has("division by zero"):
+		return stateDivisionByZero
+	case has("no open transaction"):
+		return stateNoActiveTxn
+	case has("transaction is already open"), has("transaction control is not allowed"):
+		return stateActiveTxn
+	case has("parameters, got"), has("parameter"):
+		return stateInvalidParameter
+	case has("timeout"):
+		return stateQueryCanceled
+	case has("session is closed"):
+		return stateConnFailure
+	case has("exceeds maximum depth"), has("exceeds depth"):
+		return stateProgramLimit
+	case has("unsupported"):
+		return stateFeatureUnsupported
+	default:
+		return stateInternalError
+	}
+}

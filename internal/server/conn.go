@@ -8,7 +8,6 @@ import (
 	"net"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"auditdb/internal/core"
@@ -17,40 +16,41 @@ import (
 	"auditdb/internal/wire"
 )
 
-// conn is one served connection: a session, its prepared statements,
-// and the line codec.
-type conn struct {
-	srv *Server
-	nc  net.Conn
-	r   *bufio.Reader
-	w   *bufio.Writer
+// jsonProtocol is the built-in line-delimited JSON wire format
+// (package wire) as a transport Protocol.
+type jsonProtocol struct{}
+
+func (jsonProtocol) Name() string { return "json" }
+
+// Refuse sends a one-line error to a connection that will not be
+// served (connection limit) and closes it.
+func (jsonProtocol) Refuse(nc net.Conn, msg string) { refuse(nc, msg) }
+
+func (jsonProtocol) Serve(tc *Conn) {
+	c := &jsonConn{
+		tc:    tc,
+		nc:    tc.NetConn(),
+		r:     bufio.NewReaderSize(tc.NetConn(), 64<<10),
+		w:     bufio.NewWriter(tc.NetConn()),
+		sess:  tc.Session(),
+		stmts: make(map[int]*engine.Prepared),
+	}
+	c.serve()
+}
+
+// jsonConn is one served line-JSON connection: its prepared statements
+// and the line codec over the transport's Conn.
+type jsonConn struct {
+	tc *Conn
+	nc net.Conn
+	r  *bufio.Reader
+	w  *bufio.Writer
 
 	sess     *engine.Session
 	stmts    map[int]*engine.Prepared
 	nextStmt int
-
-	// inflight counts statements handed to a worker goroutine under a
-	// query timeout; session cleanup waits for them so a rollback never
-	// races a still-running statement.
-	inflight sync.WaitGroup
-	// dead marks the connection for closing after the current response
-	// (query timeout, quit).
-	dead bool
 }
 
-func newConn(s *Server, nc net.Conn) *conn {
-	return &conn{
-		srv:   s,
-		nc:    nc,
-		r:     bufio.NewReaderSize(nc, 64<<10),
-		w:     bufio.NewWriter(nc),
-		sess:  s.eng.NewSession(),
-		stmts: make(map[int]*engine.Prepared),
-	}
-}
-
-// refuse sends a one-line error to a connection that will not be
-// served (connection limit) and closes it.
 func refuse(nc net.Conn, msg string) {
 	b, _ := json.Marshal(&wire.Response{Error: msg})
 	nc.SetWriteDeadline(time.Now().Add(5 * time.Second))
@@ -58,30 +58,12 @@ func refuse(nc net.Conn, msg string) {
 	nc.Close()
 }
 
-func (c *conn) serve() {
-	defer c.srv.connWG.Done()
-	defer func() {
-		c.srv.removeConn(c)
-		c.nc.Close()
-		c.srv.log.Info("connection closed", "remote", c.nc.RemoteAddr().String(),
-			"user", c.sess.User())
-		// The session owns the engine-side state (notably any open
-		// transaction holding the writer lock). Close it only after
-		// every in-flight statement finished, asynchronously so a
-		// runaway statement cannot wedge the server's drain.
-		go func() {
-			c.inflight.Wait()
-			c.sess.Close()
-		}()
-	}()
-
+func (c *jsonConn) serve() {
 	for {
-		if c.srv.draining.Load() || c.dead {
+		if c.tc.Closing() {
 			return
 		}
-		if c.srv.cfg.IdleTimeout > 0 {
-			c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.IdleTimeout))
-		}
+		c.tc.ArmIdleDeadline()
 		line, err := c.r.ReadBytes('\n')
 		if err != nil {
 			// EOF, idle timeout, or the shutdown nudge.
@@ -105,7 +87,7 @@ func (c *conn) serve() {
 	}
 }
 
-func (c *conn) write(resp *wire.Response) error {
+func (c *jsonConn) write(resp *wire.Response) error {
 	b, err := json.Marshal(resp)
 	if err != nil {
 		b, _ = json.Marshal(errResp("encoding response: %v", err))
@@ -121,15 +103,15 @@ func errResp(format string, args ...any) *wire.Response {
 	return &wire.Response{Error: fmt.Sprintf(format, args...)}
 }
 
-func (c *conn) dispatch(req *wire.Request) *wire.Response {
+func (c *jsonConn) dispatch(req *wire.Request) *wire.Response {
 	switch req.Op {
 	case wire.OpPing:
 		return &wire.Response{OK: true}
 	case wire.OpQuit:
-		c.dead = true
+		c.tc.MarkDead()
 		return &wire.Response{OK: true}
 	case wire.OpStats:
-		return &wire.Response{OK: true, Stats: c.srv.Stats()}
+		return &wire.Response{OK: true, Stats: c.tc.Stats()}
 	case wire.OpSet:
 		return c.set(req.Key, req.Value)
 	case wire.OpExec:
@@ -171,7 +153,7 @@ func (c *conn) dispatch(req *wire.Request) *wire.Response {
 		delete(c.stmts, req.Stmt)
 		return &wire.Response{OK: true}
 	case wire.OpVerifyAudit:
-		rep, err := c.srv.eng.VerifyAuditLog()
+		rep, err := c.tc.Engine().VerifyAuditLog()
 		if err != nil {
 			return errResp("%v", err)
 		}
@@ -185,7 +167,7 @@ func (c *conn) dispatch(req *wire.Request) *wire.Response {
 		// Checkpoints exclude all writers; run under the query timeout so
 		// a wedged one cannot hold the connection forever.
 		return c.guard(func() *wire.Response {
-			if err := c.srv.eng.Checkpoint(); err != nil {
+			if err := c.tc.Engine().Checkpoint(); err != nil {
 				return errResp("%v", err)
 			}
 			return &wire.Response{OK: true}
@@ -195,14 +177,14 @@ func (c *conn) dispatch(req *wire.Request) *wire.Response {
 	}
 }
 
-func (c *conn) set(key, val string) *wire.Response {
+func (c *jsonConn) set(key, val string) *wire.Response {
 	switch key {
 	case wire.KeyUser:
 		if val == "" {
 			return errResp("set user: empty name")
 		}
 		c.sess.SetUser(val)
-		c.srv.log.Info("session user set", "remote", c.nc.RemoteAddr().String(), "user", val)
+		c.tc.Logger().Info("session user set", "remote", c.nc.RemoteAddr().String(), "user", val)
 	case wire.KeyAuditAll:
 		switch val {
 		case "on", "true":
@@ -235,32 +217,16 @@ func (c *conn) set(key, val string) *wire.Response {
 	return &wire.Response{OK: true}
 }
 
-// guard runs a statement under the configured query timeout. On
+// guard runs a statement under the transport's query timeout. On
 // timeout the connection is marked dead (closed after the error
 // response); the statement keeps running in its goroutine and the
 // session is closed only once it finishes.
-func (c *conn) guard(f func() *wire.Response) *wire.Response {
-	if c.srv.cfg.QueryTimeout <= 0 {
-		return f()
+func (c *jsonConn) guard(f func() *wire.Response) *wire.Response {
+	res, timedOut := c.tc.Guard(func() any { return f() })
+	if timedOut {
+		return errResp("statement exceeded query timeout %s; closing connection", c.tc.QueryTimeout())
 	}
-	done := make(chan *wire.Response, 1)
-	c.inflight.Add(1)
-	go func() {
-		defer c.inflight.Done()
-		done <- f()
-	}()
-	timer := time.NewTimer(c.srv.cfg.QueryTimeout)
-	defer timer.Stop()
-	select {
-	case r := <-done:
-		return r
-	case <-timer.C:
-		c.dead = true
-		c.srv.queryTimeouts.Add(1)
-		c.srv.log.Warn("query timeout", "remote", c.nc.RemoteAddr().String(),
-			"user", c.sess.User(), "timeout", c.srv.cfg.QueryTimeout)
-		return errResp("statement exceeded query timeout %s; closing connection", c.srv.cfg.QueryTimeout)
-	}
+	return res.(*wire.Response)
 }
 
 func resultResp(r *engine.Result, err error) *wire.Response {

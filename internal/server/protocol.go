@@ -1,0 +1,124 @@
+package server
+
+import (
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"auditdb/internal/engine"
+	"auditdb/internal/obs"
+)
+
+// Protocol is one pluggable wire-format front end served by the
+// transport. The transport owns everything protocol-independent —
+// accept loops, connection limits, per-connection engine sessions,
+// idle and query timeouts, graceful drain — while a Protocol owns only
+// the bytes on the wire: it reads requests in its own framing, drives
+// the shared session through engine.Session, and writes responses in
+// its own encoding. The line-JSON protocol and the PostgreSQL wire
+// protocol are the two implementations.
+type Protocol interface {
+	// Name identifies the protocol in logs and metrics ("json", "pg").
+	Name() string
+	// Serve handles one accepted connection until it ends. The
+	// transport closes the socket and the session after Serve returns;
+	// Serve must consult c.Closing after each request and return when
+	// it reports true.
+	Serve(c *Conn)
+	// Refuse reports a transport-level refusal (connection limit) to a
+	// connection that will not be served, in the protocol's own wire
+	// format, and closes it.
+	Refuse(nc net.Conn, msg string)
+}
+
+// Conn is the transport-level state of one accepted connection, shared
+// by every protocol implementation: the network socket, the
+// connection's engine session, and the timeout/drain machinery.
+type Conn struct {
+	srv     *Server
+	proto   string
+	nc      net.Conn
+	sess    *engine.Session
+	latency *obs.Histogram
+
+	// inflight counts statements handed to a worker goroutine under a
+	// query timeout; session cleanup waits for them so a rollback never
+	// races a still-running statement.
+	inflight sync.WaitGroup
+	// dead marks the connection for closing after the current response
+	// (query timeout, client quit). Only the connection's own goroutine
+	// touches it.
+	dead bool
+}
+
+// NetConn returns the underlying network connection.
+func (c *Conn) NetConn() net.Conn { return c.nc }
+
+// Session is the engine session owned by this connection.
+func (c *Conn) Session() *engine.Session { return c.sess }
+
+// Engine is the served engine.
+func (c *Conn) Engine() *engine.Engine { return c.srv.eng }
+
+// Logger returns the transport's structured logger.
+func (c *Conn) Logger() *slog.Logger { return c.srv.log }
+
+// Stats snapshots the shared obs registry (the wire "stats" surface).
+func (c *Conn) Stats() map[string]int64 { return c.srv.Stats() }
+
+// MarkDead flags the connection for closing once the current response
+// has been written.
+func (c *Conn) MarkDead() { c.dead = true }
+
+// Closing reports whether the connection must stop serving requests:
+// the transport is draining or the connection was marked dead.
+func (c *Conn) Closing() bool { return c.srv.draining.Load() || c.dead }
+
+// ArmIdleDeadline applies the transport's idle timeout to the next
+// read; protocols call it before blocking for a request.
+func (c *Conn) ArmIdleDeadline() {
+	if c.srv.cfg.IdleTimeout > 0 {
+		c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.IdleTimeout))
+	}
+}
+
+// Guard runs one statement under the transport's query timeout and
+// observes the protocol's query-latency histogram. It returns f's
+// result, or timedOut=true when the statement exceeded the timeout: the
+// connection is then marked dead and the statement keeps running in its
+// goroutine (the session is closed only once it finishes), so f must
+// not touch the connection's writer — return the encoded response
+// instead and let the caller write it.
+func (c *Conn) Guard(f func() any) (res any, timedOut bool) {
+	start := time.Now()
+	if c.srv.cfg.QueryTimeout <= 0 {
+		r := f()
+		c.latency.ObserveDuration(time.Since(start))
+		return r, false
+	}
+	done := make(chan any, 1)
+	c.inflight.Add(1)
+	go func() {
+		defer c.inflight.Done()
+		done <- f()
+	}()
+	timer := time.NewTimer(c.srv.cfg.QueryTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		c.latency.ObserveDuration(time.Since(start))
+		return r, false
+	case <-timer.C:
+		c.dead = true
+		c.srv.queryTimeouts.Add(1)
+		c.srv.log.Warn("query timeout", "protocol", c.proto,
+			"remote", c.nc.RemoteAddr().String(),
+			"user", c.sess.User(), "timeout", c.srv.cfg.QueryTimeout)
+		return nil, true
+	}
+}
+
+// QueryTimeout is the transport's per-statement execution limit (0 =
+// none); protocols may surface it in error messages.
+func (c *Conn) QueryTimeout() time.Duration { return c.srv.cfg.QueryTimeout }

@@ -1,9 +1,16 @@
 // Package server runs an audited engine as a concurrent network
-// daemon. Each accepted connection gets its own goroutine and its own
-// engine.Session, so USERID() in SELECT-trigger actions attributes
-// every access to the connection that made it — the paper's §II
-// multi-user setting, which an in-process engine with one global user
-// cannot provide. The protocol is line-delimited JSON (package wire).
+// daemon behind a protocol-agnostic transport. Each accepted
+// connection gets its own goroutine and its own engine.Session, so
+// USERID() in SELECT-trigger actions attributes every access to the
+// connection that made it — the paper's §II multi-user setting, which
+// an in-process engine with one global user cannot provide.
+//
+// The transport (Server) owns accept loops, connection limits, per-
+// connection sessions, idle and query timeouts, and graceful drain —
+// shared across every listener. Wire formats plug in as Protocol
+// implementations: the built-in line-delimited JSON protocol (package
+// wire) and the PostgreSQL v3 wire protocol (package pgwire) front the
+// same request path.
 package server
 
 import (
@@ -23,11 +30,14 @@ import (
 
 // Config tunes a Server.
 type Config struct {
-	// Addr is the TCP listen address, e.g. "127.0.0.1:5433". ":0" picks
-	// a free port (see Server.Addr).
+	// Addr is the line-JSON TCP listen address, e.g. "127.0.0.1:5433".
+	// ":0" picks a free port (see Server.Addr). Empty disables the
+	// line-JSON listener (another protocol must be added with
+	// AddListener before Start).
 	Addr string
-	// MaxConns caps concurrently served connections; 0 means unlimited.
-	// Excess connections are refused with an error response.
+	// MaxConns caps concurrently served connections across all
+	// listeners; 0 means unlimited. Excess connections are refused with
+	// a protocol-appropriate error response.
 	MaxConns int
 	// QueryTimeout bounds each statement's execution; 0 disables it. A
 	// connection whose statement times out receives an error response
@@ -43,26 +53,42 @@ type Config struct {
 	Logger *slog.Logger
 }
 
-// Server serves one engine over TCP.
+// listener is one protocol front end bound to an address.
+type listener struct {
+	proto   Protocol
+	addr    string
+	ln      net.Listener
+	active  atomic.Int64
+	latency *obs.Histogram
+}
+
+// Server is the protocol-agnostic session transport: it serves one
+// engine over any number of protocol listeners, with connection
+// limits, timeouts, and graceful drain accounted across all of them.
 type Server struct {
 	eng *engine.Engine
 	cfg Config
 	log *slog.Logger
 
-	ln       net.Listener
+	listeners []*listener
+	started   bool
+
 	mu       sync.Mutex
-	conns    map[*conn]struct{}
+	conns    map[*Conn]struct{}
 	connWG   sync.WaitGroup
 	draining atomic.Bool
 
-	// Server counters live in the engine's obs registry beside the
+	// Transport counters live in the engine's obs registry beside the
 	// engine's own, so the wire "stats" op and /metrics read one source.
 	connsTotal    *obs.Counter
+	connsByProto  *obs.CounterVec
 	connsRejected *obs.Counter
 	queryTimeouts *obs.Counter
 }
 
-// New wraps an engine in an unstarted server.
+// New wraps an engine in an unstarted transport. When cfg.Addr is
+// non-empty the built-in line-JSON protocol is registered on it;
+// further protocols attach with AddListener.
 func New(eng *engine.Engine, cfg Config) *Server {
 	log := cfg.Logger
 	if log == nil {
@@ -76,42 +102,101 @@ func New(eng *engine.Engine, cfg Config) *Server {
 		cfg: cfg,
 		log: log,
 		connsTotal: r.NewCounter("auditdb_server_conns_total", "server_conns_total",
-			"Connections accepted."),
+			"Connections accepted, all protocols."),
+		connsByProto: r.NewCounterVec("auditdb_server_connections_total", "connections",
+			"Connections accepted per protocol.", "protocol"),
 		connsRejected: r.NewCounter("auditdb_server_conns_rejected_total", "server_conns_rejected",
 			"Connections refused at the MaxConns limit."),
 		queryTimeouts: r.NewCounter("auditdb_server_query_timeouts_total", "server_query_timeouts",
 			"Statements killed by the query timeout."),
-		conns: make(map[*conn]struct{}),
+		conns: make(map[*Conn]struct{}),
 	}
 	r.NewGaugeFunc("auditdb_server_conns_active", "server_conns_active",
-		"Connections currently served.", func() int64 { return int64(s.activeConns()) })
+		"Connections currently served, all protocols.", func() int64 { return int64(s.activeConns()) })
+	if cfg.Addr != "" {
+		s.AddListener(cfg.Addr, jsonProtocol{})
+	}
 	return s
+}
+
+// AddListener registers a protocol front end on addr. It must be
+// called before Start; listeners cannot be added to a running server.
+func (s *Server) AddListener(addr string, proto Protocol) error {
+	if s.started {
+		return errors.New("auditdbd: AddListener after Start")
+	}
+	name := proto.Name()
+	for _, l := range s.listeners {
+		if l.proto.Name() == name {
+			return fmt.Errorf("auditdbd: protocol %q already registered", name)
+		}
+	}
+	r := s.eng.Metrics()
+	l := &listener{
+		proto: proto,
+		addr:  addr,
+		latency: r.NewHistogram("auditdb_server_query_seconds_"+name, "query_seconds_"+name,
+			"End-to-end statement latency over the "+name+" protocol (seconds).",
+			obs.LatencyBuckets),
+	}
+	r.NewGaugeFunc("auditdb_server_conns_active_"+name, "conns_active_"+name,
+		"Connections currently served over the "+name+" protocol.",
+		func() int64 { return l.active.Load() })
+	s.listeners = append(s.listeners, l)
+	return nil
 }
 
 // Engine returns the served engine (daemon setup scripts use it).
 func (s *Server) Engine() *engine.Engine { return s.eng }
 
-// Start listens on cfg.Addr and begins accepting connections in a
-// background goroutine. It returns once the listener is bound, so
-// Addr() is immediately valid.
+// Start binds every registered listener and begins accepting
+// connections in background goroutines. It returns once all listeners
+// are bound, so Addr()/ProtoAddr() are immediately valid. On error,
+// listeners bound so far are closed.
 func (s *Server) Start() error {
-	ln, err := net.Listen("tcp", s.cfg.Addr)
-	if err != nil {
-		return fmt.Errorf("auditdbd: listen %s: %w", s.cfg.Addr, err)
+	if len(s.listeners) == 0 {
+		return errors.New("auditdbd: no listeners registered")
 	}
-	s.ln = ln
-	s.log.Info("server listening", "addr", ln.Addr().String(),
-		"max_conns", s.cfg.MaxConns, "query_timeout", s.cfg.QueryTimeout)
-	go s.acceptLoop()
+	s.started = true
+	for _, l := range s.listeners {
+		ln, err := net.Listen("tcp", l.addr)
+		if err != nil {
+			for _, prev := range s.listeners {
+				if prev.ln != nil {
+					prev.ln.Close()
+				}
+			}
+			return fmt.Errorf("auditdbd: listen %s (%s): %w", l.addr, l.proto.Name(), err)
+		}
+		l.ln = ln
+		s.log.Info("server listening", "protocol", l.proto.Name(),
+			"addr", ln.Addr().String(),
+			"max_conns", s.cfg.MaxConns, "query_timeout", s.cfg.QueryTimeout)
+	}
+	for _, l := range s.listeners {
+		go s.acceptLoop(l)
+	}
 	return nil
 }
 
-// Addr is the bound listen address (useful with ":0").
-func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+// Addr is the first listener's bound address — the line-JSON listener
+// when one is configured (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.listeners[0].ln.Addr() }
 
-func (s *Server) acceptLoop() {
+// ProtoAddr returns the bound address of the named protocol's
+// listener, or nil if no such protocol is registered or bound.
+func (s *Server) ProtoAddr(name string) net.Addr {
+	for _, l := range s.listeners {
+		if l.proto.Name() == name && l.ln != nil {
+			return l.ln.Addr()
+		}
+	}
+	return nil
+}
+
+func (s *Server) acceptLoop(l *listener) {
 	for {
-		nc, err := s.ln.Accept()
+		nc, err := l.ln.Accept()
 		if err != nil {
 			// Listener closed (shutdown) or fatal accept error.
 			return
@@ -120,22 +205,55 @@ func (s *Server) acceptLoop() {
 			nc.Close()
 			continue
 		}
+		// Connection limits are per-transport: every protocol's
+		// connections count against one MaxConns budget.
 		if s.cfg.MaxConns > 0 && s.activeConns() >= s.cfg.MaxConns {
 			s.connsRejected.Add(1)
-			s.log.Warn("connection refused", "remote", nc.RemoteAddr().String(),
-				"limit", s.cfg.MaxConns)
-			refuse(nc, fmt.Sprintf("connection limit reached (%d)", s.cfg.MaxConns))
+			s.log.Warn("connection refused", "protocol", l.proto.Name(),
+				"remote", nc.RemoteAddr().String(), "limit", s.cfg.MaxConns)
+			go l.proto.Refuse(nc, fmt.Sprintf("connection limit reached (%d)", s.cfg.MaxConns))
 			continue
 		}
 		s.connsTotal.Add(1)
-		s.log.Info("connection accepted", "remote", nc.RemoteAddr().String())
-		c := newConn(s, nc)
+		s.connsByProto.With(l.proto.Name()).Add(1)
+		s.log.Info("connection accepted", "protocol", l.proto.Name(),
+			"remote", nc.RemoteAddr().String())
+		c := &Conn{
+			srv:     s,
+			proto:   l.proto.Name(),
+			nc:      nc,
+			sess:    s.eng.NewSession(),
+			latency: l.latency,
+		}
 		s.mu.Lock()
 		s.conns[c] = struct{}{}
 		s.mu.Unlock()
+		l.active.Add(1)
 		s.connWG.Add(1)
-		go c.serve()
+		go s.serveConn(l, c)
 	}
+}
+
+// serveConn owns the connection's lifecycle around the protocol's
+// Serve: transport bookkeeping, socket close, and session cleanup.
+func (s *Server) serveConn(l *listener, c *Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.removeConn(c)
+		l.active.Add(-1)
+		c.nc.Close()
+		s.log.Info("connection closed", "protocol", c.proto,
+			"remote", c.nc.RemoteAddr().String(), "user", c.sess.User())
+		// The session owns the engine-side state (notably any open
+		// transaction holding the writer lock). Close it only after
+		// every in-flight statement finished, asynchronously so a
+		// runaway statement cannot wedge the server's drain.
+		go func() {
+			c.inflight.Wait()
+			c.sess.Close()
+		}()
+	}()
+	l.proto.Serve(c)
 }
 
 func (s *Server) activeConns() int {
@@ -144,7 +262,7 @@ func (s *Server) activeConns() int {
 	return len(s.conns)
 }
 
-func (s *Server) removeConn(c *conn) {
+func (s *Server) removeConn(c *Conn) {
 	s.mu.Lock()
 	delete(s.conns, c)
 	s.mu.Unlock()
@@ -161,16 +279,22 @@ func (s *Server) Stats() map[string]int64 {
 // it on an HTTP /metrics listener.
 func (s *Server) Metrics() *obs.Registry { return s.eng.Metrics() }
 
-// Shutdown stops accepting connections and drains gracefully: every
-// in-flight statement runs to completion and its response is written
-// before the connection closes. If ctx expires first, remaining
-// connections are closed forcibly and ctx's error is returned.
+// Shutdown stops accepting connections on every listener and drains
+// gracefully: every in-flight statement — over any protocol — runs to
+// completion and its response is written before the connection closes.
+// If ctx expires first, remaining connections are closed forcibly and
+// ctx's error is returned.
 func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.draining.CompareAndSwap(false, true) {
 		return errors.New("auditdbd: already shut down")
 	}
-	s.log.Info("server draining", "active_conns", s.activeConns())
-	s.ln.Close()
+	s.log.Info("server draining", "active_conns", s.activeConns(),
+		"listeners", len(s.listeners))
+	for _, l := range s.listeners {
+		if l.ln != nil {
+			l.ln.Close()
+		}
+	}
 	// Unblock connections idle in a read; busy ones notice draining
 	// after writing their current response.
 	s.mu.Lock()
