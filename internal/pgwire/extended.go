@@ -34,6 +34,7 @@ type pgPortal struct {
 	params []value.Value // engine source-order
 	res    *engine.Result
 	pos    int
+	done   bool // all rows delivered; re-Execute completes with 0 rows
 }
 
 // handleParse creates a prepared statement from a Parse message.
@@ -115,12 +116,23 @@ func (pc *pgConn) handleBind(payload []byte) {
 	portalName := pr.cstr()
 	stmtName := pr.cstr()
 
+	// Each count decodes as int16, so a hostile byte pattern >= 0x8000
+	// comes out negative and would panic inside make(); validate every
+	// count before allocating, as handleParse does for nOIDs.
 	nFmt := int(pr.int16())
+	if pr.err != nil || nFmt < 0 {
+		pc.extErr(stateProtocolViolation, "malformed Bind message")
+		return
+	}
 	fmts := make([]int16, 0, nFmt)
 	for i := 0; i < nFmt; i++ {
 		fmts = append(fmts, pr.int16())
 	}
 	nParams := int(pr.int16())
+	if pr.err != nil || nParams < 0 {
+		pc.extErr(stateProtocolViolation, "malformed Bind message")
+		return
+	}
 	type rawParam struct {
 		data []byte
 		null bool
@@ -131,6 +143,10 @@ func (pc *pgConn) handleBind(payload []byte) {
 		raw = append(raw, rawParam{data, null})
 	}
 	nResFmt := int(pr.int16())
+	if pr.err != nil || nResFmt < 0 {
+		pc.extErr(stateProtocolViolation, "malformed Bind message")
+		return
+	}
 	resFmts := make([]int16, 0, nResFmt)
 	for i := 0; i < nResFmt; i++ {
 		resFmts = append(resFmts, pr.int16())
@@ -313,6 +329,17 @@ func (pc *pgConn) handleExecute(payload []byte) bool {
 
 	// Execute never sends RowDescription — that is Describe's job.
 	res := pt.res
+	if pt.done {
+		// PostgreSQL answers a completed portal with a zero-row
+		// completion and no side-effect output; in particular the audit
+		// notice must not repeat.
+		if st.prep != nil {
+			pc.buf.commandComplete(commandTag(st.prep.AST(), res, 0))
+		} else {
+			pc.buf.commandComplete("OK")
+		}
+		return true
+	}
 	sent := 0
 	for pt.pos < len(res.Rows) {
 		if maxRows > 0 && sent >= maxRows {
@@ -323,6 +350,7 @@ func (pc *pgConn) handleExecute(payload []byte) bool {
 		pt.pos++
 		sent++
 	}
+	pt.done = true
 	writeAuditNotice(&pc.buf, res)
 	if st.prep != nil {
 		pc.buf.commandComplete(commandTag(st.prep.AST(), res, pt.pos))

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net"
 	"sync/atomic"
+	"time"
 
 	"auditdb/internal/engine"
 	"auditdb/internal/obs"
@@ -62,6 +63,9 @@ func (p *Protocol) Name() string { return "pg" }
 // the FATAL lands where libpq will read it.
 func (p *Protocol) Refuse(nc net.Conn, msg string) {
 	defer nc.Close()
+	// Refused connections run outside MaxConns accounting, so a silent
+	// client must not pin this goroutine: bound the whole exchange.
+	nc.SetDeadline(time.Now().Add(5 * time.Second))
 	r := bufio.NewReaderSize(nc, 512)
 	for try := 0; try < maxStartupTrys; try++ {
 		code, _, err := readStartup(r)

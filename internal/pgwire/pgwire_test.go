@@ -827,3 +827,134 @@ func TestQueryTimeoutOverPG(t *testing.T) {
 		t.Fatalf("status = %q, want E", status)
 	}
 }
+
+// TestMalformedBindCounts sends Bind messages whose int16 count fields
+// decode negative (byte pattern 0xFFFF). Each must be answered with a
+// protocol_violation ErrorResponse — not a makeslice panic that would
+// take down the daemon.
+func TestMalformedBindCounts(t *testing.T) {
+	_, addr := startPG(t, server.Config{})
+
+	u16 := func(v uint16) []byte { return []byte{byte(v >> 8), byte(v)} }
+	head := append([]byte{0}, 0) // empty portal + empty statement cstrs
+	cases := map[string][]byte{
+		"nFmt":    append(append([]byte{}, head...), u16(0xFFFF)...),
+		"nParams": append(append(append([]byte{}, head...), u16(0)...), u16(0xFFFF)...),
+		"nResFmt": append(append(append(append([]byte{}, head...), u16(0)...), u16(0)...), u16(0xFFFF)...),
+	}
+	for name, body := range cases {
+		c := dialPG(t, addr, "mallory")
+		if err := c.Send('B', body); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		msgs, _, err := c.ReadUntilReady()
+		if err != nil {
+			t.Fatalf("%s: connection died instead of erroring: %v", name, err)
+		}
+		if got := sqlstate(t, msgs); got != "08P01" {
+			t.Errorf("%s: sqlstate = %q, want 08P01", name, got)
+		}
+		c.Terminate()
+	}
+
+	// The daemon survived all three.
+	c := dialPG(t, addr, "after")
+	msgs, _ := query(t, c, "SELECT Name FROM Patients WHERE PatientID = 2")
+	if len(byType(msgs, 'E')) != 0 {
+		t.Fatalf("server unhealthy after malformed Binds: %v", msgs)
+	}
+}
+
+// TestRefuseSilentClient checks that a connection refused over the
+// MaxConns limit cannot pin its goroutine forever by sending nothing:
+// the refuse path runs under a deadline and closes the socket.
+func TestRefuseSilentClient(t *testing.T) {
+	_, addr := startPG(t, server.Config{MaxConns: 1})
+	busy := dialPG(t, addr, "holder")
+	query(t, busy, "SELECT Name FROM Patients WHERE PatientID = 2")
+
+	over, err := pgtest.DialRaw(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer over.Close()
+	// Send nothing. The server must give up within its 5s refuse
+	// deadline; if it never does, our own 15s deadline trips instead.
+	over.SetDeadline(time.Now().Add(15 * time.Second))
+	start := time.Now()
+	if _, err := over.ReadMessage(); err == nil {
+		t.Fatal("refused silent connection got a message, want close")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("refused silent connection held open %v, want close within the 5s refuse deadline", elapsed)
+	}
+}
+
+// TestSetWithSemicolonInLiteral checks that a semicolon inside a string
+// literal does not defeat single-statement detection: the SET must be
+// handled by the utility front door, not forwarded to the engine parser
+// (which rejects SET).
+func TestSetWithSemicolonInLiteral(t *testing.T) {
+	_, addr := startPG(t, server.Config{})
+	c := dialPG(t, addr, "ops")
+
+	msgs, _ := query(t, c, "SET application_name = 'a;b'")
+	if len(byType(msgs, 'E')) != 0 {
+		t.Fatalf("SET with ';' in literal errored: %v", msgs)
+	}
+	if got := tags(t, msgs); len(got) != 1 || got[0] != "SET" {
+		t.Fatalf("tags = %v, want [SET]", got)
+	}
+
+	// A real multi-statement script still goes to the engine whole.
+	msgs, _ = query(t, c, "SET workers = 1; SELECT Name FROM Patients WHERE PatientID = 2")
+	if got := sqlstate(t, msgs); got == "" {
+		t.Fatalf("multi-statement SET script should reach the engine parser, got %v", msgs)
+	}
+}
+
+// TestCompletedPortalReExecute re-Executes a portal that has already
+// delivered every row: the second Execute must answer with a zero-row
+// CommandComplete and, critically, must not repeat the audit NOTICE.
+func TestCompletedPortalReExecute(t *testing.T) {
+	_, addr := startPG(t, server.Config{})
+	c := dialPG(t, addr, "dr_mallory")
+
+	if err := c.Parse("", "SELECT Name FROM Patients WHERE PatientID = 1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Bind("p", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Execute("p", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Execute("p", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	msgs, status, err := c.ReadUntilReady()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byType(msgs, 'E')) != 0 {
+		t.Fatalf("unexpected error: %v", msgs)
+	}
+	if got := len(byType(msgs, 'D')); got != 1 {
+		t.Fatalf("DataRows = %d, want 1 (no rows re-sent)", got)
+	}
+	if got := len(byType(msgs, 'N')); got != 1 {
+		t.Fatalf("audit notices = %d, want 1 (no duplicate on re-Execute)", got)
+	}
+	if got := tags(t, msgs); len(got) != 2 || got[0] != "SELECT 1" || got[1] != "SELECT 0" {
+		t.Fatalf("tags = %v, want [SELECT 1, SELECT 0]", got)
+	}
+	if status != 'I' {
+		t.Fatalf("status = %q", status)
+	}
+}

@@ -82,6 +82,39 @@ func rewritePlaceholders(sql string) (rewritten string, argMap []int, nParams in
 	return b.String(), argMap, nParams, nil
 }
 
+// isSingleStatement reports whether sql holds at most one statement:
+// no statement-separating semicolon followed by more content.
+// Semicolons inside string literals, quoted identifiers, and comments
+// are not separators, so SET application_name = 'a;b' stays single.
+func isSingleStatement(sql string) bool {
+	i := 0
+	for i < len(sql) {
+		switch c := sql[i]; {
+		case c == '\'':
+			i = scanQuoted(sql, i, '\'')
+		case c == '"':
+			i = scanQuoted(sql, i, '"')
+		case c == '-' && i+1 < len(sql) && sql[i+1] == '-':
+			j := strings.IndexByte(sql[i:], '\n')
+			if j < 0 {
+				return true
+			}
+			i += j + 1
+		case c == '/' && i+1 < len(sql) && sql[i+1] == '*':
+			j := strings.Index(sql[i+2:], "*/")
+			if j < 0 {
+				return true
+			}
+			i += j + 4
+		case c == ';':
+			return strings.TrimSpace(sql[i+1:]) == ""
+		default:
+			i++
+		}
+	}
+	return true
+}
+
 // scanQuoted returns the index just past a quoted region starting at
 // sql[start] == q, honoring doubled-quote escapes.
 func scanQuoted(sql string, start int, q byte) int {

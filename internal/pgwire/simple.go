@@ -33,8 +33,7 @@ func (pc *pgConn) simpleQuery(payload []byte) bool {
 	// them freely and they must work even mid-drain of a transaction.
 	// Only a single-statement script qualifies — a SET leading a
 	// multi-statement script would swallow the rest.
-	single := !strings.Contains(strings.TrimSuffix(strings.TrimSpace(sql), ";"), ";")
-	if res, handled, err := utilityIfSingle(pc.sess, sql, single); handled {
+	if res, handled, err := utilityIfSingle(pc.sess, sql, isSingleStatement(sql)); handled {
 		if err != nil {
 			pc.buf.errorResponse(sqlstateFor(err), err.Error())
 			pc.p.errors.Inc()
