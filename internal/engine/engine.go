@@ -19,6 +19,7 @@ import (
 	"auditdb/internal/catalog"
 	"auditdb/internal/core"
 	"auditdb/internal/exec"
+	"auditdb/internal/lexer"
 	"auditdb/internal/obs"
 	"auditdb/internal/opt"
 	"auditdb/internal/parser"
@@ -96,6 +97,19 @@ type Engine struct {
 	morselsDispatched *obs.Counter
 	parallelQueries   *obs.Counter
 	planCacheHits     *obs.Counter
+
+	// sharedPlans is the engine-wide plan cache keyed by canonical
+	// (auto-parameterized) statement text; session caches act as an L1
+	// in front of it. See sharedcache.go and plancache.go.
+	sharedPlans          sharedPlanCache
+	sharedCacheHits      *obs.Counter
+	sharedCacheMisses    *obs.Counter
+	sharedCacheEvictions *obs.Counter
+
+	// disablePlanCache turns off both cache levels and the normalized
+	// fast path; tests use it to produce uncached reference executions.
+	// Set before the engine serves traffic, never concurrently with it.
+	disablePlanCache bool
 }
 
 // Stats counts engine activity. Each field is a counter registered in
@@ -210,6 +224,15 @@ func (e *Engine) initMetrics() {
 		"SELECTs executed with a parallel operator (Gather exchange or two-phase aggregate) in their plan.")
 	e.planCacheHits = r.NewCounter("auditdb_plan_cache_hits_total", "plan_cache_hits",
 		"SELECTs served from a session's prepared-plan cache, skipping plan/optimize/instrument work.")
+	e.sharedCacheHits = r.NewCounter("auditdb_plan_cache_shared_hits_total", "plan_cache_shared_hits",
+		"Plans adopted from the engine-wide shared cache (a session cloned another session's template).")
+	e.sharedCacheMisses = r.NewCounter("auditdb_plan_cache_shared_misses_total", "plan_cache_shared_misses",
+		"Canonical statement shapes that had to be planned cold because no shared template matched.")
+	e.sharedCacheEvictions = r.NewCounter("auditdb_plan_cache_shared_evictions_total", "plan_cache_shared_evictions",
+		"Canonical texts dropped from the shared plan cache by wholesale shard eviction.")
+	r.NewGaugeFunc("auditdb_plan_cache_shared_entries", "plan_cache_shared_entries",
+		"Canonical statement texts currently resident in the shared plan cache.",
+		func() int64 { return e.sharedPlans.entries() })
 }
 
 // Metrics exposes the engine's observability registry so servers can
@@ -533,7 +556,7 @@ func (e *Engine) runSelect(sel *ast.Select, sql string, env *actionEnv) (*Result
 	// and parallelization entirely; only fresh probe sinks are bound.
 	key := planCacheKey{sql: sql, heuristic: sess.Heuristic(), auditAll: sess.AuditAll(), workers: workers}
 	cacheable := env.depth == 0 && env.outerSchema == nil &&
-		env.extraSchema == nil && env.extraRows == nil
+		env.extraSchema == nil && env.extraRows == nil && !e.disablePlanCache
 	if cacheable {
 		if cp := sess.cachedPlan(key, e.ddlVersion.Load()); cp != nil {
 			e.planCacheHits.Add(1)
@@ -546,6 +569,13 @@ func (e *Engine) runSelect(sel *ast.Select, sql string, env *actionEnv) (*Result
 				rebindProbes(cp.root, run.acc)
 			}
 			return e.executeSelect(&run, sql, env, workers, start)
+		}
+		// Statements that arrive already parsed (scripts, the pgwire
+		// simple protocol) still share plans engine-wide through the
+		// canonical cache: normalize the text and adopt a template if the
+		// shape is known, re-planning from the canonical form otherwise.
+		if res, ok, err := e.runSelectNormalized(sql, env, sess, key.heuristic, key.auditAll, workers, start); ok {
+			return res, err
 		}
 	}
 
@@ -602,6 +632,44 @@ func (e *Engine) runSelect(sel *ast.Select, sql string, env *actionEnv) (*Result
 		})
 	}
 	return e.executeSelect(&run, sql, env, workers, start)
+}
+
+// runSelectNormalized is runSelect's canonical-cache branch: the
+// statement was parsed by the caller, but its plan can still come from
+// (or seed) the engine-wide shared cache keyed by normalized text.
+// ok=false falls through to ordinary per-text planning.
+func (e *Engine) runSelectNormalized(sql string, env *actionEnv, sess *Session, heur core.Heuristic, auditAll bool, workers int, start time.Time) (*Result, bool, error) {
+	if !lexer.Normalize(sql, &sess.norm) {
+		return nil, false, nil
+	}
+	if sess.norm.NUser != len(env.params) {
+		return nil, false, nil
+	}
+	minRows := int(e.parallelMinRows.Load())
+	version := e.ddlVersion.Load()
+	cp := e.adoptCanonPlan(sess, sess.norm.Canonical, sess.norm.User, heur, auditAll, workers, minRows, version)
+	if cp == nil || cp.bypass || cp.slots != len(sess.norm.Vals) {
+		return nil, false, nil
+	}
+	sess.lock()
+	scratch := sess.paramScratch
+	sess.paramScratch = nil
+	sess.unlock()
+	params := bindSlots(scratch, sess.norm.Vals, sess.norm.User, env.params)
+	env.params = params
+	run := selectRun{
+		root: cp.root, targets: cp.targets,
+		conservative: cp.conservative, hasAudit: cp.hasAudit, parallel: cp.parallel,
+	}
+	if len(cp.targets) > 0 {
+		run.acc = core.NewAccessed()
+		rebindProbes(cp.root, run.acc)
+	}
+	res, err := e.executeSelect(&run, sql, env, workers, start)
+	sess.lock()
+	sess.paramScratch = params
+	sess.unlock()
+	return res, true, err
 }
 
 // executeSelect is the shared execution tail for cached and freshly

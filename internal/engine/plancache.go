@@ -1,8 +1,15 @@
 package engine
 
 import (
+	"time"
+
+	"auditdb/internal/ast"
 	"auditdb/internal/core"
+	"auditdb/internal/lexer"
+	"auditdb/internal/opt"
+	"auditdb/internal/parser"
 	"auditdb/internal/plan"
+	"auditdb/internal/value"
 )
 
 // Session-scoped prepared-plan cache. A SELECT's physical plan depends
@@ -100,6 +107,335 @@ func rebind(root plan.Node, acc *core.Accessed, probes map[*core.AuditExpression
 	plan.Subplans(root, func(sq *plan.Subquery) {
 		rebind(sq.Plan, acc, probes)
 	})
+}
+
+// ---- Canonical (auto-parameterized) plan cache: session L1 ----
+
+// canonPlan is a session's L1 entry for one canonical statement text:
+// an adopted private clone of an engine-wide template (or a
+// freshly-planned statement), plus the knobs and catalog version it
+// was planned under. bypass entries carry no plan — they remember that
+// statements normalizing to this shape must take the ordinary raw-text
+// path because auto-parameterization would change the plan (constant
+// folding is literal-sensitive).
+type canonPlan struct {
+	heuristic core.Heuristic
+	auditAll  bool
+	workers   int
+	minRows   int
+	version   int64
+
+	bypass       bool
+	root         plan.Node
+	targets      []*core.AuditExpression
+	conservative bool
+	hasAudit     bool
+	parallel     bool
+	slots        int
+}
+
+// cachedCanonPlan returns the session's L1 entry for the canonical
+// text if present and valid under the current knobs and catalog
+// version. Stale-version entries are dropped on sight; knob mismatches
+// are left in place (the store after re-adoption overwrites them).
+func (s *Session) cachedCanonPlan(canon []byte, heur core.Heuristic, auditAll bool, workers, minRows int, version int64) *canonPlan {
+	s.lock()
+	defer s.unlock()
+	cp, ok := s.canonCache[string(canon)]
+	if !ok {
+		return nil
+	}
+	if cp.bypass {
+		return cp
+	}
+	if cp.version != version {
+		delete(s.canonCache, string(canon))
+		return nil
+	}
+	if cp.heuristic != heur || cp.auditAll != auditAll || cp.workers != workers || cp.minRows != minRows {
+		return nil
+	}
+	return cp
+}
+
+// storeCanonPlan caches an adopted canonical plan in the session's L1.
+func (s *Session) storeCanonPlan(canon []byte, cp *canonPlan) {
+	s.lock()
+	defer s.unlock()
+	if s.canonCache == nil {
+		s.canonCache = make(map[string]*canonPlan)
+	}
+	if len(s.canonCache) >= planCacheCap {
+		s.canonCache = make(map[string]*canonPlan)
+	}
+	s.canonCache[string(canon)] = cp
+}
+
+// adoptCanonPlan resolves the canonical text to a session-private plan:
+// L1, then the engine-wide shared cache (adoption deep-clones the
+// template), then a cold plan built from the canonical text itself.
+// nil means the canonical text failed to plan — callers fall back to
+// the ordinary path so the error is reported against the original SQL.
+func (e *Engine) adoptCanonPlan(s *Session, canon []byte, user []bool, heur core.Heuristic, auditAll bool, workers, minRows int, version int64) *canonPlan {
+	if cp := s.cachedCanonPlan(canon, heur, auditAll, workers, minRows, version); cp != nil {
+		if !cp.bypass {
+			e.planCacheHits.Add(1)
+		}
+		return cp
+	}
+	if v := e.sharedPlans.lookup(canon, heur, auditAll, workers, minRows, version); v != nil {
+		cp := &canonPlan{
+			heuristic: v.heuristic, auditAll: v.auditAll, workers: v.workers,
+			minRows: v.minRows, version: v.version, bypass: v.bypass,
+			targets: v.targets, conservative: v.conservative,
+			hasAudit: v.hasAudit, parallel: v.parallel, slots: v.slots,
+		}
+		if !v.bypass {
+			cp.root = plan.CloneNode(v.root)
+			e.sharedCacheHits.Add(1)
+		}
+		s.storeCanonPlan(canon, cp)
+		return cp
+	}
+	e.sharedCacheMisses.Add(1)
+	return e.planCanonSelect(s, canon, user, heur, auditAll, workers, minRows, version)
+}
+
+// planCanonSelect is the cold path: parse the canonical text, detect
+// fold-sensitive shapes (published as bypass markers), plan, publish
+// the immutable template engine-wide and adopt a private clone.
+func (e *Engine) planCanonSelect(s *Session, canon []byte, user []bool, heur core.Heuristic, auditAll bool, workers, minRows int, version int64) *canonPlan {
+	sel, err := parser.ParseQuery(string(canon))
+	if err != nil {
+		return nil
+	}
+	if foldSensitiveSelect(sel, user) {
+		v := &sharedPlan{bypass: true}
+		e.publishSharedPlan(canon, v)
+		cp := &canonPlan{bypass: true}
+		s.storeCanonPlan(canon, cp)
+		return cp
+	}
+	planStart := time.Now()
+	n, err := plan.Build(e.planEnv(rootActionEnv()), sel)
+	if err != nil {
+		return nil
+	}
+	n = opt.Optimize(n)
+	targets := e.auditTargets(auditAll)
+	hasAudit := false
+	conservative := false
+	if len(targets) > 0 {
+		acc := core.NewAccessed()
+		for _, ae := range targets {
+			n = core.Instrument(n, ae, &core.Probe{Expr: ae, Acc: acc}, heur)
+		}
+		if core.CountAuditOps(n, true) > 0 {
+			hasAudit = true
+			conservative = core.HasConservativePlacement(n)
+		}
+	}
+	if workers >= 2 {
+		n = opt.Parallelize(n, e.tableEstimate, workers, minRows)
+	}
+	e.planSeconds.ObserveDuration(time.Since(planStart))
+	v := &sharedPlan{
+		heuristic: heur, auditAll: auditAll, workers: workers, minRows: minRows,
+		version: version, root: n, targets: targets, conservative: conservative,
+		hasAudit: hasAudit, parallel: planIsParallel(n), slots: len(user),
+	}
+	e.publishSharedPlan(canon, v)
+	cp := &canonPlan{
+		heuristic: heur, auditAll: auditAll, workers: workers, minRows: minRows,
+		version: version, root: plan.CloneNode(n), targets: targets,
+		conservative: conservative, hasAudit: hasAudit, parallel: v.parallel,
+		slots: v.slots,
+	}
+	s.storeCanonPlan(canon, cp)
+	return cp
+}
+
+// publishSharedPlan stores a template engine-wide and accounts the
+// eviction counter.
+func (e *Engine) publishSharedPlan(canon []byte, v *sharedPlan) {
+	evicted, _ := e.sharedPlans.store(canon, v)
+	if evicted > 0 {
+		e.sharedCacheEvictions.Add(int64(evicted))
+	}
+}
+
+// foldSensitiveSelect reports whether auto-parameterization would
+// change the statement's plan shape. The optimizer folds comparisons
+// whose operands are both constants (opt.foldConstants) and prunes the
+// resulting TRUE conjuncts; a lifted literal compiles to a Param,
+// which never folds. So a comparison is sensitive exactly when both
+// operands were literal-or-placeholder in the canonical text and at
+// least one of them is an auto-lifted literal (a user-written ? never
+// folds in the original either). user maps placeholder index → user
+// slot, as produced by lexer.Normalize.
+func foldSensitiveSelect(sel *ast.Select, user []bool) bool {
+	sens := false
+	var walkExpr func(e ast.Expr)
+	var walkSel func(q *ast.Select)
+	walkExpr = func(e ast.Expr) {
+		ast.WalkExprs(e, func(x ast.Expr) {
+			switch n := x.(type) {
+			case *ast.Binary:
+				switch n.Op {
+				case ast.OpEq, ast.OpNe, ast.OpLt, ast.OpLe, ast.OpGt, ast.OpGe:
+					if constOperand(n.L, user) && constOperand(n.R, user) &&
+						(autoSlot(n.L, user) || autoSlot(n.R, user)) {
+						sens = true
+					}
+				}
+			case *ast.InSubquery:
+				walkSel(n.Sub)
+			case *ast.Exists:
+				walkSel(n.Sub)
+			case *ast.ScalarSubquery:
+				walkSel(n.Sub)
+			}
+		})
+	}
+	var walkFrom func(t ast.TableRef)
+	walkFrom = func(t ast.TableRef) {
+		switch r := t.(type) {
+		case *ast.JoinRef:
+			walkFrom(r.Left)
+			walkFrom(r.Right)
+			walkExpr(r.On)
+		case *ast.SubqueryRef:
+			walkSel(r.Sub)
+		}
+	}
+	walkSel = func(q *ast.Select) {
+		for _, it := range q.Items {
+			walkExpr(it.Expr)
+		}
+		for _, t := range q.From {
+			walkFrom(t)
+		}
+		walkExpr(q.Where)
+		for _, g := range q.GroupBy {
+			walkExpr(g)
+		}
+		walkExpr(q.Having)
+		for _, o := range q.OrderBy {
+			walkExpr(o.Expr)
+		}
+	}
+	walkSel(sel)
+	return sens
+}
+
+func constOperand(e ast.Expr, user []bool) bool {
+	switch x := e.(type) {
+	case *ast.Literal:
+		return true
+	case *ast.Placeholder:
+		return x.Idx >= 0 && x.Idx < len(user)
+	}
+	return false
+}
+
+func autoSlot(e ast.Expr, user []bool) bool {
+	ph, ok := e.(*ast.Placeholder)
+	return ok && ph.Idx >= 0 && ph.Idx < len(user) && !user[ph.Idx]
+}
+
+// bindSlots builds the per-execution parameter vector for a canonical
+// plan: lifted literal values interleaved, in source order, with the
+// caller's bindings for user-written placeholders. dst is reused
+// scratch.
+func bindSlots(dst, vals []value.Value, user []bool, userParams []value.Value) []value.Value {
+	dst = dst[:0]
+	j := 0
+	for i, v := range vals {
+		if user[i] {
+			v = userParams[j]
+			j++
+		}
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// execCanonSelect executes a statement through the canonical plan
+// cache: resolve the plan (L1 → shared → cold), bind the slot vector
+// and run the shared execution tail with the execStmt preamble
+// (statement counters, open-transaction attach, WAL unit) replicated.
+// handled=false sends the caller to the ordinary parse path — either
+// the canonical text failed to plan (error fidelity) or the shape is
+// fold-sensitive.
+func (s *Session) execCanonSelect(sql string, canon []byte, vals []value.Value, user []bool, userParams []value.Value) (*Result, bool, error) {
+	e := s.e
+	if e.disablePlanCache {
+		return nil, false, nil
+	}
+	heur, auditAll, workers := s.Heuristic(), s.AuditAll(), e.workersFor(s)
+	minRows := int(e.parallelMinRows.Load())
+	version := e.ddlVersion.Load()
+	cp := e.adoptCanonPlan(s, canon, user, heur, auditAll, workers, minRows, version)
+	if cp == nil || cp.bypass || cp.slots != len(vals) {
+		return nil, false, nil
+	}
+	s.lock()
+	scratch := s.paramScratch
+	s.paramScratch = nil
+	s.unlock()
+	params := bindSlots(scratch, vals, user, userParams)
+	res, err := e.execCachedSelect(s, cp, sql, params, workers)
+	s.lock()
+	s.paramScratch = params
+	s.unlock()
+	return res, true, err
+}
+
+// execCachedSelect is execStmt's preamble plus the shared SELECT
+// execution tail, for statements that skipped parsing entirely.
+func (e *Engine) execCachedSelect(s *Session, cp *canonPlan, sql string, params []value.Value, workers int) (*Result, error) {
+	start := time.Now()
+	e.stats.Statements.Add(1)
+	e.stats.Queries.Add(1)
+	env := s.rootEnv()
+	env.params = params
+	env.txn = s.openTxn()
+	run := selectRun{
+		root: cp.root, targets: cp.targets,
+		conservative: cp.conservative, hasAudit: cp.hasAudit, parallel: cp.parallel,
+	}
+	if len(cp.targets) > 0 {
+		run.acc = core.NewAccessed()
+		rebindProbes(cp.root, run.acc)
+	}
+	if e.wal != nil && env.txn == nil {
+		e.ckptMu.RLock()
+		env.unit = &walUnit{}
+		res, err := e.executeSelect(&run, sql, env, workers, start)
+		flushErr := e.flushUnit(env.unit)
+		e.ckptMu.RUnlock()
+		if err == nil {
+			err = flushErr
+		}
+		return res, err
+	}
+	return e.executeSelect(&run, sql, env, workers, start)
+}
+
+// tryNormSelect is the zero-parse fast path for a statement a session
+// issues directly (Exec/Query): normalize, then execute through the
+// canonical plan cache. handled=false means "not a plain SELECT, or
+// the cache declined" and the caller parses as before.
+func (s *Session) tryNormSelect(sql string, userParams []value.Value) (*Result, bool, error) {
+	parseStart := time.Now()
+	if !lexer.Normalize(sql, &s.norm) {
+		return nil, false, nil
+	}
+	if s.norm.NUser != len(userParams) {
+		return nil, false, nil
+	}
+	s.e.parseSeconds.ObserveDuration(time.Since(parseStart))
+	return s.execCanonSelect(sql, s.norm.Canonical, s.norm.Vals, s.norm.User, userParams)
 }
 
 // planIsParallel reports whether the parallelizer actually rewrote the

@@ -1,0 +1,33 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkPlanCacheHit(b *testing.B) {
+	e := New()
+	if _, err := e.Exec(`CREATE TABLE patients (id INT PRIMARY KEY, name STRING, ssn STRING)`); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := e.Exec(fmt.Sprintf(`INSERT INTO patients VALUES (%d, 'p%d', 's%d')`, i, i, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := e.Exec(`CREATE AUDIT EXPRESSION ae AS SELECT * FROM patients WHERE id >= 0 FOR SENSITIVE TABLE patients, PARTITION BY id`); err != nil {
+		b.Fatal(err)
+	}
+	s := e.NewSession()
+	const q = `SELECT name FROM patients WHERE id = 2`
+	if _, err := s.Exec(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Exec(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"auditdb/internal/ast"
+	"auditdb/internal/lexer"
 	"auditdb/internal/parser"
 	"auditdb/internal/plan"
 	"auditdb/internal/value"
@@ -13,11 +14,22 @@ import (
 // Run binds a fresh parameter vector, so a Prepared is safe to reuse
 // (parsing happens once; planning reflects the catalog at run time,
 // which keeps audit instrumentation current).
+//
+// A plain SELECT is additionally normalized once at prepare time; each
+// Run then goes through the engine-wide canonical plan cache with the
+// user's parameters spliced into the precomputed slot vector, skipping
+// normalization and parsing alike.
 type Prepared struct {
 	sess   *Session
 	stmt   ast.Stmt
 	sql    string
 	params int
+
+	// Canonical form captured at prepare time (normOK only).
+	normOK bool
+	canon  []byte
+	vals   []value.Value
+	user   []bool
 }
 
 // Prepare parses a single statement containing ? placeholders, bound
@@ -35,7 +47,18 @@ func prepare(sess *Session, sql string) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{sess: sess, stmt: stmt, sql: sql, params: n}, nil
+	p := &Prepared{sess: sess, stmt: stmt, sql: sql, params: n}
+	if _, isSel := stmt.(*ast.Select); isSel {
+		var norm lexer.Norm
+		if lexer.Normalize(sql, &norm) && norm.NUser == n {
+			// Private copies: the Norm's slices are scan scratch.
+			p.normOK = true
+			p.canon = append([]byte(nil), norm.Canonical...)
+			p.vals = append([]value.Value(nil), norm.Vals...)
+			p.user = append([]bool(nil), norm.User...)
+		}
+	}
+	return p, nil
 }
 
 // NumParams reports how many ? placeholders the statement declares.
@@ -78,6 +101,11 @@ func (p *Prepared) Run(params ...value.Value) (*Result, error) {
 	}
 	if err := p.sess.checkOpen(); err != nil {
 		return nil, err
+	}
+	if p.normOK {
+		if res, ok, err := p.sess.execCanonSelect(p.sql, p.canon, p.vals, p.user, params); ok {
+			return res, err
+		}
 	}
 	env := p.sess.rootEnv()
 	env.params = params

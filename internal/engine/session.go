@@ -6,7 +6,9 @@ import (
 
 	"auditdb/internal/ast"
 	"auditdb/internal/core"
+	"auditdb/internal/lexer"
 	"auditdb/internal/parser"
+	"auditdb/internal/value"
 )
 
 // Session is one user's execution context against a shared Engine: it
@@ -31,8 +33,18 @@ type Session struct {
 	// query execution; 0 means inherit the engine default.
 	workers   int
 	planCache map[planCacheKey]*cachedPlan
-	txn       *Txn // open SQL-level BEGIN ... COMMIT/ROLLBACK transaction
-	closed    bool
+	// canonCache is the session's L1 in front of the engine-wide shared
+	// plan cache, keyed by canonical (auto-parameterized) text.
+	canonCache map[string]*canonPlan
+	// paramScratch is the reusable per-execution slot-binding vector.
+	paramScratch []value.Value
+	txn          *Txn // open SQL-level BEGIN ... COMMIT/ROLLBACK transaction
+	closed       bool
+
+	// norm is the session's normalization scratch. It is used only from
+	// the session's own statement path (single goroutine by contract),
+	// never from trigger cascades, which run at depth > 0.
+	norm lexer.Norm
 }
 
 func newSession(e *Engine, user string, auditAll bool, h core.Heuristic) *Session {
@@ -155,9 +167,17 @@ func (s *Session) openTxn() *Txn {
 func (s *Session) InTxn() bool { return s.openTxn() != nil }
 
 // Exec parses and executes a single statement under this session.
+//
+// Plain SELECTs skip parsing on the warm path: the text is normalized
+// (literals auto-parameterized) in a single zero-allocation token scan
+// and executed through the two-level plan cache; only statements the
+// cache has never seen — or declines — are parsed.
 func (s *Session) Exec(sql string) (*Result, error) {
 	if err := s.checkOpen(); err != nil {
 		return nil, err
+	}
+	if res, ok, err := s.tryNormSelect(sql, nil); ok {
+		return res, err
 	}
 	parseStart := time.Now()
 	stmt, err := parser.Parse(sql)
@@ -218,10 +238,15 @@ func (s *Session) ExecMulti(sql string, fn func(stmt ast.Stmt, res *Result, err 
 	return nil
 }
 
-// Query parses and executes a SELECT under this session.
+// Query parses and executes a SELECT under this session. Like Exec,
+// the warm path normalizes instead of parsing and serves the plan from
+// the two-level cache.
 func (s *Session) Query(sql string) (*Result, error) {
 	if err := s.checkOpen(); err != nil {
 		return nil, err
+	}
+	if res, ok, err := s.tryNormSelect(sql, nil); ok {
+		return res, err
 	}
 	parseStart := time.Now()
 	sel, err := parser.ParseQuery(sql)

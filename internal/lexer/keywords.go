@@ -1,0 +1,203 @@
+package lexer
+
+// Keyword identifies a reserved word. The zero value KwNone means "not
+// a keyword". Matching by enum (instead of comparing uppercased text)
+// is what lets the scanner classify words without allocating.
+type Keyword uint8
+
+// Reserved words. Function names (YEAR, SUBSTRING, COALESCE, ...) are
+// deliberately not reserved; they lex as identifiers.
+const (
+	KwNone Keyword = iota
+	KwSelect
+	KwFrom
+	KwWhere
+	KwGroup
+	KwBy
+	KwHaving
+	KwOrder
+	KwAsc
+	KwDesc
+	KwLimit
+	KwDistinct
+	KwAll
+	KwAs
+	KwAnd
+	KwOr
+	KwNot
+	KwIn
+	KwExists
+	KwBetween
+	KwLike
+	KwIs
+	KwNull
+	KwTrue
+	KwFalse
+	KwJoin
+	KwInner
+	KwLeft
+	KwRight
+	KwOuter
+	KwOn
+	KwCross
+	KwCase
+	KwWhen
+	KwThen
+	KwElse
+	KwEnd
+	KwInsert
+	KwInto
+	KwValues
+	KwUpdate
+	KwSet
+	KwDelete
+	KwCreate
+	KwTable
+	KwIndex
+	KwPrimary
+	KwKey
+	KwDrop
+	KwTrigger
+	KwAudit
+	KwExpression
+	KwAccess
+	KwTo
+	KwAfter
+	KwFor
+	KwSensitive
+	KwPartition
+	KwIf
+	KwDate
+	KwUnique
+	KwBegin
+	KwExplain
+	KwCommit
+	KwRollback
+	KwView
+
+	numKeywords
+)
+
+// kwNames holds the canonical (uppercase) spelling of each keyword.
+var kwNames = [numKeywords]string{
+	KwSelect: "SELECT", KwFrom: "FROM", KwWhere: "WHERE", KwGroup: "GROUP",
+	KwBy: "BY", KwHaving: "HAVING", KwOrder: "ORDER", KwAsc: "ASC",
+	KwDesc: "DESC", KwLimit: "LIMIT", KwDistinct: "DISTINCT", KwAll: "ALL",
+	KwAs: "AS", KwAnd: "AND", KwOr: "OR", KwNot: "NOT", KwIn: "IN",
+	KwExists: "EXISTS", KwBetween: "BETWEEN", KwLike: "LIKE", KwIs: "IS",
+	KwNull: "NULL", KwTrue: "TRUE", KwFalse: "FALSE", KwJoin: "JOIN",
+	KwInner: "INNER", KwLeft: "LEFT", KwRight: "RIGHT", KwOuter: "OUTER",
+	KwOn: "ON", KwCross: "CROSS", KwCase: "CASE", KwWhen: "WHEN",
+	KwThen: "THEN", KwElse: "ELSE", KwEnd: "END", KwInsert: "INSERT",
+	KwInto: "INTO", KwValues: "VALUES", KwUpdate: "UPDATE", KwSet: "SET",
+	KwDelete: "DELETE", KwCreate: "CREATE", KwTable: "TABLE",
+	KwIndex: "INDEX", KwPrimary: "PRIMARY", KwKey: "KEY", KwDrop: "DROP",
+	KwTrigger: "TRIGGER", KwAudit: "AUDIT", KwExpression: "EXPRESSION",
+	KwAccess: "ACCESS", KwTo: "TO", KwAfter: "AFTER", KwFor: "FOR",
+	KwSensitive: "SENSITIVE", KwPartition: "PARTITION", KwIf: "IF",
+	KwDate: "DATE", KwUnique: "UNIQUE", KwBegin: "BEGIN",
+	KwExplain: "EXPLAIN", KwCommit: "COMMIT", KwRollback: "ROLLBACK",
+	KwView: "VIEW",
+}
+
+// String returns the canonical uppercase spelling.
+func (k Keyword) String() string {
+	if k == KwNone || k >= numKeywords {
+		return "?"
+	}
+	return kwNames[k]
+}
+
+// maxKeywordLen bounds the length buckets; EXPRESSION is the longest
+// reserved word at 10 bytes.
+const maxKeywordLen = 10
+
+// kwBuckets groups keywords by byte length so a lookup compares only
+// the handful of candidates of the right size.
+var kwBuckets [maxKeywordLen + 1][]Keyword
+
+func init() {
+	for kw := KwNone + 1; kw < numKeywords; kw++ {
+		n := len(kwNames[kw])
+		kwBuckets[n] = append(kwBuckets[n], kw)
+	}
+}
+
+// LookupKeyword reports which reserved word the (ASCII
+// case-insensitive) text spells, or KwNone. It never allocates.
+func LookupKeyword(word string) Keyword {
+	if len(word) < 2 || len(word) > maxKeywordLen {
+		return KwNone
+	}
+	for _, kw := range kwBuckets[len(word)] {
+		if asciiEqualUpper(word, kwNames[kw]) {
+			return kw
+		}
+	}
+	return KwNone
+}
+
+// asciiEqualUpper compares s against an all-uppercase ASCII name,
+// folding s's lowercase letters. Bytes outside a-zA-Z never match the
+// A-Z bytes of a keyword name, so identifiers with digits, '_' or '$'
+// fall out naturally.
+func asciiEqualUpper(s, upper string) bool {
+	if len(s) != len(upper) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c != upper[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OpKind identifies an operator or punctuation token. != lexes as
+// OpNe, the same kind as <>, so downstream code never sees two
+// spellings.
+type OpKind uint8
+
+// Operator kinds.
+const (
+	OpNone     OpKind = iota
+	OpEq              // =
+	OpLt              // <
+	OpLe              // <=
+	OpGt              // >
+	OpGe              // >=
+	OpNe              // <> or !=
+	OpPlus            // +
+	OpMinus           // -
+	OpStar            // *
+	OpSlash           // /
+	OpPercent         // %
+	OpLParen          // (
+	OpRParen          // )
+	OpComma           // ,
+	OpSemi            // ;
+	OpDot             // .
+	OpQuestion        // ?
+	OpConcat          // ||
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpEq: "=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=", OpNe: "<>",
+	OpPlus: "+", OpMinus: "-", OpStar: "*", OpSlash: "/", OpPercent: "%",
+	OpLParen: "(", OpRParen: ")", OpComma: ",", OpSemi: ";", OpDot: ".",
+	OpQuestion: "?", OpConcat: "||",
+}
+
+// String returns the canonical operator spelling.
+func (o OpKind) String() string {
+	if o == OpNone || o >= numOps {
+		return "?"
+	}
+	return opNames[o]
+}

@@ -1,13 +1,11 @@
 // Package lexer tokenizes the SQL dialect understood by the engine,
 // including the auditing DDL extensions from the paper (CREATE AUDIT
 // EXPRESSION, CREATE TRIGGER ... ON ACCESS TO, NOTIFY).
+//
+// The core is the pull-based Scanner, which walks the input bytes
+// without materializing tokens or strings; Lex remains as a
+// convenience that drains a Scanner into a token slice.
 package lexer
-
-import (
-	"fmt"
-	"strings"
-	"unicode"
-)
 
 // TokenKind classifies tokens.
 type TokenKind uint8
@@ -50,143 +48,34 @@ type Token struct {
 	Pos  int // byte offset in the input, for error reporting
 }
 
-// keywords is the reserved-word set. Function names (YEAR, SUBSTRING,
-// COALESCE, ...) are deliberately not reserved; they lex as identifiers.
-var keywords = map[string]bool{
-	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
-	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
-	"DISTINCT": true, "ALL": true, "AS": true, "AND": true, "OR": true,
-	"NOT": true, "IN": true, "EXISTS": true, "BETWEEN": true, "LIKE": true,
-	"IS": true, "NULL": true, "TRUE": true, "FALSE": true, "JOIN": true,
-	"INNER": true, "LEFT": true, "RIGHT": true, "OUTER": true, "ON": true,
-	"CROSS": true, "CASE": true, "WHEN": true, "THEN": true, "ELSE": true,
-	"END": true, "INSERT": true, "INTO": true, "VALUES": true,
-	"UPDATE": true, "SET": true, "DELETE": true, "CREATE": true,
-	"TABLE": true, "INDEX": true, "PRIMARY": true, "KEY": true,
-	"DROP": true, "TRIGGER": true, "AUDIT": true, "EXPRESSION": true,
-	"ACCESS": true, "TO": true, "AFTER": true, "FOR": true,
-	"SENSITIVE": true, "PARTITION": true, "IF": true,
-	"DATE": true, "UNIQUE": true, "BEGIN": true, "EXPLAIN": true,
-	"COMMIT": true, "ROLLBACK": true, "VIEW": true,
-}
-
-// Lex tokenizes input. It returns an error for unterminated strings or
-// characters outside the dialect.
+// Lex tokenizes input into a materialized token slice. It returns an
+// error for unterminated strings or characters outside the dialect.
+// Hot paths (the parser, the normalizer) drive a Scanner directly and
+// skip the slice; Lex remains for tools and tests.
 func Lex(input string) ([]Token, error) {
+	var sc Scanner
+	sc.Init(input)
 	var toks []Token
-	i := 0
-	n := len(input)
-	for i < n {
-		c := input[i]
-		switch {
-		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
-			i++
-		case c == '-' && i+1 < n && input[i+1] == '-':
-			// Line comment.
-			for i < n && input[i] != '\n' {
-				i++
-			}
-		case c == '/' && i+1 < n && input[i+1] == '*':
-			end := strings.Index(input[i+2:], "*/")
-			if end < 0 {
-				return nil, fmt.Errorf("unterminated block comment at offset %d", i)
-			}
-			i += 2 + end + 2
-		case c == '\'':
-			s, next, err := lexString(input, i)
-			if err != nil {
+	for {
+		kind := sc.Scan()
+		if kind == TokEOF {
+			if err := sc.Err(); err != nil {
 				return nil, err
 			}
-			toks = append(toks, Token{Kind: TokString, Text: s, Pos: i})
-			i = next
-		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
-			start := i
-			seenDot := false
-			for i < n {
-				d := input[i]
-				if d >= '0' && d <= '9' {
-					i++
-				} else if d == '.' && !seenDot {
-					seenDot = true
-					i++
-				} else {
-					break
-				}
-			}
-			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
-		case isIdentStart(rune(c)):
-			start := i
-			for i < n && isIdentPart(rune(input[i])) {
-				i++
-			}
-			word := input[start:i]
-			up := strings.ToUpper(word)
-			if keywords[up] {
-				toks = append(toks, Token{Kind: TokKeyword, Text: up, Pos: start})
-			} else {
-				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
-			}
-		case c == '"':
-			// Quoted identifier.
-			end := strings.IndexByte(input[i+1:], '"')
-			if end < 0 {
-				return nil, fmt.Errorf("unterminated quoted identifier at offset %d", i)
-			}
-			toks = append(toks, Token{Kind: TokIdent, Text: input[i+1 : i+1+end], Pos: i})
-			i += end + 2
+			toks = append(toks, Token{Kind: TokEOF, Pos: sc.Pos})
+			return toks, nil
+		}
+		t := Token{Kind: kind, Pos: sc.Pos}
+		switch kind {
+		case TokKeyword:
+			t.Text = sc.Kw.String()
+		case TokOp:
+			t.Text = sc.Op.String()
+		case TokString:
+			t.Text = sc.StringText()
 		default:
-			op, width := lexOp(input, i)
-			if width == 0 {
-				return nil, fmt.Errorf("unexpected character %q at offset %d", c, i)
-			}
-			toks = append(toks, Token{Kind: TokOp, Text: op, Pos: i})
-			i += width
+			t.Text = sc.Text()
 		}
+		toks = append(toks, t)
 	}
-	toks = append(toks, Token{Kind: TokEOF, Pos: n})
-	return toks, nil
-}
-
-func lexString(input string, start int) (text string, next int, err error) {
-	var b strings.Builder
-	i := start + 1
-	for i < len(input) {
-		c := input[i]
-		if c == '\'' {
-			if i+1 < len(input) && input[i+1] == '\'' {
-				b.WriteByte('\'')
-				i += 2
-				continue
-			}
-			return b.String(), i + 1, nil
-		}
-		b.WriteByte(c)
-		i++
-	}
-	return "", 0, fmt.Errorf("unterminated string literal at offset %d", start)
-}
-
-var twoByteOps = map[string]bool{"<=": true, ">=": true, "<>": true, "!=": true, "||": true}
-
-func lexOp(input string, i int) (string, int) {
-	if i+1 < len(input) && twoByteOps[input[i:i+2]] {
-		op := input[i : i+2]
-		if op == "!=" {
-			op = "<>"
-		}
-		return op, 2
-	}
-	switch input[i] {
-	case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', ';', '.', '?':
-		return string(input[i]), 1
-	}
-	return "", 0
-}
-
-func isIdentStart(r rune) bool {
-	return r == '_' || unicode.IsLetter(r)
-}
-
-func isIdentPart(r rune) bool {
-	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
 }

@@ -1,0 +1,186 @@
+package lexer
+
+import (
+	"strconv"
+	"strings"
+
+	"auditdb/internal/value"
+)
+
+// Norm is the result of Normalize: the canonical, auto-parameterized
+// spelling of a single SELECT statement plus the literal values that
+// were lifted out of it. The canonical text is the engine-wide plan
+// cache fingerprint — two statements that differ only in
+// parameterizable constants (`WHERE id = 7` vs `WHERE id = 9`, or a
+// user-supplied `?`) normalize to identical bytes and share one plan.
+//
+// Slots appear in source order and interleave lifted literals with
+// user placeholders: Vals[i] holds the i-th slot's literal value, or
+// the zero (NULL) value when User[i] is true and the caller binds it.
+//
+// A Norm's slices are reused across calls to Normalize on the same
+// Norm, so callers must not retain them past the next call.
+type Norm struct {
+	Canonical []byte        // canonical statement text, literals replaced by ?
+	Vals      []value.Value // per-slot literal values (zero for user slots)
+	User      []bool        // per-slot: true = user-written ? placeholder
+	NUser     int           // number of user ? placeholders
+
+	stack []uint8 // clause-state stack scratch, one entry per open paren
+}
+
+// Clause states for the auto-parameterization decision. Literals are
+// lifted only in stAllowed positions (WHERE, HAVING, JOIN ... ON, and
+// friends). The other states pin literals into the canonical text
+// because planning or output naming is literal-sensitive there:
+//
+//   - stSelectList: output column names derive from the expression
+//     text, and CASE/arith literals are part of that text;
+//   - stByList: GROUP BY / ORDER BY integer literals are positional
+//     ordinals, not values;
+//   - stLimit: the LIMIT operand gates parallelization, so plans must
+//     key on it (and the grammar demands a bare number).
+const (
+	stAllowed uint8 = iota
+	stSelectList
+	stByList
+	stLimit
+)
+
+// Normalize scans sql and, when it is a single SELECT statement,
+// rewrites it to canonical form: keywords uppercased, tokens
+// single-space separated, comments and a trailing semicolon stripped,
+// and parameterizable literals replaced by ? with their values
+// captured in order. It reports false — leaving n in an undefined
+// state — when the statement is not a plain single SELECT (other
+// statement kinds, scripts, EXPLAIN) or fails to tokenize; callers
+// then fall back to the ordinary parse path, which reproduces the
+// error against the original text.
+//
+// Normalize is a single token scan: it does not parse, and on the
+// session hot path it performs zero allocations once n's scratch
+// slices have warmed up.
+func Normalize(sql string, n *Norm) bool {
+	var sc Scanner
+	sc.Init(sql)
+	canon := n.Canonical[:0]
+	vals := n.Vals[:0]
+	user := n.User[:0]
+	stk := n.stack[:0]
+	nUser := 0
+	cur := stAllowed
+	first := true
+	noParamStr := false // literal after DATE must stay inline (grammar)
+	done := false       // saw the statement-terminating semicolon
+
+	for {
+		kind := sc.Scan()
+		if kind == TokEOF {
+			if sc.Err() != nil || first {
+				return false
+			}
+			break
+		}
+		if done {
+			return false // a script, not a single statement
+		}
+		if first {
+			if kind != TokKeyword || sc.Kw != KwSelect {
+				return false
+			}
+			first = false
+		}
+		if kind == TokOp && sc.Op == OpSemi {
+			done = true
+			continue
+		}
+		if len(canon) > 0 {
+			canon = append(canon, ' ')
+		}
+		switch kind {
+		case TokKeyword:
+			switch sc.Kw {
+			case KwSelect:
+				cur = stSelectList
+			case KwFrom, KwWhere, KwHaving:
+				cur = stAllowed
+			case KwGroup, KwOrder:
+				cur = stByList
+			case KwLimit:
+				cur = stLimit
+			}
+			canon = append(canon, kwNames[sc.Kw]...)
+		case TokIdent:
+			if sc.Start > sc.Pos { // quoted identifier
+				canon = append(canon, '"')
+				canon = append(canon, sc.Text()...)
+				canon = append(canon, '"')
+			} else {
+				canon = append(canon, sc.Text()...)
+			}
+		case TokNumber:
+			if cur == stAllowed {
+				v, ok := numberValue(sc.Text())
+				if !ok {
+					return false
+				}
+				canon = append(canon, '?')
+				vals = append(vals, v)
+				user = append(user, false)
+			} else {
+				canon = append(canon, sc.Text()...)
+			}
+		case TokString:
+			if cur == stAllowed && !noParamStr {
+				canon = append(canon, '?')
+				vals = append(vals, value.NewString(sc.StringText()))
+				user = append(user, false)
+			} else {
+				canon = append(canon, '\'')
+				canon = append(canon, sql[sc.Start:sc.End]...) // raw span keeps '' escapes intact
+				canon = append(canon, '\'')
+			}
+		case TokOp:
+			switch sc.Op {
+			case OpLParen:
+				stk = append(stk, cur)
+			case OpRParen:
+				if len(stk) > 0 {
+					cur = stk[len(stk)-1]
+					stk = stk[:len(stk)-1]
+				}
+			case OpQuestion:
+				vals = append(vals, value.Value{})
+				user = append(user, true)
+				nUser++
+			}
+			canon = append(canon, opNames[sc.Op]...)
+		}
+		noParamStr = kind == TokKeyword && sc.Kw == KwDate
+	}
+
+	n.Canonical = canon
+	n.Vals = vals
+	n.User = user
+	n.NUser = nUser
+	n.stack = stk
+	return true
+}
+
+// numberValue converts a numeric literal exactly the way the parser
+// does (dot present → float, else int), so a lifted literal binds to
+// the same value the original AST would have carried.
+func numberValue(text string) (value.Value, bool) {
+	if strings.IndexByte(text, '.') >= 0 {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return value.Value{}, false
+		}
+		return value.NewFloat(f), true
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return value.Value{}, false
+	}
+	return value.NewInt(i), true
+}

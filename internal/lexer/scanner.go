@@ -1,0 +1,312 @@
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Scanner is a pull-based, zero-allocation tokenizer over the input
+// bytes. Callers Init it (or embed it in a larger struct) and call
+// Scan repeatedly; after each Scan the exported token fields describe
+// the current token as a byte span of the source — no token slice is
+// materialized and no per-token strings are built. Text conversion
+// happens lazily, only when a consumer needs the spelling (typically
+// at AST-construction time), and even then identifier and number text
+// is a substring of the input, which in Go shares the backing array.
+//
+// A Scanner must not be shared between goroutines.
+type Scanner struct {
+	src string
+	off int
+
+	// Fields describing the current token, valid after Scan.
+	Kind    TokenKind
+	Kw      Keyword // which reserved word, when Kind == TokKeyword
+	Op      OpKind  // which operator, when Kind == TokOp
+	Pos     int     // token start (the opening quote for strings)
+	Start   int     // content start (inside the quotes for strings and quoted identifiers)
+	End     int     // content end
+	Escaped bool    // string literal contains '' escape sequences
+
+	err error
+}
+
+// Init resets the scanner to the beginning of src.
+func (s *Scanner) Init(src string) {
+	*s = Scanner{src: src}
+}
+
+// Err returns the lexical error encountered, if any. Once an error is
+// set, Scan keeps returning TokEOF.
+func (s *Scanner) Err() error { return s.err }
+
+// Text returns the current token's raw text: the source span for
+// identifiers, numbers and (un-unescaped) string contents. It shares
+// the input's backing array — no copy.
+func (s *Scanner) Text() string { return s.src[s.Start:s.End] }
+
+// StringText returns the current string literal's value with ”
+// escapes collapsed. It allocates only when an escape is present.
+func (s *Scanner) StringText() string {
+	raw := s.src[s.Start:s.End]
+	if !s.Escaped {
+		return raw
+	}
+	return strings.ReplaceAll(raw, "''", "'")
+}
+
+// charClass flags for single-byte dispatch.
+const (
+	clsIdentStart uint8 = 1 << iota
+	clsIdentPart
+	clsDigit
+	clsSpace
+)
+
+var charClass [128]uint8
+
+func init() {
+	for c := 'a'; c <= 'z'; c++ {
+		charClass[c] = clsIdentStart | clsIdentPart
+	}
+	for c := 'A'; c <= 'Z'; c++ {
+		charClass[c] = clsIdentStart | clsIdentPart
+	}
+	for c := '0'; c <= '9'; c++ {
+		charClass[c] = clsDigit | clsIdentPart
+	}
+	charClass['_'] = clsIdentStart | clsIdentPart
+	charClass['$'] = clsIdentPart
+	charClass[' '] = clsSpace
+	charClass['\t'] = clsSpace
+	charClass['\n'] = clsSpace
+	charClass['\r'] = clsSpace
+}
+
+func (s *Scanner) fail(format string, args ...any) TokenKind {
+	if s.err == nil {
+		s.err = fmt.Errorf(format, args...)
+	}
+	s.Kind = TokEOF
+	s.Pos = len(s.src)
+	s.Start, s.End = s.Pos, s.Pos
+	return TokEOF
+}
+
+// Scan advances to the next token and returns its kind. At end of
+// input (or after a lexical error — check Err) it returns TokEOF.
+func (s *Scanner) Scan() TokenKind {
+	if s.err != nil {
+		return s.fail("")
+	}
+	src, n := s.src, len(s.src)
+	i := s.off
+	// Skip whitespace and comments.
+	for i < n {
+		c := src[i]
+		if c < 128 && charClass[c]&clsSpace != 0 {
+			i++
+			continue
+		}
+		if c == '-' && i+1 < n && src[i+1] == '-' {
+			for i < n && src[i] != '\n' {
+				i++
+			}
+			continue
+		}
+		if c == '/' && i+1 < n && src[i+1] == '*' {
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				s.off = n
+				return s.fail("unterminated block comment at offset %d", i)
+			}
+			i += 2 + end + 2
+			continue
+		}
+		break
+	}
+	if i >= n {
+		s.off = n
+		s.Kind = TokEOF
+		s.Pos, s.Start, s.End = n, n, n
+		return TokEOF
+	}
+
+	s.Pos = i
+	c := src[i]
+	switch {
+	case c == '\'':
+		return s.scanString(i)
+	case c < 128 && charClass[c]&clsDigit != 0,
+		c == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9':
+		return s.scanNumber(i)
+	case c < 128 && charClass[c]&clsIdentStart != 0:
+		return s.scanIdent(i)
+	case c >= utf8.RuneSelf:
+		r, _ := utf8.DecodeRuneInString(src[i:])
+		if unicode.IsLetter(r) {
+			return s.scanIdent(i)
+		}
+		s.off = i
+		return s.fail("unexpected character %q at offset %d", r, i)
+	case c == '"':
+		end := strings.IndexByte(src[i+1:], '"')
+		if end < 0 {
+			s.off = n
+			return s.fail("unterminated quoted identifier at offset %d", i)
+		}
+		s.Kind = TokIdent
+		s.Kw = KwNone
+		s.Start, s.End = i+1, i+1+end
+		s.off = i + end + 2
+		return TokIdent
+	default:
+		return s.scanOp(i)
+	}
+}
+
+func (s *Scanner) scanString(start int) TokenKind {
+	src, n := s.src, len(s.src)
+	i := start + 1
+	escaped := false
+	for i < n {
+		c := src[i]
+		if c != '\'' {
+			i++
+			continue
+		}
+		if i+1 < n && src[i+1] == '\'' {
+			escaped = true
+			i += 2
+			continue
+		}
+		s.Kind = TokString
+		s.Start, s.End = start+1, i
+		s.Escaped = escaped
+		s.off = i + 1
+		return TokString
+	}
+	s.off = n
+	return s.fail("unterminated string literal at offset %d", start)
+}
+
+func (s *Scanner) scanNumber(start int) TokenKind {
+	src, n := s.src, len(s.src)
+	i := start
+	seenDot := false
+	for i < n {
+		c := src[i]
+		if c < 128 && charClass[c]&clsDigit != 0 {
+			i++
+		} else if c == '.' && !seenDot {
+			seenDot = true
+			i++
+		} else {
+			break
+		}
+	}
+	s.Kind = TokNumber
+	s.Start, s.End = start, i
+	s.off = i
+	return TokNumber
+}
+
+func (s *Scanner) scanIdent(start int) TokenKind {
+	src, n := s.src, len(s.src)
+	i := start
+	for i < n {
+		c := src[i]
+		if c < 128 {
+			if charClass[c]&clsIdentPart == 0 {
+				break
+			}
+			i++
+			continue
+		}
+		r, w := utf8.DecodeRuneInString(src[i:])
+		if r != '_' && !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+			break
+		}
+		i += w
+	}
+	s.Start, s.End = start, i
+	s.off = i
+	if kw := LookupKeyword(src[start:i]); kw != KwNone {
+		s.Kind = TokKeyword
+		s.Kw = kw
+		return TokKeyword
+	}
+	s.Kind = TokIdent
+	s.Kw = KwNone
+	return TokIdent
+}
+
+func (s *Scanner) scanOp(start int) TokenKind {
+	src, n := s.src, len(s.src)
+	c := src[start]
+	op := OpNone
+	width := 1
+	switch c {
+	case '=':
+		op = OpEq
+	case '<':
+		if start+1 < n {
+			switch src[start+1] {
+			case '=':
+				op, width = OpLe, 2
+			case '>':
+				op, width = OpNe, 2
+			}
+		}
+		if op == OpNone {
+			op = OpLt
+		}
+	case '>':
+		if start+1 < n && src[start+1] == '=' {
+			op, width = OpGe, 2
+		} else {
+			op = OpGt
+		}
+	case '!':
+		if start+1 < n && src[start+1] == '=' {
+			op, width = OpNe, 2
+		}
+	case '|':
+		if start+1 < n && src[start+1] == '|' {
+			op, width = OpConcat, 2
+		}
+	case '+':
+		op = OpPlus
+	case '-':
+		op = OpMinus
+	case '*':
+		op = OpStar
+	case '/':
+		op = OpSlash
+	case '%':
+		op = OpPercent
+	case '(':
+		op = OpLParen
+	case ')':
+		op = OpRParen
+	case ',':
+		op = OpComma
+	case ';':
+		op = OpSemi
+	case '.':
+		op = OpDot
+	case '?':
+		op = OpQuestion
+	}
+	if op == OpNone {
+		s.off = start
+		return s.fail("unexpected character %q at offset %d", c, start)
+	}
+	s.Kind = TokOp
+	s.Op = op
+	s.Start, s.End = start, start+width
+	s.off = start + width
+	return TokOp
+}

@@ -1,0 +1,99 @@
+package parser
+
+import (
+	"auditdb/internal/ast"
+	"auditdb/internal/value"
+)
+
+// arena slab-allocates the three AST node types that dominate a parse
+// (binary operators, column references, literals). Nodes are handed
+// out of a shared backing array in slabs of arenaSlab, so a typical
+// statement costs a few slab allocations instead of one per node. The
+// slabs live as long as the AST that points into them — an arena is
+// per-parse and never reset.
+type arena struct {
+	bins []ast.Binary
+	cols []ast.ColumnRef
+	lits []ast.Literal
+	sels []ast.Select
+	tbls []ast.BaseTable
+	fns  []ast.FuncCall
+	its  []ast.SelectItem // select-item backing storage, cap doled out per SELECT
+}
+
+const arenaSlab = 8
+
+func (a *arena) binary(op ast.BinaryOp, l, r ast.Expr) *ast.Binary {
+	if len(a.bins) == 0 {
+		a.bins = make([]ast.Binary, arenaSlab)
+	}
+	b := &a.bins[0]
+	a.bins = a.bins[1:]
+	b.Op, b.L, b.R = op, l, r
+	return b
+}
+
+func (a *arena) columnRef(table, name string) *ast.ColumnRef {
+	if len(a.cols) == 0 {
+		a.cols = make([]ast.ColumnRef, arenaSlab)
+	}
+	c := &a.cols[0]
+	a.cols = a.cols[1:]
+	c.Table, c.Name = table, name
+	return c
+}
+
+func (a *arena) literal(v value.Value) *ast.Literal {
+	if len(a.lits) == 0 {
+		a.lits = make([]ast.Literal, arenaSlab)
+	}
+	l := &a.lits[0]
+	a.lits = a.lits[1:]
+	l.Val = v
+	return l
+}
+
+func (a *arena) selectStmt() *ast.Select {
+	if len(a.sels) == 0 {
+		a.sels = make([]ast.Select, 2)
+	}
+	s := &a.sels[0]
+	a.sels = a.sels[1:]
+	s.Limit = -1
+	return s
+}
+
+func (a *arena) baseTable(name string) *ast.BaseTable {
+	if len(a.tbls) == 0 {
+		a.tbls = make([]ast.BaseTable, 2)
+	}
+	t := &a.tbls[0]
+	a.tbls = a.tbls[1:]
+	t.Name = name
+	return t
+}
+
+func (a *arena) funcCall(name string) *ast.FuncCall {
+	if len(a.fns) == 0 {
+		a.fns = make([]ast.FuncCall, 2)
+	}
+	f := &a.fns[0]
+	a.fns = a.fns[1:]
+	f.Name = name
+	return f
+}
+
+// selectItems hands out a zero-length select-item slice with room for
+// itemCap entries, so the common SELECT list appends without
+// reallocating. A list that outgrows the cap falls back to the
+// runtime's growth path, leaving the unused reservation behind.
+const itemCap = 8
+
+func (a *arena) selectItems() []ast.SelectItem {
+	if len(a.its) < itemCap {
+		a.its = make([]ast.SelectItem, itemCap)
+	}
+	s := a.its[:0:itemCap]
+	a.its = a.its[itemCap:]
+	return s
+}

@@ -19,7 +19,7 @@ func (p *parser) parseExpr() (ast.Expr, error) {
 // (which becomes a scalar subquery); used for IF (...) conditions where
 // the paper writes IF (SELECT count(...) > 10 FROM ...).
 func (p *parser) parseExprOrSelect() (ast.Expr, error) {
-	if p.peekKeyword("SELECT") {
+	if p.peekKeyword(lexer.KwSelect) {
 		sub, err := p.parseSelect()
 		if err != nil {
 			return nil, err
@@ -34,12 +34,12 @@ func (p *parser) parseOr() (ast.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	for p.matchKeyword("OR") {
+	for p.matchKeyword(lexer.KwOr) {
 		right, err := p.parseAnd()
 		if err != nil {
 			return nil, err
 		}
-		left = &ast.Binary{Op: ast.OpOr, L: left, R: right}
+		left = p.a.binary(ast.OpOr, left, right)
 	}
 	return left, nil
 }
@@ -49,18 +49,18 @@ func (p *parser) parseAnd() (ast.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	for p.matchKeyword("AND") {
+	for p.matchKeyword(lexer.KwAnd) {
 		right, err := p.parseNot()
 		if err != nil {
 			return nil, err
 		}
-		left = &ast.Binary{Op: ast.OpAnd, L: left, R: right}
+		left = p.a.binary(ast.OpAnd, left, right)
 	}
 	return left, nil
 }
 
 func (p *parser) parseNot() (ast.Expr, error) {
-	if p.matchKeyword("NOT") {
+	if p.matchKeyword(lexer.KwNot) {
 		x, err := p.parseNot()
 		if err != nil {
 			return nil, err
@@ -70,9 +70,23 @@ func (p *parser) parseNot() (ast.Expr, error) {
 	return p.parseComparison()
 }
 
-var compOps = map[string]ast.BinaryOp{
-	"=": ast.OpEq, "<>": ast.OpNe, "<": ast.OpLt,
-	"<=": ast.OpLe, ">": ast.OpGt, ">=": ast.OpGe,
+// compOf maps an operator token to its comparison AST op.
+func compOf(op lexer.OpKind) (ast.BinaryOp, bool) {
+	switch op {
+	case lexer.OpEq:
+		return ast.OpEq, true
+	case lexer.OpNe:
+		return ast.OpNe, true
+	case lexer.OpLt:
+		return ast.OpLt, true
+	case lexer.OpLe:
+		return ast.OpLe, true
+	case lexer.OpGt:
+		return ast.OpGt, true
+	case lexer.OpGe:
+		return ast.OpGe, true
+	}
+	return 0, false
 }
 
 func (p *parser) parseComparison() (ast.Expr, error) {
@@ -81,32 +95,32 @@ func (p *parser) parseComparison() (ast.Expr, error) {
 		return nil, err
 	}
 	// IS [NOT] NULL
-	if p.matchKeyword("IS") {
-		neg := p.matchKeyword("NOT")
-		if err := p.expectKeyword("NULL"); err != nil {
+	if p.matchKeyword(lexer.KwIs) {
+		neg := p.matchKeyword(lexer.KwNot)
+		if err := p.expectKeyword(lexer.KwNull); err != nil {
 			return nil, err
 		}
 		return &ast.IsNull{X: left, Negate: neg}, nil
 	}
 	neg := false
-	if p.peekKeyword("NOT") {
+	if p.peekKeyword(lexer.KwNot) {
 		// Only treat NOT as infix negation when followed by IN, BETWEEN
 		// or LIKE.
 		nxt := p.peek2()
-		if nxt.Kind == lexer.TokKeyword && (nxt.Text == "IN" || nxt.Text == "BETWEEN" || nxt.Text == "LIKE") {
+		if nxt.kind == lexer.TokKeyword && (nxt.kw == lexer.KwIn || nxt.kw == lexer.KwBetween || nxt.kw == lexer.KwLike) {
 			p.next()
 			neg = true
 		}
 	}
 	switch {
-	case p.matchKeyword("IN"):
+	case p.matchKeyword(lexer.KwIn):
 		return p.parseInTail(left, neg)
-	case p.matchKeyword("BETWEEN"):
+	case p.matchKeyword(lexer.KwBetween):
 		lo, err := p.parseAdditive()
 		if err != nil {
 			return nil, err
 		}
-		if err := p.expectKeyword("AND"); err != nil {
+		if err := p.expectKeyword(lexer.KwAnd); err != nil {
 			return nil, err
 		}
 		hi, err := p.parseAdditive()
@@ -114,40 +128,40 @@ func (p *parser) parseComparison() (ast.Expr, error) {
 			return nil, err
 		}
 		return &ast.Between{X: left, Lo: lo, Hi: hi, Negate: neg}, nil
-	case p.matchKeyword("LIKE"):
+	case p.matchKeyword(lexer.KwLike):
 		pat, err := p.parseAdditive()
 		if err != nil {
 			return nil, err
 		}
-		like := ast.Expr(&ast.Binary{Op: ast.OpLike, L: left, R: pat})
+		like := ast.Expr(p.a.binary(ast.OpLike, left, pat))
 		if neg {
 			like = &ast.Unary{Op: '!', X: like}
 		}
 		return like, nil
 	}
-	if t := p.peek(); t.Kind == lexer.TokOp {
-		if op, ok := compOps[t.Text]; ok {
+	if t := p.peek(); t.kind == lexer.TokOp {
+		if op, ok := compOf(t.op); ok {
 			p.next()
 			right, err := p.parseAdditive()
 			if err != nil {
 				return nil, err
 			}
-			return &ast.Binary{Op: op, L: left, R: right}, nil
+			return p.a.binary(op, left, right), nil
 		}
 	}
 	return left, nil
 }
 
 func (p *parser) parseInTail(left ast.Expr, neg bool) (ast.Expr, error) {
-	if err := p.expectOp("("); err != nil {
+	if err := p.expectOp(lexer.OpLParen); err != nil {
 		return nil, err
 	}
-	if p.peekKeyword("SELECT") {
+	if p.peekKeyword(lexer.KwSelect) {
 		sub, err := p.parseSelect()
 		if err != nil {
 			return nil, err
 		}
-		if err := p.expectOp(")"); err != nil {
+		if err := p.expectOp(lexer.OpRParen); err != nil {
 			return nil, err
 		}
 		return &ast.InSubquery{X: left, Sub: sub, Negate: neg}, nil
@@ -159,11 +173,11 @@ func (p *parser) parseInTail(left ast.Expr, neg bool) (ast.Expr, error) {
 			return nil, err
 		}
 		list = append(list, e)
-		if !p.matchOp(",") {
+		if !p.matchOp(lexer.OpComma) {
 			break
 		}
 	}
-	if err := p.expectOp(")"); err != nil {
+	if err := p.expectOp(lexer.OpRParen); err != nil {
 		return nil, err
 	}
 	return &ast.InList{X: left, List: list, Negate: neg}, nil
@@ -177,11 +191,11 @@ func (p *parser) parseAdditive() (ast.Expr, error) {
 	for {
 		var op ast.BinaryOp
 		switch {
-		case p.matchOp("+"):
+		case p.matchOp(lexer.OpPlus):
 			op = ast.OpAdd
-		case p.matchOp("-"):
+		case p.matchOp(lexer.OpMinus):
 			op = ast.OpSub
-		case p.matchOp("||"):
+		case p.matchOp(lexer.OpConcat):
 			op = ast.OpConcat
 		default:
 			return left, nil
@@ -190,7 +204,7 @@ func (p *parser) parseAdditive() (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		left = &ast.Binary{Op: op, L: left, R: right}
+		left = p.a.binary(op, left, right)
 	}
 }
 
@@ -202,11 +216,11 @@ func (p *parser) parseMultiplicative() (ast.Expr, error) {
 	for {
 		var op ast.BinaryOp
 		switch {
-		case p.matchOp("*"):
+		case p.matchOp(lexer.OpStar):
 			op = ast.OpMul
-		case p.matchOp("/"):
+		case p.matchOp(lexer.OpSlash):
 			op = ast.OpDiv
-		case p.matchOp("%"):
+		case p.matchOp(lexer.OpPercent):
 			op = ast.OpMod
 		default:
 			return left, nil
@@ -215,97 +229,98 @@ func (p *parser) parseMultiplicative() (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		left = &ast.Binary{Op: op, L: left, R: right}
+		left = p.a.binary(op, left, right)
 	}
 }
 
 func (p *parser) parseUnary() (ast.Expr, error) {
-	if p.matchOp("-") {
+	if p.matchOp(lexer.OpMinus) {
 		x, err := p.parseUnary()
 		if err != nil {
 			return nil, err
 		}
 		return &ast.Unary{Op: '-', X: x}, nil
 	}
-	p.matchOp("+")
+	p.matchOp(lexer.OpPlus)
 	return p.parsePrimary()
 }
 
 func (p *parser) parsePrimary() (ast.Expr, error) {
 	t := p.peek()
-	switch t.Kind {
+	switch t.kind {
 	case lexer.TokNumber:
 		p.next()
-		if strings.ContainsAny(t.Text, ".") {
-			f, err := strconv.ParseFloat(t.Text, 64)
+		text := p.text(t)
+		if strings.IndexByte(text, '.') >= 0 {
+			f, err := strconv.ParseFloat(text, 64)
 			if err != nil {
-				return nil, p.errf("invalid number %q", t.Text)
+				return nil, p.errf("invalid number %q", text)
 			}
-			return &ast.Literal{Val: value.NewFloat(f)}, nil
+			return p.a.literal(value.NewFloat(f)), nil
 		}
-		i, err := strconv.ParseInt(t.Text, 10, 64)
+		i, err := strconv.ParseInt(text, 10, 64)
 		if err != nil {
-			return nil, p.errf("invalid number %q", t.Text)
+			return nil, p.errf("invalid number %q", text)
 		}
-		return &ast.Literal{Val: value.NewInt(i)}, nil
+		return p.a.literal(value.NewInt(i)), nil
 	case lexer.TokString:
 		p.next()
-		return &ast.Literal{Val: value.NewString(t.Text)}, nil
+		return p.a.literal(value.NewString(p.strText(t))), nil
 	case lexer.TokKeyword:
-		switch t.Text {
-		case "NULL":
+		switch t.kw {
+		case lexer.KwNull:
 			p.next()
-			return &ast.Literal{Val: value.Null}, nil
-		case "TRUE":
+			return p.a.literal(value.Null), nil
+		case lexer.KwTrue:
 			p.next()
-			return &ast.Literal{Val: value.NewBool(true)}, nil
-		case "FALSE":
+			return p.a.literal(value.NewBool(true)), nil
+		case lexer.KwFalse:
 			p.next()
-			return &ast.Literal{Val: value.NewBool(false)}, nil
-		case "DATE":
+			return p.a.literal(value.NewBool(false)), nil
+		case lexer.KwDate:
 			p.next()
 			lit := p.peek()
-			if lit.Kind != lexer.TokString {
+			if lit.kind != lexer.TokString {
 				return nil, p.errf("expected string literal after DATE")
 			}
 			p.next()
-			d, err := value.ParseDate(lit.Text)
+			d, err := value.ParseDate(p.strText(lit))
 			if err != nil {
 				return nil, p.errf("%v", err)
 			}
-			return &ast.Literal{Val: d}, nil
-		case "CASE":
+			return p.a.literal(d), nil
+		case lexer.KwCase:
 			return p.parseCase()
-		case "EXISTS":
+		case lexer.KwExists:
 			p.next()
-			if err := p.expectOp("("); err != nil {
+			if err := p.expectOp(lexer.OpLParen); err != nil {
 				return nil, err
 			}
 			sub, err := p.parseSelect()
 			if err != nil {
 				return nil, err
 			}
-			if err := p.expectOp(")"); err != nil {
+			if err := p.expectOp(lexer.OpRParen); err != nil {
 				return nil, err
 			}
 			return &ast.Exists{Sub: sub}, nil
 		}
-		return nil, p.errf("unexpected keyword %s in expression", t.Text)
+		return nil, p.errf("unexpected keyword %s in expression", t.kw.String())
 	case lexer.TokOp:
-		if t.Text == "?" {
+		if t.op == lexer.OpQuestion {
 			p.next()
 			ph := &ast.Placeholder{Idx: p.params}
 			p.params++
 			return ph, nil
 		}
-		if t.Text == "(" {
+		if t.op == lexer.OpLParen {
 			p.next()
-			if p.peekKeyword("SELECT") {
+			if p.peekKeyword(lexer.KwSelect) {
 				sub, err := p.parseSelect()
 				if err != nil {
 					return nil, err
 				}
-				if err := p.expectOp(")"); err != nil {
+				if err := p.expectOp(lexer.OpRParen); err != nil {
 					return nil, err
 				}
 				return &ast.ScalarSubquery{Sub: sub}, nil
@@ -314,12 +329,12 @@ func (p *parser) parsePrimary() (ast.Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := p.expectOp(")"); err != nil {
+			if err := p.expectOp(lexer.OpRParen); err != nil {
 				return nil, err
 			}
 			return e, nil
 		}
-		return nil, p.errf("unexpected %q in expression", t.Text)
+		return nil, p.errf("unexpected %q in expression", t.op.String())
 	case lexer.TokIdent:
 		return p.parseIdentExpr()
 	default:
@@ -333,66 +348,66 @@ func (p *parser) parseIdentExpr() (ast.Expr, error) {
 		return nil, err
 	}
 	// Function call?
-	if p.peekOp("(") {
+	if p.peekOp(lexer.OpLParen) {
 		p.next()
-		fc := &ast.FuncCall{Name: strings.ToUpper(name)}
-		if p.matchOp("*") {
+		fc := p.a.funcCall(strings.ToUpper(name))
+		if p.matchOp(lexer.OpStar) {
 			fc.Star = true
-			if err := p.expectOp(")"); err != nil {
+			if err := p.expectOp(lexer.OpRParen); err != nil {
 				return nil, err
 			}
 			return fc, nil
 		}
-		if p.matchKeyword("DISTINCT") {
+		if p.matchKeyword(lexer.KwDistinct) {
 			fc.Distinct = true
 		}
-		if !p.peekOp(")") {
+		if !p.peekOp(lexer.OpRParen) {
 			for {
 				a, err := p.parseExpr()
 				if err != nil {
 					return nil, err
 				}
 				fc.Args = append(fc.Args, a)
-				if !p.matchOp(",") {
+				if !p.matchOp(lexer.OpComma) {
 					break
 				}
 			}
 		}
-		if err := p.expectOp(")"); err != nil {
+		if err := p.expectOp(lexer.OpRParen); err != nil {
 			return nil, err
 		}
 		return fc, nil
 	}
 	// Qualified column?
-	if p.peekOp(".") {
+	if p.peekOp(lexer.OpDot) {
 		p.next()
 		col, err := p.ident()
 		if err != nil {
 			return nil, err
 		}
-		return &ast.ColumnRef{Table: name, Name: col}, nil
+		return p.a.columnRef(name, col), nil
 	}
-	return &ast.ColumnRef{Name: name}, nil
+	return p.a.columnRef("", name), nil
 }
 
 func (p *parser) parseCase() (ast.Expr, error) {
-	if err := p.expectKeyword("CASE"); err != nil {
+	if err := p.expectKeyword(lexer.KwCase); err != nil {
 		return nil, err
 	}
 	c := &ast.Case{}
-	if !p.peekKeyword("WHEN") {
+	if !p.peekKeyword(lexer.KwWhen) {
 		operand, err := p.parseExpr()
 		if err != nil {
 			return nil, err
 		}
 		c.Operand = operand
 	}
-	for p.matchKeyword("WHEN") {
+	for p.matchKeyword(lexer.KwWhen) {
 		cond, err := p.parseExpr()
 		if err != nil {
 			return nil, err
 		}
-		if err := p.expectKeyword("THEN"); err != nil {
+		if err := p.expectKeyword(lexer.KwThen); err != nil {
 			return nil, err
 		}
 		res, err := p.parseExpr()
@@ -404,14 +419,14 @@ func (p *parser) parseCase() (ast.Expr, error) {
 	if len(c.Whens) == 0 {
 		return nil, p.errf("CASE requires at least one WHEN arm")
 	}
-	if p.matchKeyword("ELSE") {
+	if p.matchKeyword(lexer.KwElse) {
 		e, err := p.parseExpr()
 		if err != nil {
 			return nil, err
 		}
 		c.Else = e
 	}
-	if err := p.expectKeyword("END"); err != nil {
+	if err := p.expectKeyword(lexer.KwEnd); err != nil {
 		return nil, err
 	}
 	return c, nil

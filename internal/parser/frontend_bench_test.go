@@ -1,0 +1,93 @@
+package parser
+
+import (
+	"testing"
+
+	"auditdb/internal/lexer"
+)
+
+// benchMix is the front-end benchmark query mix: the shapes the
+// paper's workloads and the repo's demo/TPC-H suites actually issue —
+// point lookups, audited joins, grouped aggregates, subqueries.
+var benchMix = []string{
+	`SELECT name, ssn FROM patients WHERE id = 42`,
+	`SELECT p.name, v.vdate FROM patients p JOIN visits v ON p.id = v.patient_id WHERE v.cost > 500 AND p.state = 'CA' ORDER BY v.vdate DESC LIMIT 10`,
+	`SELECT state, COUNT(*), SUM(cost) FROM patients p JOIN visits v ON p.id = v.patient_id GROUP BY state HAVING SUM(cost) > 1000`,
+	`SELECT name FROM patients WHERE id IN (SELECT patient_id FROM visits WHERE cost BETWEEN 100 AND 200) AND NOT disease = 'flu'`,
+	`SELECT l_returnflag, l_linestatus, SUM(l_quantity), AVG(l_extendedprice) FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus`,
+}
+
+func BenchmarkLexThroughput(b *testing.B) {
+	var bytes int64
+	for _, q := range benchMix {
+		bytes += int64(len(q))
+	}
+	b.SetBytes(bytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sc lexer.Scanner
+	for i := 0; i < b.N; i++ {
+		for _, q := range benchMix {
+			sc.Init(q)
+			for sc.Scan() != lexer.TokEOF {
+			}
+			if err := sc.Err(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkNormalizeMix measures the warm front end: on a plan-cache
+// hit the engine runs exactly this — one normalization scan replaces
+// lexing AND parsing, so this is the per-statement front-end cost of a
+// repeat-shape workload.
+func BenchmarkNormalizeMix(b *testing.B) {
+	var bytes int64
+	for _, q := range benchMix {
+		bytes += int64(len(q))
+	}
+	b.SetBytes(bytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var n lexer.Norm
+	for i := 0; i < b.N; i++ {
+		for _, q := range benchMix {
+			lexer.Normalize(q, &n)
+		}
+	}
+}
+
+// TestScannerAllocGate is the front-end allocation regression gate:
+// draining the scanner over the benchmark mix must not allocate at
+// all. CI fails on any regression here.
+func TestScannerAllocGate(t *testing.T) {
+	var sc lexer.Scanner
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, q := range benchMix {
+			sc.Init(q)
+			for sc.Scan() != lexer.TokEOF {
+			}
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("scanning the benchmark mix allocates %.1f/op, want <= 1", allocs)
+	}
+}
+
+func BenchmarkParseSelect(b *testing.B) {
+	var bytes int64
+	for _, q := range benchMix {
+		bytes += int64(len(q))
+	}
+	b.SetBytes(bytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range benchMix {
+			if _, err := Parse(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

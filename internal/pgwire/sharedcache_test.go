@@ -1,0 +1,112 @@
+package pgwire_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"auditdb/internal/client"
+	"auditdb/internal/server"
+)
+
+// TestCrossProtocolPlanCacheSharing: the engine-wide plan cache is
+// keyed by canonical statement text, so a statement prepared over the
+// PostgreSQL extended protocol and the same shape executed with an
+// inline literal over line-JSON — different protocol, different
+// session, different parameter passing — must plan exactly once, and
+// the shared plan must leave the audit trail identical to what each
+// statement produces on its own.
+func TestCrossProtocolPlanCacheSharing(t *testing.T) {
+	srv, addr := startPG(t, server.Config{})
+	eng := srv.Engine()
+	snap := func(k string) int64 { return eng.StatsSnapshot()[k] }
+	misses0 := snap("plan_cache_shared_misses")
+	hits0 := snap("plan_cache_shared_hits")
+
+	// Extended protocol: $1 is rewritten to ?, prepare-time
+	// normalization keys the statement by its canonical text, and the
+	// first execution plans it (one shared miss).
+	pc := dialPG(t, addr, "dr_mallory")
+	if err := pc.Parse("s1", "SELECT Name FROM Patients WHERE Zip = $1", []uint32{25}); err != nil { // 25 = text
+		t.Fatal(err)
+	}
+	if err := pc.Bind("", "s1", [][]byte{[]byte("48109")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pc.Execute("", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := pc.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	msgs, _, err := pc.ReadUntilReady()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := byType(msgs, 'E'); len(errs) != 0 {
+		t.Fatalf("extended query failed: %v", errs)
+	}
+	if rows := byType(msgs, 'D'); len(rows) != 2 {
+		t.Fatalf("extended query returned %d rows, want 2 (Alice, Bob)", len(rows))
+	}
+	if d := snap("plan_cache_shared_misses") - misses0; d != 1 {
+		t.Fatalf("after extended-protocol execution: shared misses = %d, want 1", d)
+	}
+
+	// Line-JSON, different session and user, literal inlined: the text
+	// normalizes to the same canonical form and must adopt the shared
+	// plan, not replan.
+	jc, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jc.Close()
+	if err := jc.SetUser("nurse_nancy"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := jc.Query("SELECT Name FROM Patients WHERE Zip = '48109'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("line-JSON query returned %d rows, want 2", len(res.Rows))
+	}
+	if d := snap("plan_cache_shared_hits") - hits0; d < 1 {
+		t.Fatalf("after line-JSON execution: shared hits = %d, want >= 1", d)
+	}
+	if d := snap("plan_cache_shared_misses") - misses0; d != 1 {
+		t.Fatalf("after line-JSON execution: shared misses = %d, want 1 (replanned instead of sharing)", d)
+	}
+
+	// Both executions touched Alice, so the ON ACCESS trigger must
+	// have logged both — each attributed to its own user and SQL text,
+	// exactly as if each had been planned alone.
+	lres, err := eng.Query("SELECT UserID, SQL, PatientID FROM Log ORDER BY UserID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, row := range lres.Rows {
+		for _, v := range row {
+			fmt.Fprintf(&b, "%v|", v)
+		}
+		b.WriteByte('\n')
+	}
+	want := "dr_mallory|SELECT Name FROM Patients WHERE Zip = ?|1|\n" +
+		"nurse_nancy|SELECT Name FROM Patients WHERE Zip = '48109'|1|\n"
+	if b.String() != want {
+		t.Fatalf("audit trail diverged under plan sharing:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+
+	// The new cache counters are part of the wire "stats" surface.
+	stats, err := jc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"plan_cache_shared_hits", "plan_cache_shared_misses",
+		"plan_cache_shared_entries", "plan_cache_shared_evictions"} {
+		if _, ok := stats[k]; !ok {
+			t.Errorf("stats op is missing %q", k)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package plan
+
+import (
+	"testing"
+
+	"auditdb/internal/value"
+)
+
+type stubSink struct{ seen int }
+
+func (s *stubSink) Observe(value.Value) { s.seen++ }
+
+// TestCloneNodeIsolatesMutableState: CloneNode exists so that adopted
+// copies of a shared plan template can have their Audit sinks rebound
+// per execution. Node structs must be fresh; sinks set on the clone
+// must not leak into the template.
+func TestCloneNodeIsolatesMutableState(t *testing.T) {
+	origSink := &stubSink{}
+	tmpl := &Audit{
+		Child: &Filter{
+			Child: &Scan{Table: "patients", Alias: "p"},
+			Pred:  &Cmp{Op: CmpEq, L: &Col{Idx: 0, Name: "id"}, R: &Const{V: value.NewInt(7)}},
+		},
+		Name:  "X",
+		IDIdx: 0,
+		Sink:  origSink,
+	}
+
+	c := CloneNode(tmpl).(*Audit)
+	if c == tmpl {
+		t.Fatal("CloneNode returned the template itself")
+	}
+	if c.Child == tmpl.Child {
+		t.Fatal("clone shares the child node struct")
+	}
+	c.Sink = &stubSink{}
+	if tmpl.Sink != AuditSink(origSink) {
+		t.Fatal("rebinding the clone's sink mutated the template")
+	}
+
+	// Plain expressions carry no per-execution state and stay shared —
+	// that is what keeps adoption cheap.
+	if c.Child.(*Filter).Pred != tmpl.Child.(*Filter).Pred {
+		t.Fatal("subquery-free expression was deep-cloned needlessly")
+	}
+}
+
+// TestCloneNodeDeepClonesSubqueryPlans: a Subquery expression owns a
+// whole plan tree whose Audit operators are rebound per execution (and
+// whose evaluation cache is keyed by plan identity), so expressions on
+// a path containing a subquery must be deep-cloned, the inner plan
+// included.
+func TestCloneNodeDeepClonesSubqueryPlans(t *testing.T) {
+	innerSink := &stubSink{}
+	inner := &Audit{
+		Child: &Scan{Table: "patients"},
+		Name:  "Y",
+		Sink:  innerSink,
+	}
+	tmpl := &Filter{
+		Child: &Scan{Table: "disease"},
+		Pred: &And{
+			L: &Cmp{Op: CmpEq, L: &Col{Idx: 0}, R: &Subquery{Kind: SubqScalar, Plan: inner}},
+			R: &Cmp{Op: CmpEq, L: &Col{Idx: 1}, R: &Const{V: value.NewInt(1)}},
+		},
+	}
+
+	c := CloneNode(tmpl).(*Filter)
+	cp, ok := c.Pred.(*And)
+	if !ok || c.Pred == tmpl.Pred {
+		t.Fatalf("subquery-bearing predicate not cloned: %T", c.Pred)
+	}
+	csq := cp.L.(*Cmp).R.(*Subquery)
+	if csq == tmpl.Pred.(*And).L.(*Cmp).R.(*Subquery) {
+		t.Fatal("Subquery expression struct shared with template")
+	}
+	if csq.Plan == inner {
+		t.Fatal("subquery plan tree shared with template")
+	}
+	ca := csq.Plan.(*Audit)
+	ca.Sink = &stubSink{}
+	if inner.Sink != AuditSink(innerSink) {
+		t.Fatal("rebinding the clone's subquery sink mutated the template")
+	}
+}
