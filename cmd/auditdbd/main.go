@@ -29,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -61,6 +63,8 @@ func main() {
 		syncInterval = flag.Duration("sync-interval", 50*time.Millisecond, "fsync period under -sync interval")
 		ckptInterval = flag.Duration("checkpoint-interval", 5*time.Minute, "periodic checkpoint cadence (0 = only on shutdown)")
 		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "default per-query worker budget for parallel execution (1 = serial; sessions override with SET workers)")
+		traceSample  = flag.Int("trace-sample", 0, "capture a full span trace for every nth statement (0 = off; sessions force capture with SET trace = on)")
+		pprofOn      = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on -metrics-addr")
 	)
 	flag.Parse()
 
@@ -85,6 +89,7 @@ func main() {
 	eng := engine.New()
 	eng.SetSlowQueryThreshold(*slowQuery)
 	eng.SetDefaultWorkers(*workers)
+	eng.SetTraceSampling(*traceSample)
 
 	// Durability: recover from the data directory, then attach the WAL
 	// so everything after this point — including -demo/-init — is
@@ -180,14 +185,26 @@ func main() {
 	}
 
 	if *metricsAddr != "" {
-		ms, err := srv.Metrics().ListenAndServe(*metricsAddr)
+		extra := map[string]http.Handler{
+			"/traces": eng.TraceRing().Handler(),
+		}
+		endpoints := "/metrics /healthz /traces"
+		if *pprofOn {
+			extra["/debug/pprof/"] = http.HandlerFunc(pprof.Index)
+			extra["/debug/pprof/cmdline"] = http.HandlerFunc(pprof.Cmdline)
+			extra["/debug/pprof/profile"] = http.HandlerFunc(pprof.Profile)
+			extra["/debug/pprof/symbol"] = http.HandlerFunc(pprof.Symbol)
+			extra["/debug/pprof/trace"] = http.HandlerFunc(pprof.Trace)
+			endpoints += " /debug/pprof/"
+		}
+		ms, err := srv.Metrics().ListenAndServeWith(*metricsAddr, extra)
 		if err != nil {
 			logger.Error("metrics listener failed", "err", err)
 			os.Exit(1)
 		}
 		defer ms.Close()
 		logger.Info("metrics listening", "addr", ms.Addr().String(),
-			"endpoints", "/metrics /healthz")
+			"endpoints", endpoints)
 	}
 
 	// Periodic checkpoints bound recovery time and data-WAL growth.

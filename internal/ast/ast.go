@@ -497,6 +497,16 @@ type Notify struct {
 // the hash chain is intact (VERIFY AUDIT LOG).
 type VerifyAuditLog struct{}
 
+// ShowTrace renders the retained span tree of one traced statement
+// (SHOW TRACE FOR <query id>).
+type ShowTrace struct {
+	QID uint64
+}
+
+// ShowTraces lists the statements currently retained in the trace ring
+// (SHOW TRACES), newest first.
+type ShowTraces struct{}
+
 // TxBegin starts an explicit transaction (BEGIN).
 type TxBegin struct{}
 
@@ -538,6 +548,8 @@ func (*TxBegin) stmtNode()               {}
 func (*TxCommit) stmtNode()              {}
 func (*TxRollback) stmtNode()            {}
 func (*VerifyAuditLog) stmtNode()        {}
+func (*ShowTrace) stmtNode()             {}
+func (*ShowTraces) stmtNode()            {}
 
 // WalkExprs calls fn for every sub-expression of e (including e),
 // without descending into subquery Select nodes.

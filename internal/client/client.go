@@ -33,6 +33,9 @@ type Result struct {
 	// Audited maps audit-expression name to the number of sensitive
 	// partition keys this statement accessed.
 	Audited map[string]int
+	// QID is the query ID the server's tracer assigned; pass it to
+	// SHOW TRACE FOR to read the retained span tree.
+	QID uint64
 }
 
 type options struct {
@@ -142,6 +145,7 @@ func toResult(resp *wire.Response) *Result {
 		Rows:         resp.Rows,
 		RowsAffected: resp.RowsAffected,
 		Audited:      resp.Audited,
+		QID:          resp.QID,
 	}
 	// Normalize json.Number cells into int64/float64.
 	for _, row := range res.Rows {

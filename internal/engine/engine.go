@@ -25,6 +25,7 @@ import (
 	"auditdb/internal/parser"
 	"auditdb/internal/plan"
 	"auditdb/internal/storage"
+	"auditdb/internal/trace"
 	"auditdb/internal/value"
 	"auditdb/internal/wal"
 )
@@ -110,6 +111,17 @@ type Engine struct {
 	// fast path; tests use it to produce uncached reference executions.
 	// Set before the engine serves traffic, never concurrently with it.
 	disablePlanCache bool
+
+	// Tracing. qidCtr issues the engine-unique 64-bit query IDs every
+	// top-level statement gets; traceEvery is the head-sampling rate
+	// (capture every nth statement, 0 = off); traceRing retains
+	// finished traces for SHOW TRACE FOR / SHOW TRACES and /traces.
+	// See trace.go and internal/trace.
+	qidCtr             atomic.Uint64
+	traceEvery         atomic.Int64
+	traceRing          *trace.Ring
+	tracesSampled      *obs.Counter
+	traceRingEvictions *obs.Counter
 }
 
 // Stats counts engine activity. Each field is a counter registered in
@@ -162,6 +174,11 @@ type Result struct {
 	// Accessed is the query's ACCESSED state when the statement was an
 	// audited SELECT; nil otherwise.
 	Accessed *core.Accessed
+	// QID is the query ID the tracer assigned to the statement; front
+	// ends surface it so a trace can be looked up after the fact
+	// (SHOW TRACE FOR <qid>). Zero for nested statements, which execute
+	// inside their parent's trace.
+	QID uint64
 }
 
 // New creates an empty engine.
@@ -175,6 +192,7 @@ func New() *Engine {
 		triggers: make(map[string]*compiledTrigger),
 		views:    make(map[string]*ast.Select),
 	}
+	e.traceRing = trace.NewRing(DefaultTraceRingCap)
 	e.initMetrics()
 	e.logger.Store(slog.New(slog.NewTextHandler(io.Discard, nil)))
 	e.defaultWorkers.Store(1)
@@ -233,6 +251,13 @@ func (e *Engine) initMetrics() {
 	r.NewGaugeFunc("auditdb_plan_cache_shared_entries", "plan_cache_shared_entries",
 		"Canonical statement texts currently resident in the shared plan cache.",
 		func() int64 { return e.sharedPlans.entries() })
+	e.tracesSampled = r.NewCounter("auditdb_traces_sampled_total", "traces_sampled",
+		"Statements whose full span tree was captured (head sampling or SET trace = on).")
+	e.traceRingEvictions = r.NewCounter("auditdb_trace_ring_evictions_total", "trace_ring_evictions",
+		"Retained traces evicted from the bounded trace ring by newer ones.")
+	r.NewGaugeFunc("auditdb_trace_ring_traces", "trace_ring_traces",
+		"Traces currently retained in the trace ring.",
+		func() int64 { return int64(e.traceRing.Len()) })
 }
 
 // Metrics exposes the engine's observability registry so servers can
@@ -376,7 +401,22 @@ func (a *actionEnv) systemChild() *actionEnv {
 	return &actionEnv{depth: a.depth + 1, sess: a.sess, lockHeld: a.lockHeld || a.txn != nil}
 }
 
+// execStmt runs one statement. At depth 0 it brackets the execution
+// with the statement tracer (query-ID assignment, span capture, tail
+// retention); nested executions — trigger cascades, IF bodies — record
+// into the enclosing statement's trace instead.
 func (e *Engine) execStmt(stmt ast.Stmt, sql string, env *actionEnv) (*Result, error) {
+	if env.depth == 0 {
+		if s := e.sessionOf(env); e.traceBegin(s) {
+			res, err := e.execStmtInner(stmt, sql, env)
+			e.traceFinish(s, sql, res, err)
+			return res, err
+		}
+	}
+	return e.execStmtInner(stmt, sql, env)
+}
+
+func (e *Engine) execStmtInner(stmt ast.Stmt, sql string, env *actionEnv) (*Result, error) {
 	if env.depth > MaxCascadeDepth {
 		return nil, fmt.Errorf("trigger cascade exceeds maximum depth %d", MaxCascadeDepth)
 	}
@@ -402,7 +442,7 @@ func (e *Engine) execStmt(stmt ast.Stmt, sql string, env *actionEnv) (*Result, e
 		e.ckptMu.RLock()
 		env.unit = &walUnit{}
 		res, err := e.dispatchStmt(stmt, sql, env)
-		flushErr := e.flushUnit(env.unit)
+		flushErr := e.flushUnitTraced(e.sessionOf(env), env.unit)
 		e.ckptMu.RUnlock()
 		if err == nil {
 			err = flushErr
@@ -450,6 +490,10 @@ func (e *Engine) dispatchStmt(stmt ast.Stmt, sql string, env *actionEnv) (*Resul
 		return e.execDDL(env, stmt, func() (*Result, error) { return e.runDropIndex(s) })
 	case *ast.VerifyAuditLog:
 		return e.runVerifyAuditLog()
+	case *ast.ShowTrace:
+		return e.runShowTrace(s.QID)
+	case *ast.ShowTraces:
+		return e.runShowTraces()
 	default:
 		return nil, fmt.Errorf("unsupported statement %T", stmt)
 	}
@@ -560,6 +604,11 @@ func (e *Engine) runSelect(sel *ast.Select, sql string, env *actionEnv) (*Result
 	if cacheable {
 		if cp := sess.cachedPlan(key, e.ddlVersion.Load()); cp != nil {
 			e.planCacheHits.Add(1)
+			r := &sess.rec
+			r.AddPhase(trace.PhasePlan, time.Since(start))
+			if id := r.AddSpan(r.Current(), "plan", start, time.Since(start)); id >= 0 {
+				r.SetAttr(id, "cache", "hit")
+			}
 			run := selectRun{
 				root: cp.root, targets: cp.targets,
 				conservative: cp.conservative, hasAudit: cp.hasAudit, parallel: cp.parallel,
@@ -592,7 +641,9 @@ func (e *Engine) runSelect(sel *ast.Select, sql string, env *actionEnv) (*Result
 	if err != nil {
 		return nil, err
 	}
+	optStart := time.Now()
 	n = opt.Optimize(n)
+	optDur := time.Since(optStart)
 
 	// Instrument with audit operators — after logical optimization,
 	// exactly where the paper's prototype inserts them (§IV-B).
@@ -625,6 +676,14 @@ func (e *Engine) runSelect(sel *ast.Select, sql string, env *actionEnv) (*Result
 		parallel: planIsParallel(n), correlated: correlated,
 	}
 	e.planSeconds.ObserveDuration(time.Since(start))
+	{
+		r := &sess.rec
+		r.AddPhase(trace.PhasePlan, time.Since(start))
+		if id := r.AddSpan(r.Current(), "plan", start, time.Since(start)); id >= 0 {
+			r.SetAttr(id, "cache", "miss")
+			r.AddSpan(id, "optimize", optStart, optDur)
+		}
+	}
 	if cacheable {
 		sess.storePlan(key, &cachedPlan{
 			root: n, targets: targets, conservative: conservative,
@@ -647,9 +706,21 @@ func (e *Engine) runSelectNormalized(sql string, env *actionEnv, sess *Session, 
 	}
 	minRows := int(e.parallelMinRows.Load())
 	version := e.ddlVersion.Load()
-	cp := e.adoptCanonPlan(sess, sess.norm.Canonical, sess.norm.User, heur, auditAll, workers, minRows, version)
+	adoptStart := time.Now()
+	cp, src := e.adoptCanonPlan(sess, sess.norm.Canonical, sess.norm.User, heur, auditAll, workers, minRows, version)
 	if cp == nil || cp.bypass || cp.slots != len(sess.norm.Vals) {
 		return nil, false, nil
+	}
+	{
+		// The trace recorder is already active here (runSelect executes
+		// under execStmt's bracket), so the plan-cache outcome is recorded
+		// directly rather than staged the way execCanonSelect stages it.
+		r := &sess.rec
+		d := time.Since(adoptStart)
+		r.AddPhase(trace.PhasePlan, d)
+		if id := r.AddSpan(r.Current(), "plan", adoptStart, d); id >= 0 {
+			r.SetAttr(id, "cache", src)
+		}
 	}
 	sess.lock()
 	scratch := sess.paramScratch
@@ -694,16 +765,33 @@ func (e *Engine) executeSelect(run *selectRun, sql string, env *actionEnv, worke
 	if run.correlated {
 		ctx.Eval.PushOuter(env.outerRow)
 	}
+	rec := &sess.rec
+	if rec.Sampling() && ctx.Analyze == nil {
+		// Sampled statements run under an Analyze collector so the trace
+		// can attribute time, rows and morsel claims to individual
+		// operators and workers. Audit semantics are unchanged — Analyze
+		// only disables the physically-neutral scan–audit fusion.
+		ctx.Analyze = exec.NewAnalyze()
+	}
+	execSpan := rec.StartSpan("execute")
 	execStart := time.Now()
 	rows, err := exec.Run(n, ctx)
-	e.execSeconds.ObserveDuration(time.Since(execStart))
+	execDur := time.Since(execStart)
+	e.execSeconds.ObserveDuration(execDur)
 	e.stats.RowsScanned.Add(ctx.Stats.RowsScanned.Load())
 	if m := ctx.Stats.MorselsClaimed.Load(); m > 0 {
 		e.morselsDispatched.Add(m)
 	}
 	if err != nil {
+		rec.EndSpan(execSpan)
+		rec.AddPhase(trace.PhaseExec, execDur)
 		return nil, err
 	}
+	if execSpan >= 0 && ctx.Analyze != nil {
+		addOperatorSpans(rec, execSpan, n, ctx.Analyze, execStart)
+	}
+	rec.EndSpan(execSpan)
+	rec.AddPhase(trace.PhaseExec, execDur)
 
 	res := &Result{Rows: rows, Accessed: acc}
 	for _, c := range n.Schema() {
@@ -715,6 +803,7 @@ func (e *Engine) executeSelect(run *selectRun, sql string, env *actionEnv, worke
 	// the query completes (§II).
 	var audited int64
 	if acc != nil {
+		auditStart := time.Now()
 		e.mu.RLock()
 		onAccess := e.onAccess
 		e.mu.RUnlock()
@@ -738,6 +827,7 @@ func (e *Engine) executeSelect(run *selectRun, sql string, env *actionEnv, worke
 				})
 			}
 		}
+		rec.AddPhase(trace.PhaseAudit, time.Since(auditStart))
 	}
 
 	elapsed := time.Since(start)
@@ -751,6 +841,7 @@ func (e *Engine) executeSelect(run *selectRun, sql string, env *actionEnv, worke
 			}
 		}
 		e.Logger().Warn("slow query",
+			"qid", rec.QID(),
 			"sql", sql,
 			"user", sess.User(),
 			"latency", elapsed,

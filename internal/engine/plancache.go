@@ -174,14 +174,16 @@ func (s *Session) storeCanonPlan(canon []byte, cp *canonPlan) {
 // adoptCanonPlan resolves the canonical text to a session-private plan:
 // L1, then the engine-wide shared cache (adoption deep-clones the
 // template), then a cold plan built from the canonical text itself.
-// nil means the canonical text failed to plan — callers fall back to
-// the ordinary path so the error is reported against the original SQL.
-func (e *Engine) adoptCanonPlan(s *Session, canon []byte, user []bool, heur core.Heuristic, auditAll bool, workers, minRows int, version int64) *canonPlan {
+// src names the level that supplied the plan ("hit", "shared", "cold")
+// for the statement trace's plan span. nil means the canonical text
+// failed to plan — callers fall back to the ordinary path so the error
+// is reported against the original SQL.
+func (e *Engine) adoptCanonPlan(s *Session, canon []byte, user []bool, heur core.Heuristic, auditAll bool, workers, minRows int, version int64) (cp *canonPlan, src string) {
 	if cp := s.cachedCanonPlan(canon, heur, auditAll, workers, minRows, version); cp != nil {
 		if !cp.bypass {
 			e.planCacheHits.Add(1)
 		}
-		return cp
+		return cp, "hit"
 	}
 	if v := e.sharedPlans.lookup(canon, heur, auditAll, workers, minRows, version); v != nil {
 		cp := &canonPlan{
@@ -195,10 +197,10 @@ func (e *Engine) adoptCanonPlan(s *Session, canon []byte, user []bool, heur core
 			e.sharedCacheHits.Add(1)
 		}
 		s.storeCanonPlan(canon, cp)
-		return cp
+		return cp, "shared"
 	}
 	e.sharedCacheMisses.Add(1)
-	return e.planCanonSelect(s, canon, user, heur, auditAll, workers, minRows, version)
+	return e.planCanonSelect(s, canon, user, heur, auditAll, workers, minRows, version), "cold"
 }
 
 // planCanonSelect is the cold path: parse the canonical text, detect
@@ -375,10 +377,15 @@ func (s *Session) execCanonSelect(sql string, canon []byte, vals []value.Value, 
 	heur, auditAll, workers := s.Heuristic(), s.AuditAll(), e.workersFor(s)
 	minRows := int(e.parallelMinRows.Load())
 	version := e.ddlVersion.Load()
-	cp := e.adoptCanonPlan(s, canon, user, heur, auditAll, workers, minRows, version)
+	adoptStart := time.Now()
+	cp, src := e.adoptCanonPlan(s, canon, user, heur, auditAll, workers, minRows, version)
 	if cp == nil || cp.bypass || cp.slots != len(vals) {
 		return nil, false, nil
 	}
+	// The statement's trace recorder has not begun yet — stage the
+	// plan-cache outcome for execCachedSelect's traceBegin to consume.
+	s.pendPlanSrc = src
+	s.pendPlanNanos = int64(time.Since(adoptStart))
 	s.lock()
 	scratch := s.paramScratch
 	s.paramScratch = nil
@@ -394,6 +401,15 @@ func (s *Session) execCanonSelect(sql string, canon []byte, vals []value.Value, 
 // execCachedSelect is execStmt's preamble plus the shared SELECT
 // execution tail, for statements that skipped parsing entirely.
 func (e *Engine) execCachedSelect(s *Session, cp *canonPlan, sql string, params []value.Value, workers int) (*Result, error) {
+	if e.traceBegin(s) {
+		res, err := e.execCachedSelectInner(s, cp, sql, params, workers)
+		e.traceFinish(s, sql, res, err)
+		return res, err
+	}
+	return e.execCachedSelectInner(s, cp, sql, params, workers)
+}
+
+func (e *Engine) execCachedSelectInner(s *Session, cp *canonPlan, sql string, params []value.Value, workers int) (*Result, error) {
 	start := time.Now()
 	e.stats.Statements.Add(1)
 	e.stats.Queries.Add(1)
@@ -412,7 +428,7 @@ func (e *Engine) execCachedSelect(s *Session, cp *canonPlan, sql string, params 
 		e.ckptMu.RLock()
 		env.unit = &walUnit{}
 		res, err := e.executeSelect(&run, sql, env, workers, start)
-		flushErr := e.flushUnit(env.unit)
+		flushErr := e.flushUnitTraced(s, env.unit)
 		e.ckptMu.RUnlock()
 		if err == nil {
 			err = flushErr
@@ -434,7 +450,8 @@ func (s *Session) tryNormSelect(sql string, userParams []value.Value) (*Result, 
 	if s.norm.NUser != len(userParams) {
 		return nil, false, nil
 	}
-	s.e.parseSeconds.ObserveDuration(time.Since(parseStart))
+	s.pendNorm = time.Since(parseStart)
+	s.e.parseSeconds.ObserveDuration(s.pendNorm)
 	return s.execCanonSelect(sql, s.norm.Canonical, s.norm.Vals, s.norm.User, userParams)
 }
 

@@ -8,6 +8,7 @@ import (
 	"auditdb/internal/core"
 	"auditdb/internal/lexer"
 	"auditdb/internal/parser"
+	"auditdb/internal/trace"
 	"auditdb/internal/value"
 )
 
@@ -45,6 +46,26 @@ type Session struct {
 	// the session's own statement path (single goroutine by contract),
 	// never from trigger cascades, which run at depth > 0.
 	norm lexer.Norm
+
+	// traceOn is the SET trace = on flag; pendProto/pendRead stage the
+	// front end's transport-read note for the next statement. All three
+	// are guarded by mu because protocol front ends may note the read
+	// from a connection goroutine before handing off to the statement
+	// path.
+	traceOn   bool
+	pendProto string
+	pendRead  time.Duration
+
+	// rec is the statement trace recorder; like norm, it and the
+	// pend* staging fields below are touched only from the session's
+	// own statement path. They stage work measured before the recorder
+	// begins (normalize, parse, plan-cache adoption) for traceBegin to
+	// consume.
+	rec           trace.Rec
+	pendNorm      time.Duration
+	pendParse     time.Duration
+	pendPlanSrc   string
+	pendPlanNanos int64
 }
 
 func newSession(e *Engine, user string, auditAll bool, h core.Heuristic) *Session {
@@ -140,6 +161,42 @@ func (s *Session) Workers() int {
 	return s.workers
 }
 
+// SetTrace forces full span capture for every statement this session
+// runs (SET trace = on/off), independent of the engine's head-sampling
+// rate.
+func (s *Session) SetTrace(on bool) {
+	s.lock()
+	s.traceOn = on
+	s.unlock()
+}
+
+// TraceOn reports whether per-session forced tracing is enabled.
+func (s *Session) TraceOn() bool {
+	s.lock()
+	defer s.unlock()
+	return s.traceOn
+}
+
+// NoteTransport records the protocol name and wire read/decode time of
+// the request about to execute; the next statement's trace charges it
+// to the transport phase. Front ends call it just before handing the
+// statement to the engine.
+func (s *Session) NoteTransport(proto string, d time.Duration) {
+	s.lock()
+	s.pendProto, s.pendRead = proto, d
+	s.unlock()
+}
+
+// traceState atomically reads the forced-tracing flag and consumes the
+// staged transport note.
+func (s *Session) traceState() (on bool, proto string, read time.Duration) {
+	s.lock()
+	on, proto, read = s.traceOn, s.pendProto, s.pendRead
+	s.pendProto, s.pendRead = "", 0
+	s.unlock()
+	return on, proto, read
+}
+
 // rootEnv builds the top-level action environment for a statement this
 // session issues.
 func (s *Session) rootEnv() *actionEnv { return &actionEnv{sess: s} }
@@ -181,7 +238,8 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	}
 	parseStart := time.Now()
 	stmt, err := parser.Parse(sql)
-	s.e.parseSeconds.ObserveDuration(time.Since(parseStart))
+	s.pendParse = time.Since(parseStart)
+	s.e.parseSeconds.ObserveDuration(s.pendParse)
 	if err != nil {
 		return nil, err
 	}
@@ -196,7 +254,8 @@ func (s *Session) ExecScript(sql string) (*Result, error) {
 	}
 	parseStart := time.Now()
 	stmts, err := parser.ParseScript(sql)
-	s.e.parseSeconds.ObserveDuration(time.Since(parseStart))
+	s.pendParse = time.Since(parseStart)
+	s.e.parseSeconds.ObserveDuration(s.pendParse)
 	if err != nil {
 		return nil, err
 	}
@@ -225,7 +284,8 @@ func (s *Session) ExecMulti(sql string, fn func(stmt ast.Stmt, res *Result, err 
 	}
 	parseStart := time.Now()
 	stmts, err := parser.ParseScript(sql)
-	s.e.parseSeconds.ObserveDuration(time.Since(parseStart))
+	s.pendParse = time.Since(parseStart)
+	s.e.parseSeconds.ObserveDuration(s.pendParse)
 	if err != nil {
 		return err
 	}
@@ -250,9 +310,15 @@ func (s *Session) Query(sql string) (*Result, error) {
 	}
 	parseStart := time.Now()
 	sel, err := parser.ParseQuery(sql)
-	s.e.parseSeconds.ObserveDuration(time.Since(parseStart))
+	s.pendParse = time.Since(parseStart)
+	s.e.parseSeconds.ObserveDuration(s.pendParse)
 	if err != nil {
 		return nil, err
+	}
+	if s.e.traceBegin(s) {
+		res, err := s.e.runSelect(sel, sql, s.rootEnv())
+		s.e.traceFinish(s, sql, res, err)
+		return res, err
 	}
 	return s.e.runSelect(sel, sql, s.rootEnv())
 }

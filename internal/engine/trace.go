@@ -1,0 +1,213 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"auditdb/internal/exec"
+	"auditdb/internal/plan"
+	"auditdb/internal/trace"
+	"auditdb/internal/value"
+)
+
+// DefaultTraceRingCap bounds how many finished traces the engine
+// retains for SHOW TRACES / SHOW TRACE FOR and the /traces endpoint.
+const DefaultTraceRingCap = 128
+
+// SetTraceSampling enables head sampling: every nth top-level
+// statement gets full span capture (1 = every statement, 0 disables).
+// Tail-based capture of slow/error statements and per-session
+// SET trace = on work regardless of this knob.
+func (e *Engine) SetTraceSampling(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.traceEvery.Store(int64(n))
+}
+
+// TraceRing exposes the bounded buffer of retained traces; servers
+// mount its Handler at /traces on the metrics listener.
+func (e *Engine) TraceRing() *trace.Ring { return e.traceRing }
+
+// traceBegin starts the session's statement recorder for one top-level
+// statement, assigning the query ID and deciding span capture. It
+// consumes the work the front end and fast path staged before the
+// recorder existed: the transport read note, normalize/parse timing,
+// and the plan-cache adoption outcome. Returns false when a statement
+// is already being recorded (nested entry points — IF bodies, trigger
+// cascades, the canonical-cache branch under execStmt — stay inside
+// the enclosing statement's record). The unsampled path allocates
+// nothing.
+func (e *Engine) traceBegin(s *Session) bool {
+	r := &s.rec
+	if r.Active() {
+		return false
+	}
+	qid := e.qidCtr.Add(1)
+	on, proto, read := s.traceState()
+	sampled := on
+	if !sampled {
+		if n := e.traceEvery.Load(); n > 0 && qid%uint64(n) == 0 {
+			sampled = true
+		}
+	}
+	r.Begin(qid, sampled)
+	if proto != "" {
+		r.AddPhase(trace.PhaseTransport, read)
+		if id := r.AddSpan(r.Current(), "transport.read", r.Start(), read); id >= 0 {
+			r.SetAttr(id, "protocol", proto)
+		}
+	}
+	if d := s.pendNorm; d > 0 {
+		s.pendNorm = 0
+		r.AddPhase(trace.PhaseNormalize, d)
+		r.AddSpan(r.Current(), "normalize", r.Start(), d)
+	}
+	if d := s.pendParse; d > 0 {
+		s.pendParse = 0
+		r.AddPhase(trace.PhaseParse, d)
+		r.AddSpan(r.Current(), "parse", r.Start(), d)
+	}
+	if src := s.pendPlanSrc; src != "" {
+		d := time.Duration(s.pendPlanNanos)
+		s.pendPlanSrc, s.pendPlanNanos = "", 0
+		r.AddPhase(trace.PhasePlan, d)
+		if id := r.AddSpan(r.Current(), "plan", r.Start(), d); id >= 0 {
+			r.SetAttr(id, "cache", src)
+		}
+	}
+	return true
+}
+
+// traceFinish closes the statement the matching traceBegin opened,
+// stamps the query ID into the result, and retains the trace when it
+// was sampled — or, tail-based, when the statement was slow or errored.
+// The not-retained path allocates nothing.
+func (e *Engine) traceFinish(s *Session, sql string, res *Result, err error) {
+	r := &s.rec
+	if !r.Active() {
+		return
+	}
+	if res != nil {
+		res.QID = r.QID()
+	}
+	thr := e.slowQueryNanos.Load()
+	slow := thr > 0 && int64(r.Elapsed()) >= thr
+	sampled := r.Sampling()
+	if !sampled && !slow && err == nil {
+		r.Finish("", "", "", false)
+		return
+	}
+	errMsg := ""
+	if err != nil {
+		errMsg = err.Error()
+	}
+	t := r.Finish(s.User(), sql, errMsg, true)
+	if sampled {
+		e.tracesSampled.Inc()
+	}
+	if e.traceRing.Add(t) {
+		e.traceRingEvictions.Inc()
+	}
+}
+
+// flushUnitTraced is flushUnit with the statement's WAL phase clock
+// and, when sampling, a wal.commit span covering submit through
+// group-commit acknowledgement (fsync included under SyncAlways).
+func (e *Engine) flushUnitTraced(s *Session, u *walUnit) error {
+	if e.wal == nil || u == nil || len(u.ops) == 0 {
+		return nil
+	}
+	n := len(u.ops)
+	start := time.Now()
+	err := e.flushUnit(u)
+	d := time.Since(start)
+	r := &s.rec
+	r.AddPhase(trace.PhaseWAL, d)
+	if id := r.AddSpan(r.Current(), "wal.commit", start, d); id >= 0 {
+		r.SetAttrInt(id, "ops", int64(n))
+	}
+	return err
+}
+
+// addOperatorSpans synthesizes one span per plan operator from the
+// Analyze collector, nested to mirror the plan tree, with one child
+// span per parallel worker where fragments executed under an exchange.
+// It runs on the statement goroutine after exec.Run returned — the
+// exchange's Close is the happens-before edge for the workers' folded
+// records, so no worker ever touches the Rec (the Probe.Fork/Merge
+// discipline applied to tracing). Operator Start offsets are the exec
+// phase start; Dur is the operator's observed cumulative wall clock.
+func addOperatorSpans(r *trace.Rec, parent int, n plan.Node, az *exec.Analyze, execStart time.Time) {
+	st := az.Stats(n)
+	var dur time.Duration
+	if st != nil {
+		dur = st.Wall
+	}
+	id := r.AddSpan(parent, n.Label(), execStart, dur)
+	if id < 0 {
+		return
+	}
+	if st == nil {
+		r.SetAttr(id, "executed", "never")
+	} else {
+		r.SetAttrInt(id, "rows", st.RowsOut)
+		r.SetAttrInt(id, "batches", st.Batches)
+		if st.Workers > 0 {
+			r.SetAttrInt(id, "workers", st.Workers)
+		}
+		if st.Morsels > 0 {
+			r.SetAttrInt(id, "morsels", st.Morsels)
+		}
+	}
+	for _, ws := range az.WorkerRuns(n) {
+		wid := r.AddSpan(id, "worker", execStart, ws.Wall)
+		r.SetAttrInt(wid, "rows", ws.RowsOut)
+		r.SetAttrInt(wid, "morsels", ws.Morsels)
+	}
+	for _, c := range n.Children() {
+		addOperatorSpans(r, id, c, az, execStart)
+	}
+	plan.WalkNodeExprs(n, func(ex plan.Expr) {
+		if sq, ok := ex.(*plan.Subquery); ok {
+			addOperatorSpans(r, id, sq.Plan, az, execStart)
+		}
+	})
+}
+
+// runShowTraces serves SHOW TRACES: the retained traces, newest first.
+func (e *Engine) runShowTraces() (*Result, error) {
+	res := &Result{Columns: []string{"qid", "user", "elapsed_us", "sampled", "spans", "error", "sql"}}
+	for _, t := range e.traceRing.Snapshot() {
+		sampled := value.Value{Kind: value.KindBool}
+		if t.Sampled {
+			sampled.I = 1
+		}
+		res.Rows = append(res.Rows, value.Row{
+			value.Value{Kind: value.KindInt, I: int64(t.QID)},
+			value.NewString(t.User),
+			value.Value{Kind: value.KindInt, I: t.Elapsed / 1000},
+			sampled,
+			value.Value{Kind: value.KindInt, I: int64(len(t.Spans))},
+			value.NewString(t.Err),
+			value.NewString(t.SQL),
+		})
+	}
+	return res, nil
+}
+
+// runShowTrace serves SHOW TRACE FOR <qid>: the span tree of one
+// retained trace, one indented line per row.
+func (e *Engine) runShowTrace(qid uint64) (*Result, error) {
+	t := e.traceRing.Get(qid)
+	if t == nil {
+		return nil, fmt.Errorf(
+			"no trace retained for query %d (sample with SET trace = on or -trace-sample; slow and errored statements are retained automatically)",
+			qid)
+	}
+	res := &Result{Columns: []string{"trace"}}
+	for _, line := range t.Render() {
+		res.Rows = append(res.Rows, value.Row{value.NewString(line)})
+	}
+	return res, nil
+}

@@ -8,6 +8,7 @@ import (
 	"auditdb/internal/catalog"
 	"auditdb/internal/core"
 	"auditdb/internal/plan"
+	"auditdb/internal/trace"
 	"auditdb/internal/value"
 )
 
@@ -40,9 +41,20 @@ func (e *Engine) fireAccessTriggers(ae *core.AuditExpression, acc *core.Accessed
 
 	// The firing itself is evidence: append it to the hash-chained audit
 	// stream before the action bodies run, so even an action that errors
-	// leaves the access on record.
+	// leaves the access on record. The statement's query ID goes into
+	// the record (and under the hash chain), correlating the audit trail
+	// with the trace.
+	sess := e.sessionOf(env)
+	rec := &sess.rec
 	if e.wal != nil {
-		err := e.wal.AppendAudit(e.sessionOf(env).User(), ae.Meta.Name, sql, ids, time.Now().UnixNano())
+		t0 := time.Now()
+		err := e.wal.AppendAudit(sess.User(), ae.Meta.Name, sql, ids, rec.QID(), t0.UnixNano())
+		d := time.Since(t0)
+		rec.AddPhase(trace.PhaseWAL, d)
+		if id := rec.AddSpan(rec.Current(), "wal.audit.append", t0, d); id >= 0 {
+			rec.SetAttr(id, "expr", ae.Meta.Name)
+			rec.SetAttrInt(id, "ids", int64(len(ids)))
+		}
 		if err != nil {
 			return fmt.Errorf("audit log append: %w", err)
 		}
@@ -68,10 +80,17 @@ func (e *Engine) fireAccessTriggers(ae *core.AuditExpression, acc *core.Accessed
 			"trigger", meta.Name,
 			"expression", ae.Meta.Name,
 			"table", ae.Meta.SensitiveTable,
-			"user", e.sessionOf(env).User(),
+			"user", sess.User(),
 			"accessed_ids", len(ids),
+			"qid", rec.QID(),
 			"sql", sql,
 		)
+		span := rec.StartSpan("audit.fire")
+		if span >= 0 {
+			rec.SetAttr(span, "trigger", meta.Name)
+			rec.SetAttr(span, "expr", ae.Meta.Name)
+			rec.SetAttrInt(span, "ids", int64(len(ids)))
+		}
 		var bodyErr error
 		for _, stmt := range ct.body {
 			if _, err := e.execStmt(stmt, sql, sub); err != nil {
@@ -82,9 +101,10 @@ func (e *Engine) fireAccessTriggers(ae *core.AuditExpression, acc *core.Accessed
 		// Flush even on error: a partially executed action's applied
 		// writes stay in memory (system transactions have no undo), so
 		// they must reach the log too.
-		if err := e.flushUnit(sub.unit); err != nil && bodyErr == nil {
+		if err := e.flushUnitTraced(sess, sub.unit); err != nil && bodyErr == nil {
 			bodyErr = fmt.Errorf("trigger %s: %w", meta.Name, err)
 		}
+		rec.EndSpan(span)
 		if bodyErr != nil {
 			return bodyErr
 		}

@@ -20,6 +20,11 @@ import (
 type Analyze struct {
 	mu    sync.Mutex
 	nodes map[plan.Node]*obs.NodeStats
+	// workers keeps each parallel worker's folded record per node, in
+	// merge order, so tracing can attribute rows and morsel claims to
+	// individual workers after the exchange closes. Appended under mu by
+	// the same once-per-worker fold that updates the shared record.
+	workers map[plan.Node][]obs.NodeStats
 }
 
 // NewAnalyze returns an empty collector.
@@ -47,6 +52,21 @@ func (a *Analyze) peek(n plan.Node) *obs.NodeStats {
 	return a.nodes[n]
 }
 
+// Stats returns the collected record for n, or nil if the node never
+// executed. Callers must not read it until execution has completed
+// (for parallel plans, until the exchange's Close returned — that is
+// the happens-before edge for the workers' folds).
+func (a *Analyze) Stats(n plan.Node) *obs.NodeStats { return a.peek(n) }
+
+// WorkerRuns returns one folded record per parallel worker that
+// executed n (empty for serial nodes), in fold order. Same
+// happens-before requirement as Stats.
+func (a *Analyze) WorkerRuns(n plan.Node) []obs.NodeStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.workers[n]
+}
+
 // merge folds a worker-local stats record into a node's shared record
 // under the collector's lock. Parallel fragments use it so the shared
 // record is only touched once per worker per node, at close.
@@ -61,6 +81,10 @@ func (a *Analyze) merge(n plan.Node, st *obs.NodeStats) {
 	dst.DistinctIDs += st.DistinctIDs
 	dst.Morsels += st.Morsels
 	dst.Workers += st.Workers
+	if a.workers == nil {
+		a.workers = make(map[plan.Node][]obs.NodeStats)
+	}
+	a.workers[n] = append(a.workers[n], *st)
 	a.mu.Unlock()
 }
 

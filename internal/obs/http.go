@@ -10,6 +10,13 @@ import (
 // Handler returns an http.Handler exposing the registry at /metrics
 // (Prometheus text format) and a trivial liveness probe at /healthz.
 func (r *Registry) Handler() http.Handler {
+	return r.HandlerWith(nil)
+}
+
+// HandlerWith is Handler plus caller-supplied routes mounted on the
+// same mux — the daemon uses it to serve /traces and the optional
+// pprof endpoints beside /metrics on one observability listener.
+func (r *Registry) HandlerWith(extra map[string]http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -19,6 +26,9 @@ func (r *Registry) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	for pattern, h := range extra {
+		mux.Handle(pattern, h)
+	}
 	return mux
 }
 
@@ -32,11 +42,17 @@ type MetricsServer struct {
 // registry in a background goroutine. It returns once the listener is
 // bound, so Addr() is immediately valid.
 func (r *Registry) ListenAndServe(addr string) (*MetricsServer, error) {
+	return r.ListenAndServeWith(addr, nil)
+}
+
+// ListenAndServeWith is ListenAndServe with extra routes beside
+// /metrics and /healthz.
+func (r *Registry) ListenAndServeWith(addr string, extra map[string]http.Handler) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: r.HandlerWith(extra), ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
 	return &MetricsServer{srv: srv, ln: ln}, nil
 }

@@ -252,6 +252,12 @@ func (p *parser) parseStatement() (ast.Stmt, error) {
 	if p.softIdent(t, "VERIFY") {
 		return p.parseVerifyAuditLog()
 	}
+	// SHOW is likewise soft: only SHOW TRACES / SHOW TRACE FOR <id>
+	// reach the engine (front doors answer SHOW <session knob> without
+	// parsing).
+	if p.softIdent(t, "SHOW") {
+		return p.parseShowTrace()
+	}
 	if t.kind != lexer.TokKeyword {
 		return nil, p.errf("expected statement, found %s", p.describe(t))
 	}
@@ -1010,4 +1016,33 @@ func (p *parser) parseVerifyAuditLog() (ast.Stmt, error) {
 	}
 	p.next()
 	return &ast.VerifyAuditLog{}, nil
+}
+
+func (p *parser) parseShowTrace() (ast.Stmt, error) {
+	if t := p.peek(); !p.softIdent(t, "SHOW") {
+		return nil, p.errf("expected SHOW, found %s", p.describe(t))
+	}
+	p.next()
+	t := p.peek()
+	if p.softIdent(t, "TRACES") {
+		p.next()
+		return &ast.ShowTraces{}, nil
+	}
+	if !p.softIdent(t, "TRACE") {
+		return nil, p.errf("expected TRACE or TRACES after SHOW, found %s", p.describe(t))
+	}
+	p.next()
+	if err := p.expectKeyword(lexer.KwFor); err != nil {
+		return nil, err
+	}
+	t = p.peek()
+	if t.kind != lexer.TokNumber {
+		return nil, p.errf("expected query id after SHOW TRACE FOR, found %s", p.describe(t))
+	}
+	p.next()
+	qid, err := strconv.ParseUint(p.text(t), 10, 64)
+	if err != nil {
+		return nil, p.errf("invalid query id %q", p.text(t))
+	}
+	return &ast.ShowTrace{QID: qid}, nil
 }

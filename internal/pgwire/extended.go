@@ -3,6 +3,7 @@ package pgwire
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"auditdb/internal/engine"
 	"auditdb/internal/value"
@@ -264,6 +265,7 @@ func (pc *pgConn) describeResult(st *pgStmt) {
 // handleExecute runs (or resumes) a portal; false means the connection
 // is finished (query timeout).
 func (pc *pgConn) handleExecute(payload []byte) bool {
+	t0 := time.Now()
 	pr := payloadReader{b: payload}
 	name := pr.cstr()
 	maxRows := int(pr.int32())
@@ -307,6 +309,7 @@ func (pc *pgConn) handleExecute(payload []byte) bool {
 			err error
 		}
 		out, timedOut := pc.tc.Guard(func() any {
+			pc.sess.NoteTransport("pg", time.Since(t0))
 			res, err := st.prep.Run(pt.params...)
 			return &execOut{res, err}
 		})

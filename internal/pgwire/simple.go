@@ -3,7 +3,9 @@ package pgwire
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"auditdb/internal/ast"
 	"auditdb/internal/engine"
@@ -15,6 +17,7 @@ import (
 // first error. The whole script runs under the transport's query
 // timeout; false means the connection is finished.
 func (pc *pgConn) simpleQuery(payload []byte) bool {
+	t0 := time.Now()
 	pr := payloadReader{b: payload}
 	sql := pr.cstr()
 	if pr.err != nil {
@@ -55,6 +58,7 @@ func (pc *pgConn) simpleQuery(payload []byte) bool {
 	}
 	out, timedOut := pc.tc.Guard(func() any {
 		o := &scriptOut{}
+		pc.sess.NoteTransport("pg", time.Since(t0))
 		err := pc.sess.ExecMulti(sql, func(stmt ast.Stmt, res *engine.Result, err error) bool {
 			if err != nil {
 				o.w.errorResponse(sqlstateFor(err), err.Error())
@@ -142,7 +146,12 @@ func writeAuditNotice(w *writer, res *engine.Result) {
 	for i, name := range exprs {
 		parts[i] = fmt.Sprintf("%s=%d", name, res.Accessed.Len(name))
 	}
-	w.notice("audit: " + strings.Join(parts, " "))
+	msg := "audit: " + strings.Join(parts, " ")
+	if res.QID != 0 {
+		// The query ID keys the retained trace: SHOW TRACE FOR <qid>.
+		msg += " qid=" + strconv.FormatUint(res.QID, 10)
+	}
+	w.notice(msg)
 }
 
 // commandTag is the CommandComplete tag for an executed statement.
@@ -188,6 +197,8 @@ func commandTag(stmt ast.Stmt, res *engine.Result, rows int) string {
 		return "EXPLAIN"
 	case *ast.VerifyAuditLog:
 		return "VERIFY AUDIT LOG"
+	case *ast.ShowTrace, *ast.ShowTraces:
+		return "SHOW"
 	default:
 		if len(res.Columns) > 0 {
 			return fmt.Sprintf("SELECT %d", rows)

@@ -58,6 +58,13 @@ func tryUtility(sess *engine.Session, sql string) (res *utilityResult, handled b
 		if len(fields) < 2 {
 			return nil, false, nil
 		}
+		// SHOW TRACES and SHOW TRACE FOR <qid> are engine statements
+		// (the trace ring lives in the engine), not session parameters;
+		// bare SHOW trace still reports the session flag below.
+		if strings.EqualFold(fields[1], "traces") ||
+			(strings.EqualFold(fields[1], "trace") && len(fields) > 2) {
+			return nil, false, nil
+		}
 		return showUtility(sess, strings.ToLower(strings.Join(fields[1:], "_")))
 	}
 	return nil, false, nil
@@ -114,6 +121,15 @@ func setUtility(sess *engine.Session, args []string) (*utilityResult, bool, erro
 		default:
 			return nil, true, fmt.Errorf("parameter %q requires leaf, hcn or highest: %q", name, val)
 		}
+	case "trace":
+		switch strings.ToLower(val) {
+		case "on", "true", "1":
+			sess.SetTrace(true)
+		case "off", "false", "0":
+			sess.SetTrace(false)
+		default:
+			return nil, true, fmt.Errorf("parameter %q requires on or off: %q", name, val)
+		}
 	default:
 		// Driver boilerplate (extra_float_digits, application_name,
 		// client_encoding, search_path, …): accept and ignore.
@@ -153,6 +169,12 @@ func showUtility(sess *engine.Session, name string) (*utilityResult, bool, error
 			val = "highest"
 		default:
 			val = "hcn"
+		}
+	case "trace":
+		if sess.TraceOn() {
+			val = "on"
+		} else {
+			val = "off"
 		}
 	default:
 		return nil, true, fmt.Errorf("unrecognized configuration parameter %q", name)

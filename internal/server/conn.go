@@ -49,6 +49,9 @@ type jsonConn struct {
 	sess     *engine.Session
 	stmts    map[int]*engine.Prepared
 	nextStmt int
+	// reqT0 marks when the current request line arrived; statement ops
+	// report time-to-execution as the trace's transport phase.
+	reqT0 time.Time
 }
 
 func refuse(nc net.Conn, msg string) {
@@ -72,6 +75,7 @@ func (c *jsonConn) serve() {
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
+		c.reqT0 = time.Now()
 		var req wire.Request
 		dec := json.NewDecoder(bytes.NewReader(line))
 		dec.UseNumber()
@@ -116,11 +120,13 @@ func (c *jsonConn) dispatch(req *wire.Request) *wire.Response {
 		return c.set(req.Key, req.Value)
 	case wire.OpExec:
 		return c.guard(func() *wire.Response {
+			c.sess.NoteTransport("json", time.Since(c.reqT0))
 			r, err := c.sess.ExecScript(req.SQL)
 			return resultResp(r, err)
 		})
 	case wire.OpQuery:
 		return c.guard(func() *wire.Response {
+			c.sess.NoteTransport("json", time.Since(c.reqT0))
 			r, err := c.sess.Query(req.SQL)
 			return resultResp(r, err)
 		})
@@ -146,6 +152,7 @@ func (c *jsonConn) dispatch(req *wire.Request) *wire.Response {
 			params[i] = v
 		}
 		return c.guard(func() *wire.Response {
+			c.sess.NoteTransport("json", time.Since(c.reqT0))
 			r, err := p.Run(params...)
 			return resultResp(r, err)
 		})
@@ -211,6 +218,15 @@ func (c *jsonConn) set(key, val string) *wire.Response {
 			return errResp("set workers: want a non-negative integer, got %q", val)
 		}
 		c.sess.SetWorkers(n)
+	case wire.KeyTrace:
+		switch val {
+		case "on", "true":
+			c.sess.SetTrace(true)
+		case "off", "false":
+			c.sess.SetTrace(false)
+		default:
+			return errResp("set trace: want on|off, got %q", val)
+		}
 	default:
 		return errResp("unknown setting %q", key)
 	}
@@ -238,6 +254,7 @@ func resultResp(r *engine.Result, err error) *wire.Response {
 		Columns:      r.Columns,
 		Rows:         wire.RowsToWire(r.Rows),
 		RowsAffected: r.RowsAffected,
+		QID:          r.QID,
 	}
 	if r.Accessed != nil {
 		audited := make(map[string]int)

@@ -1,12 +1,18 @@
 package server
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"net/http"
 	"regexp"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
+
+	"auditdb"
+	"auditdb/internal/engine"
 )
 
 // scrape GETs a path from the metrics listener and returns the body.
@@ -154,5 +160,70 @@ func TestStatsOpMatchesRegistrySnapshot(t *testing.T) {
 		// The wire op is a pass-through of the registry snapshot; a
 		// second snapshot taken with no traffic in between must agree.
 		t.Errorf("stats op queries=%d, snapshot queries=%d", stats["queries"], snap["queries"])
+	}
+}
+
+// TestTracesEndpoint mounts the engine's trace ring beside /metrics —
+// the shape cmd/auditdbd serves — and checks the JSON surface plus the
+// tracing metric families.
+func TestTracesEndpoint(t *testing.T) {
+	eng := engine.New()
+	if _, err := eng.ExecScript(auditdb.HealthcareDemo); err != nil {
+		t.Fatal(err)
+	}
+	eng.SetTraceSampling(1)
+	srv := New(eng, Config{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	ms, err := srv.Metrics().ListenAndServeWith("127.0.0.1:0", map[string]http.Handler{
+		"/traces": eng.TraceRing().Handler(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	base := "http://" + ms.Addr().String()
+
+	c := dial(t, srv)
+	if err := c.SetUser("dr_mallory"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query("SELECT Name FROM Patients WHERE Name = 'Alice'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QID == 0 {
+		t.Fatal("response carries no qid")
+	}
+
+	list := scrape(t, base, "/traces")
+	if !strings.Contains(list, fmt.Sprintf(`"qid": %d`, res.QID)) {
+		t.Fatalf("/traces does not list qid %d:\n%.2000s", res.QID, list)
+	}
+	one := scrape(t, base, fmt.Sprintf("/traces?qid=%d", res.QID))
+	for _, want := range []string{`"transport.read"`, `"audit.fire"`, `"user": "dr_mallory"`} {
+		if !strings.Contains(one, want) {
+			t.Errorf("/traces?qid=%d missing %s:\n%.2000s", res.QID, want, one)
+		}
+	}
+
+	text := scrape(t, base, "/metrics")
+	for _, want := range []string{
+		"auditdb_traces_sampled_total",
+		"auditdb_trace_ring_evictions_total",
+		"auditdb_trace_ring_traces",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if promValue(t, text, "auditdb_traces_sampled_total") < 1 {
+		t.Error("traces_sampled did not move")
 	}
 }

@@ -24,7 +24,7 @@ func FuzzScanBytes(f *testing.F) {
 			{Kind: OpDDL, SQL: "CREATE TABLE T (A INT)"},
 		}}},
 		{Type: RecAudit, Audit: &Audit{Seq: 1, User: "u", Expr: "e", SQL: "SELECT 1",
-			UnixNano: 7, IDs: []value.Value{{Kind: value.KindDate, I: 19000}}}},
+			UnixNano: 7, QID: 42, IDs: []value.Value{{Kind: value.KindDate, I: 19000}}}},
 		{Type: RecCheckpoint, Checkpoint: &Checkpoint{AuditSeq: 3, UnixNano: 9}},
 	} {
 		seed = AppendRecord(seed, r)

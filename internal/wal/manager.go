@@ -202,10 +202,13 @@ func (m *Manager) AppendCommit(ops []Op) error {
 }
 
 // AppendAudit logs one trigger firing's accessed-ID set, chained to
-// its predecessor. Chain order and log order must agree, so the
-// enqueue happens under the chain mutex; the wait for durability does
-// not, preserving group commit across concurrent auditors.
-func (m *Manager) AppendAudit(user, expr, sql string, ids []value.Value, unixNano int64) error {
+// its predecessor. qid is the tracing layer's query ID for the
+// statement that caused the access; it rides inside the hash-chained
+// payload, joining the audit record to its trace. Chain order and log
+// order must agree, so the enqueue happens under the chain mutex; the
+// wait for durability does not, preserving group commit across
+// concurrent auditors.
+func (m *Manager) AppendAudit(user, expr, sql string, ids []value.Value, qid uint64, unixNano int64) error {
 	m.auditMu.Lock()
 	a := &Audit{
 		Seq:      m.auditSeq + 1,
@@ -214,6 +217,7 @@ func (m *Manager) AppendAudit(user, expr, sql string, ids []value.Value, unixNan
 		Expr:     expr,
 		SQL:      sql,
 		UnixNano: unixNano,
+		QID:      qid,
 		IDs:      ids,
 	}
 	frame := AppendRecord(nil, &Record{Type: RecAudit, Audit: a})

@@ -1,6 +1,10 @@
 package wal
 
-import "auditdb/internal/obs"
+import (
+	"time"
+
+	"auditdb/internal/obs"
+)
 
 // Metrics is the WAL's slice of the process metrics registry. A nil
 // *Metrics is valid and drops every observation, so the log can run
@@ -13,6 +17,7 @@ type Metrics struct {
 	CheckpointDur *obs.Histogram // checkpoint wall time, seconds
 	RecoveryDur   *obs.Histogram // startup recovery wall time, seconds
 	Checkpoints   *obs.Counter   // wal_checkpoints
+	FsyncDur      *obs.Histogram // wal_fsync_seconds
 }
 
 // batchBuckets covers the useful group-commit range: a batch of 1
@@ -39,6 +44,8 @@ func NewMetrics(r *obs.Registry) *Metrics {
 			"Startup recovery duration in seconds (checkpoint load + log replay).", obs.LatencyBuckets),
 		Checkpoints: r.NewCounter("auditdb_wal_checkpoints_total", "wal_checkpoints",
 			"Checkpoints completed."),
+		FsyncDur: r.NewHistogram("auditdb_wal_fsync_seconds", "wal_fsync_seconds",
+			"fsync latency of the WAL writer, in seconds (group commits ride one fsync).", obs.LatencyBuckets),
 	}
 }
 
@@ -63,5 +70,11 @@ func (m *Metrics) addRecords(n int64) {
 func (m *Metrics) observeBatch(n int) {
 	if m != nil {
 		m.BatchSize.Observe(float64(n))
+	}
+}
+
+func (m *Metrics) observeFsync(d time.Duration) {
+	if m != nil {
+		m.FsyncDur.ObserveDuration(d)
 	}
 }

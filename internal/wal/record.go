@@ -86,7 +86,13 @@ type Audit struct {
 	Expr     string
 	SQL      string
 	UnixNano int64
-	IDs      []value.Value
+	// QID is the query ID the tracing layer assigned to the statement
+	// that produced this access, joining the audit record to its trace
+	// (SHOW TRACE FOR <qid>), slow-query log lines, and the client
+	// response. Part of the canonical encoding, so it is covered by the
+	// hash chain and cannot be silently rewritten.
+	QID uint64
+	IDs []value.Value
 }
 
 // Hash returns the record's chain link: SHA-256 over the canonical
@@ -232,6 +238,7 @@ func appendAudit(dst []byte, a *Audit) []byte {
 	dst = appendString(dst, a.Expr)
 	dst = appendString(dst, a.SQL)
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(a.UnixNano))
+	dst = binary.LittleEndian.AppendUint64(dst, a.QID)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(a.IDs)))
 	for _, id := range a.IDs {
 		dst = appendValue(dst, id)
@@ -462,6 +469,9 @@ func (d *decoder) audit() (*Audit, error) {
 		return nil, err
 	}
 	a.UnixNano = int64(ts)
+	if a.QID, err = d.u64(); err != nil {
+		return nil, err
+	}
 	n, err := d.u32()
 	if err != nil {
 		return nil, err

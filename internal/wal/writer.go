@@ -321,11 +321,13 @@ func (w *logWriter) flush(batch []*walReq) {
 }
 
 func (w *logWriter) sync() error {
+	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
 	w.dirty = false
 	w.metrics.incFsync()
+	w.metrics.observeFsync(time.Since(start))
 	return nil
 }
 

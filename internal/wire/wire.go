@@ -39,6 +39,10 @@ const (
 	// a positive integer, 1 forcing serial, 0 resetting to the server
 	// default.
 	KeyWorkers = "workers"
+	// KeyTrace toggles forced full trace capture for every statement
+	// this session runs ("on"/"off"); retained traces are read back with
+	// SHOW TRACE FOR <qid> or the /traces endpoint.
+	KeyTrace = "trace"
 )
 
 // Request is one client line.
@@ -58,6 +62,10 @@ type Response struct {
 	Columns      []string `json:"columns,omitempty"`
 	Rows         [][]any  `json:"rows,omitempty"`
 	RowsAffected int      `json:"rows_affected,omitempty"`
+	// QID is the query ID the engine's tracer assigned to the
+	// statement; SHOW TRACE FOR <qid> retrieves its span tree when the
+	// trace was retained.
+	QID uint64 `json:"qid,omitempty"`
 	// Audited maps audit-expression name to the number of sensitive
 	// partition keys the statement accessed.
 	Audited   map[string]int   `json:"audited,omitempty"`
