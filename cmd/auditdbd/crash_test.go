@@ -118,7 +118,10 @@ func TestCrashRecovery(t *testing.T) {
 	}
 	bin := buildDaemon(t)
 	dataDir := filepath.Join(t.TempDir(), "data")
-	walArgs := []string{"-data-dir", dataDir, "-sync", "always", "-demo", "-grace", "5s"}
+	// Triage off: these tests pin exact audit-chain record counts, and
+	// background verdicts land asynchronously (TestTriageDaemon covers
+	// the verdict path).
+	walArgs := []string{"-data-dir", dataDir, "-sync", "always", "-demo", "-grace", "5s", "-triage-workers", "0"}
 
 	// --- Boot 1: workload, then kill -9. ---
 	cmd, addr := startDaemon(t, bin, walArgs...)
@@ -252,7 +255,7 @@ func TestCrashRecovery(t *testing.T) {
 			sc.mutate(t, auditSegment(t, dir))
 
 			cmd, addr := startDaemon(t, bin,
-				"-data-dir", dir, "-sync", "always", "-grace", "5s")
+				"-data-dir", dir, "-sync", "always", "-grace", "5s", "-triage-workers", "0")
 			defer func() { sigkillAndWait(t, cmd) }()
 			c, err := client.Dial(addr, client.WithRetry(10, 50*time.Millisecond))
 			if err != nil {
@@ -281,7 +284,7 @@ func TestRestartIdempotent(t *testing.T) {
 	}
 	bin := buildDaemon(t)
 	dataDir := filepath.Join(t.TempDir(), "data")
-	args := []string{"-data-dir", dataDir, "-sync", "always", "-demo", "-grace", "5s"}
+	args := []string{"-data-dir", dataDir, "-sync", "always", "-demo", "-grace", "5s", "-triage-workers", "0"}
 
 	var prevRecords uint64
 	for boot := 0; boot < 2; boot++ {

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"auditdb/internal/client"
+)
+
+// TestTriageDaemon drives budgeted triage through the daemon: audited
+// queries enqueue risk-scored events, background workers chain signed
+// verdicts, SHOW AUDIT VERDICTS reads them over the wire, the mixed
+// stream verifies, and a SIGTERM drain flushes the backlog before the
+// final checkpoint. Restart then proves the verdicts persist.
+func TestTriageDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon test builds the binary")
+	}
+	bin := buildDaemon(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	args := []string{"-data-dir", dataDir, "-sync", "always", "-demo", "-grace", "10s",
+		"-triage-workers", "2", "-triage-queue", "64"}
+
+	cmd, addr := startDaemon(t, bin, args...)
+	c, err := client.Dial(addr, client.WithRetry(10, 50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetUser("dr_mallory"); err != nil {
+		t.Fatal(err)
+	}
+	const firings = 5
+	for i := 0; i < firings; i++ {
+		if _, err := c.Query("SELECT * FROM Patients WHERE Name = 'Alice'"); err != nil {
+			t.Fatalf("audited query %d: %v", i, err)
+		}
+	}
+
+	// Wait for the workers to drain: each firing must end as a verdict.
+	deadline := time.Now().Add(10 * time.Second)
+	var rows int
+	for time.Now().Before(deadline) {
+		r, err := c.Exec("SHOW AUDIT VERDICTS")
+		if err != nil {
+			t.Fatalf("SHOW AUDIT VERDICTS: %v", err)
+		}
+		rows = len(r.Rows)
+		if rows == firings {
+			for _, row := range r.Rows {
+				if row[2].(string) != "confirmed" {
+					t.Fatalf("verdict outcome = %v, want confirmed", row[2])
+				}
+				if row[4].(string) != "dr_mallory" {
+					t.Fatalf("verdict user = %v", row[4])
+				}
+			}
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if rows != firings {
+		t.Fatalf("verdicts = %d, want %d", rows, firings)
+	}
+
+	// The chain now interleaves audits and verdicts: both verify.
+	v, err := c.VerifyAuditLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Valid || v.Records != 2*firings {
+		t.Fatalf("verify = %+v, want valid with %d records", v, 2*firings)
+	}
+
+	// SET triage = off gates this session out of the queue.
+	if err := c.SetTriage(false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query("SELECT * FROM Patients WHERE Name = 'Alice'"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	r, err := c.Exec("SHOW AUDIT VERDICTS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != firings {
+		t.Fatalf("triage-off firing still verified: %d verdicts", len(r.Rows))
+	}
+	c.Close()
+	sigtermAndWait(t, cmd)
+
+	// Restart: the verdict records and their chain survive (the one
+	// extra audit record came from the gated firing above).
+	cmd, addr = startDaemon(t, bin, args...)
+	defer func() { sigtermAndWait(t, cmd) }()
+	c, err = client.Dial(addr, client.WithRetry(10, 50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v, err = c.VerifyAuditLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Valid || v.Records != 2*firings+1 {
+		t.Fatalf("post-restart verify = %+v, want valid with %d records", v, 2*firings+1)
+	}
+}

@@ -458,6 +458,9 @@ type CreateAuditExpression struct {
 	Query          *Select
 	SensitiveTable string
 	PartitionBy    string
+	// Priority is the optional PRIORITY n clause: the triage risk
+	// model's operator-declared weight. 0 when omitted.
+	Priority int
 }
 
 // TriggerEvent is the firing event of a CREATE TRIGGER.
@@ -507,6 +510,14 @@ type ShowTrace struct {
 // (SHOW TRACES), newest first.
 type ShowTraces struct{}
 
+// ShowAuditQueue lists the triage events resident in the bounded
+// verification queue (SHOW AUDIT QUEUE), highest risk first.
+type ShowAuditQueue struct{}
+
+// ShowAuditVerdicts lists recent offline-verification verdicts
+// (SHOW AUDIT VERDICTS), newest first.
+type ShowAuditVerdicts struct{}
+
 // TxBegin starts an explicit transaction (BEGIN).
 type TxBegin struct{}
 
@@ -550,6 +561,8 @@ func (*TxRollback) stmtNode()            {}
 func (*VerifyAuditLog) stmtNode()        {}
 func (*ShowTrace) stmtNode()             {}
 func (*ShowTraces) stmtNode()            {}
+func (*ShowAuditQueue) stmtNode()        {}
+func (*ShowAuditVerdicts) stmtNode()     {}
 
 // WalkExprs calls fn for every sub-expression of e (including e),
 // without descending into subquery Select nodes.

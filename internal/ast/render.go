@@ -94,6 +94,10 @@ func renderTableRef(ref TableRef) string {
 
 // RenderAuditExpression reconstructs the CREATE AUDIT EXPRESSION DDL.
 func RenderAuditExpression(s *CreateAuditExpression) string {
-	return fmt.Sprintf("CREATE AUDIT EXPRESSION %s AS %s FOR SENSITIVE TABLE %s PARTITION BY %s",
+	out := fmt.Sprintf("CREATE AUDIT EXPRESSION %s AS %s FOR SENSITIVE TABLE %s PARTITION BY %s",
 		s.Name, RenderSelect(s.Query), s.SensitiveTable, s.PartitionBy)
+	if s.Priority != 0 {
+		out += fmt.Sprintf(" PRIORITY %d", s.Priority)
+	}
+	return out
 }

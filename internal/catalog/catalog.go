@@ -107,6 +107,8 @@ type AuditExprMeta struct {
 	PartitionBy    string // column name on the sensitive table
 	// Definition is the SQL text of the SELECT that defines sensitivity.
 	Definition string
+	// Priority is the declared triage weight (PRIORITY n); 0 = none.
+	Priority int
 }
 
 // Catalog is the schema registry for one database.

@@ -211,6 +211,17 @@ func (c *Client) SetWorkers(n int) error {
 	return err
 }
 
+// SetTriage gates this session's trigger firings in or out of the
+// server's background offline-verification queue.
+func (c *Client) SetTriage(on bool) error {
+	v := "off"
+	if on {
+		v = "on"
+	}
+	_, err := c.roundTrip(&wire.Request{Op: wire.OpSet, Key: wire.KeyTriage, Value: v})
+	return err
+}
+
 // Stats fetches the server's merged engine+server counters.
 func (c *Client) Stats() (map[string]int64, error) {
 	resp, err := c.roundTrip(&wire.Request{Op: wire.OpStats})

@@ -84,6 +84,7 @@ func (e *Engine) runCreateAuditExpression(s *ast.CreateAuditExpression) (*Result
 		// Render canonical single-statement DDL; the raw sql argument
 		// may be a whole script.
 		Definition: ast.RenderAuditExpression(s),
+		Priority:   s.Priority,
 	}
 	if err := e.cat.AddAuditExpr(meta); err != nil {
 		return nil, err

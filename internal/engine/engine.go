@@ -26,6 +26,7 @@ import (
 	"auditdb/internal/plan"
 	"auditdb/internal/storage"
 	"auditdb/internal/trace"
+	"auditdb/internal/triage"
 	"auditdb/internal/value"
 	"auditdb/internal/wal"
 )
@@ -122,6 +123,15 @@ type Engine struct {
 	traceRing          *trace.Ring
 	tracesSampled      *obs.Counter
 	traceRingEvictions *obs.Counter
+
+	// Budgeted audit triage (see internal/triage and triage.go):
+	// trigger firings are risk-scored into a bounded queue drained by
+	// background offline-verification workers. New() builds the service
+	// disabled (no workers — the enqueue path is skipped entirely);
+	// ConfigureTriage swaps in an enabled one. triageMetrics is
+	// registered once in initMetrics and survives reconfiguration.
+	triage        *triage.Service
+	triageMetrics *triage.Metrics
 }
 
 // Stats counts engine activity. Each field is a counter registered in
@@ -198,6 +208,7 @@ func New() *Engine {
 	e.defaultWorkers.Store(1)
 	e.parallelMinRows.Store(DefaultParallelMinRows)
 	e.execWorkers.Set(1)
+	e.triage = triage.NewService(triage.Config{}, nil, e.verifyTriageEvent, e.triageMetrics)
 	e.defSess = newSession(e, "system", false, core.HighestCommutativeNode)
 	return e
 }
@@ -258,6 +269,7 @@ func (e *Engine) initMetrics() {
 	r.NewGaugeFunc("auditdb_trace_ring_traces", "trace_ring_traces",
 		"Traces currently retained in the trace ring.",
 		func() int64 { return int64(e.traceRing.Len()) })
+	e.triageMetrics = triage.NewMetrics(r)
 }
 
 // Metrics exposes the engine's observability registry so servers can
@@ -494,6 +506,10 @@ func (e *Engine) dispatchStmt(stmt ast.Stmt, sql string, env *actionEnv) (*Resul
 		return e.runShowTrace(s.QID)
 	case *ast.ShowTraces:
 		return e.runShowTraces()
+	case *ast.ShowAuditQueue:
+		return e.runShowAuditQueue()
+	case *ast.ShowAuditVerdicts:
+		return e.runShowAuditVerdicts()
 	default:
 		return nil, fmt.Errorf("unsupported statement %T", stmt)
 	}

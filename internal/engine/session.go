@@ -47,6 +47,12 @@ type Session struct {
 	// never from trigger cascades, which run at depth > 0.
 	norm lexer.Norm
 
+	// triageOff is the SET triage = off flag: it gates this session's
+	// firings out of the triage queue without touching the engine-wide
+	// service. Default off (triage on) — the service itself is disabled
+	// unless ConfigureTriage armed workers.
+	triageOff bool
+
 	// traceOn is the SET trace = on flag; pendProto/pendRead stage the
 	// front end's transport-read note for the next statement. All three
 	// are guarded by mu because protocol front ends may note the read
@@ -79,10 +85,11 @@ func newSession(e *Engine, user string, auditAll bool, h core.Heuristic) *Sessio
 func (e *Engine) NewSession() *Session {
 	d := e.defSess
 	d.lock()
-	user, auditAll, h, workers := d.user, d.auditAll, d.heuristic, d.workers
+	user, auditAll, h, workers, triageOff := d.user, d.auditAll, d.heuristic, d.workers, d.triageOff
 	d.unlock()
 	s := newSession(e, user, auditAll, h)
 	s.workers = workers
+	s.triageOff = triageOff
 	return s
 }
 
@@ -175,6 +182,23 @@ func (s *Session) TraceOn() bool {
 	s.lock()
 	defer s.unlock()
 	return s.traceOn
+}
+
+// SetTriage toggles triage enqueueing for this session's trigger
+// firings (SET triage = on|off). It has no effect unless the engine's
+// triage service is enabled.
+func (s *Session) SetTriage(on bool) {
+	s.lock()
+	s.triageOff = !on
+	s.unlock()
+}
+
+// TriageOn reports whether this session's firings enter the triage
+// queue (when the engine's service is enabled).
+func (s *Session) TriageOn() bool {
+	s.lock()
+	defer s.unlock()
+	return !s.triageOff
 }
 
 // NoteTransport records the protocol name and wire read/decode time of

@@ -9,6 +9,7 @@ import (
 	"auditdb/internal/core"
 	"auditdb/internal/plan"
 	"auditdb/internal/trace"
+	"auditdb/internal/triage"
 	"auditdb/internal/value"
 )
 
@@ -48,7 +49,7 @@ func (e *Engine) fireAccessTriggers(ae *core.AuditExpression, acc *core.Accessed
 	rec := &sess.rec
 	if e.wal != nil {
 		t0 := time.Now()
-		err := e.wal.AppendAudit(sess.User(), ae.Meta.Name, sql, ids, rec.QID(), t0.UnixNano())
+		auditSeq, err := e.wal.AppendAudit(sess.User(), ae.Meta.Name, sql, ids, rec.QID(), t0.UnixNano())
 		d := time.Since(t0)
 		rec.AddPhase(trace.PhaseWAL, d)
 		if id := rec.AddSpan(rec.Current(), "wal.audit.append", t0, d); id >= 0 {
@@ -57,6 +58,38 @@ func (e *Engine) fireAccessTriggers(ae *core.AuditExpression, acc *core.Accessed
 		}
 		if err != nil {
 			return fmt.Errorf("audit log append: %w", err)
+		}
+		// Risk-score the firing and hand it to the background
+		// verification queue. Inside an explicit transaction the event
+		// is deferred to COMMIT: the audit record above survives a
+		// rollback (the chain is evidence either way), but a verdict on
+		// a rolled-back read would audit state that never committed.
+		if svc := e.triage; svc.Enabled() && sess.TriageOn() {
+			ts := time.Now()
+			score := svc.Score(sess.User(), ae.Meta.Priority, ae.Cardinality(), ts.UnixNano())
+			ev := triage.Event{
+				AuditSeq: auditSeq,
+				QID:      rec.QID(),
+				User:     sess.User(),
+				Expr:     ae.Meta.Name,
+				SQL:      sql,
+				NumIDs:   len(ids),
+				Priority: ae.Meta.Priority,
+				Score:    score,
+				UnixNano: ts.UnixNano(),
+			}
+			if env.txn != nil {
+				env.txn.pendTriage = append(env.txn.pendTriage, ev)
+			} else {
+				svc.Enqueue(ev)
+			}
+			if id := rec.AddSpan(rec.Current(), "triage.score", ts, time.Since(ts)); id >= 0 {
+				rec.SetAttr(id, "expr", ae.Meta.Name)
+				rec.SetAttrInt(id, "score", int64(score))
+				if env.txn != nil {
+					rec.SetAttr(id, "deferred", "txn")
+				}
+			}
 		}
 	}
 

@@ -5,6 +5,7 @@ import (
 
 	"auditdb/internal/ast"
 	"auditdb/internal/parser"
+	"auditdb/internal/triage"
 	"auditdb/internal/wal"
 )
 
@@ -26,6 +27,11 @@ type Txn struct {
 	// segment its snapshot covers.
 	wal  *walUnit
 	done bool
+	// pendTriage buffers triage events from SELECT-trigger firings
+	// inside the transaction: enqueued on Commit, discarded on Rollback
+	// — a rolled-back read must not leave verification work behind
+	// (the audit records themselves survive rollback regardless).
+	pendTriage []triage.Event
 }
 
 // Begin opens a transaction under the default session, blocking until
@@ -74,6 +80,13 @@ func (t *Txn) Commit() error {
 		t.wal = nil
 	}
 	t.e.dmlMu.Unlock()
+	// Deferred triage events flow to the queue only now that the
+	// transaction's reads are committed history; enqueue outside the
+	// writer lock (lock order: dmlMu is never held into triage's mutex).
+	for _, ev := range t.pendTriage {
+		t.e.triage.Enqueue(ev)
+	}
+	t.pendTriage = nil
 	return err
 }
 
@@ -88,6 +101,7 @@ func (t *Txn) Rollback() error {
 	t.done = true
 	undo(t.undo)
 	t.undo = nil
+	t.pendTriage = nil // rolled-back reads leave no verification work
 	var walErr error
 	if t.wal != nil {
 		n := 0

@@ -19,6 +19,7 @@
 package offline
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -39,6 +40,10 @@ import (
 type Auditor struct {
 	cat   *catalog.Catalog
 	store *storage.Store
+	// Parallelism bounds the deletion-test worker pool; <= 0 uses
+	// GOMAXPROCS. Background verifiers (triage) set 1 so an offline
+	// audit never commandeers the host from foreground queries.
+	Parallelism int
 }
 
 // New creates an offline auditor over the given catalog and store.
@@ -67,6 +72,13 @@ type Report struct {
 // Audit computes the exact accessed set of the query for the audit
 // expression.
 func (a *Auditor) Audit(sql string, ae *core.AuditExpression) (*Report, error) {
+	return a.AuditContext(context.Background(), sql, ae)
+}
+
+// AuditContext is Audit with cancellation: background verification
+// workers pass their drain context so an in-flight audit stops between
+// deletion tests instead of running to completion at shutdown.
+func (a *Auditor) AuditContext(ctx context.Context, sql string, ae *core.AuditExpression) (*Report, error) {
 	sel, err := parser.ParseQuery(sql)
 	if err != nil {
 		return nil, err
@@ -77,13 +89,23 @@ func (a *Auditor) Audit(sql string, ae *core.AuditExpression) (*Report, error) {
 		return nil, err
 	}
 	root = opt.Optimize(root)
-	return a.AuditPlan(root, ae)
+	return a.AuditPlanContext(ctx, root, ae)
 }
 
 // AuditPlan is Audit for an already-built plan. The plan must not be
 // executed concurrently elsewhere.
 func (a *Auditor) AuditPlan(root plan.Node, ae *core.AuditExpression) (*Report, error) {
+	return a.AuditPlanContext(context.Background(), root, ae)
+}
+
+// AuditPlanContext is AuditPlan with cancellation; ctx is checked
+// before each full re-execution of the query, so a cancelled audit
+// returns promptly even when the candidate set is large.
+func (a *Auditor) AuditPlanContext(ctx context.Context, root plan.Node, ae *core.AuditExpression) (*Report, error) {
 	rep := &Report{}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Baseline digest of Q(D).
 	base, scanned, err := a.runDigest(root, nil)
@@ -94,6 +116,9 @@ func (a *Auditor) AuditPlan(root plan.Node, ae *core.AuditExpression) (*Report, 
 	rep.RowsScanned += scanned
 
 	// Candidate set: leaf-node instrumented run (Claim 3.5 superset).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	candidates, scanned, err := a.leafCandidates(root, ae)
 	if err != nil {
 		return nil, err
@@ -134,7 +159,10 @@ func (a *Auditor) AuditPlan(root plan.Node, ae *core.AuditExpression) (*Report, 
 		rid, ok := rowOf[k]
 		tasks = append(tasks, task{id: id, rid: rid, ok: ok})
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := a.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
@@ -152,6 +180,14 @@ func (a *Auditor) AuditPlan(root plan.Node, ae *core.AuditExpression) (*Report, 
 		go func() {
 			defer wg.Done()
 			for {
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					mu.Unlock()
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(tasks) {
 					return

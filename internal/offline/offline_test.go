@@ -1,14 +1,15 @@
-package offline
+package offline_test
 
 import (
 	"testing"
 
 	"auditdb/internal/core"
 	"auditdb/internal/engine"
+	"auditdb/internal/offline"
 	"auditdb/internal/value"
 )
 
-func setup(t *testing.T) (*engine.Engine, *Auditor, *core.AuditExpression) {
+func setup(t *testing.T) (*engine.Engine, *offline.Auditor, *core.AuditExpression) {
 	t.Helper()
 	e := engine.New()
 	script := `
@@ -33,10 +34,10 @@ func setup(t *testing.T) (*engine.Engine, *Auditor, *core.AuditExpression) {
 	if !ok {
 		t.Fatal("audit expression missing")
 	}
-	return e, New(e.Catalog(), e.Store()), ae
+	return e, offline.New(e.Catalog(), e.Store()), ae
 }
 
-func ids(rep *Report) []int64 {
+func ids(rep *offline.Report) []int64 {
 	out := make([]int64, len(rep.AccessedIDs))
 	for i, v := range rep.AccessedIDs {
 		out[i] = v.Int()

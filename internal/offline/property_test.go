@@ -1,4 +1,4 @@
-package offline
+package offline_test
 
 import (
 	"fmt"
@@ -8,6 +8,7 @@ import (
 
 	"auditdb/internal/core"
 	"auditdb/internal/engine"
+	"auditdb/internal/offline"
 	"auditdb/internal/value"
 )
 
@@ -133,7 +134,7 @@ func TestPropertySJExactness(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 30; trial++ {
 		e, ae := randomDB(t, rng)
-		aud := New(e.Catalog(), e.Store())
+		aud := offline.New(e.Catalog(), e.Store())
 		for q := 0; q < 5; q++ {
 			sql := randomSJQuery(rng)
 			r, err := e.Query(sql)
@@ -163,7 +164,7 @@ func TestPropertyNoFalseNegatives(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 30; trial++ {
 		e, ae := randomDB(t, rng)
-		aud := New(e.Catalog(), e.Store())
+		aud := offline.New(e.Catalog(), e.Store())
 		for q := 0; q < 5; q++ {
 			sql := randomComplexQuery(rng)
 			r, err := e.Query(sql)

@@ -851,7 +851,22 @@ func (p *parser) parseCreateAuditExpression() (ast.Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ast.CreateAuditExpression{Name: name, Query: q, SensitiveTable: table, PartitionBy: key}, nil
+	node := &ast.CreateAuditExpression{Name: name, Query: q, SensitiveTable: table, PartitionBy: key}
+	// Optional triage weight: ... PARTITION BY key PRIORITY n
+	if t := p.peek(); p.softIdent(t, "PRIORITY") {
+		p.next()
+		nt := p.peek()
+		if nt.kind != lexer.TokNumber {
+			return nil, p.errf("expected a number after PRIORITY, found %s", p.describe(nt))
+		}
+		p.next()
+		n, err := strconv.Atoi(p.text(nt))
+		if err != nil || n < 0 {
+			return nil, p.errf("invalid PRIORITY %q", p.text(nt))
+		}
+		node.Priority = n
+	}
+	return node, nil
 }
 
 // parseCreateTrigger parses both trigger forms:
@@ -1024,6 +1039,20 @@ func (p *parser) parseShowTrace() (ast.Stmt, error) {
 	}
 	p.next()
 	t := p.peek()
+	if p.matchKeyword(lexer.KwAudit) {
+		// SHOW AUDIT QUEUE | SHOW AUDIT VERDICTS (triage surfaces).
+		t = p.peek()
+		switch {
+		case p.softIdent(t, "QUEUE"):
+			p.next()
+			return &ast.ShowAuditQueue{}, nil
+		case p.softIdent(t, "VERDICTS"):
+			p.next()
+			return &ast.ShowAuditVerdicts{}, nil
+		default:
+			return nil, p.errf("expected QUEUE or VERDICTS after SHOW AUDIT, found %s", p.describe(t))
+		}
+	}
 	if p.softIdent(t, "TRACES") {
 		p.next()
 		return &ast.ShowTraces{}, nil

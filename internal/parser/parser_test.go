@@ -484,3 +484,42 @@ func TestParseTPCHQ3Shape(t *testing.T) {
 		t.Errorf("q3 shape wrong: from=%d group=%d limit=%d", len(q.From), len(q.GroupBy), q.Limit)
 	}
 }
+
+func TestParseCreateAuditExpressionPriority(t *testing.T) {
+	s, err := Parse(`CREATE AUDIT EXPRESSION Audit_Alice AS
+		SELECT * FROM Patients WHERE Name = 'Alice'
+		FOR SENSITIVE TABLE Patients, PARTITION BY PatientID PRIORITY 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae := s.(*ast.CreateAuditExpression)
+	if ae.Priority != 3 {
+		t.Errorf("priority = %d, want 3", ae.Priority)
+	}
+	for _, bad := range []string{
+		`CREATE AUDIT EXPRESSION e AS SELECT * FROM t
+			FOR SENSITIVE TABLE t, PARTITION BY a PRIORITY -1`,
+		`CREATE AUDIT EXPRESSION e AS SELECT * FROM t
+			FOR SENSITIVE TABLE t, PARTITION BY a PRIORITY high`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("accepted bad PRIORITY: %s", bad)
+		}
+	}
+}
+
+func TestParseShowAudit(t *testing.T) {
+	if s, err := Parse("SHOW AUDIT QUEUE"); err != nil {
+		t.Fatal(err)
+	} else if _, ok := s.(*ast.ShowAuditQueue); !ok {
+		t.Errorf("SHOW AUDIT QUEUE parsed as %T", s)
+	}
+	if s, err := Parse("SHOW AUDIT VERDICTS"); err != nil {
+		t.Fatal(err)
+	} else if _, ok := s.(*ast.ShowAuditVerdicts); !ok {
+		t.Errorf("SHOW AUDIT VERDICTS parsed as %T", s)
+	}
+	if _, err := Parse("SHOW AUDIT NONSENSE"); err == nil {
+		t.Error("SHOW AUDIT NONSENSE accepted")
+	}
+}

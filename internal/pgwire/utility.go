@@ -52,16 +52,20 @@ func tryUtility(sess *engine.Session, sql string) (res *utilityResult, handled b
 			sess.SetWorkers(0)
 		case "audit_all":
 			sess.SetAuditAll(false)
+		case "triage":
+			sess.SetTriage(true)
 		}
 		return &utilityResult{tag: "RESET"}, true, nil
 	case "SHOW":
 		if len(fields) < 2 {
 			return nil, false, nil
 		}
-		// SHOW TRACES and SHOW TRACE FOR <qid> are engine statements
-		// (the trace ring lives in the engine), not session parameters;
-		// bare SHOW trace still reports the session flag below.
+		// SHOW TRACES, SHOW TRACE FOR <qid>, and SHOW AUDIT QUEUE /
+		// VERDICTS are engine statements (the trace ring and triage queue
+		// live in the engine), not session parameters; bare SHOW trace
+		// still reports the session flag below.
 		if strings.EqualFold(fields[1], "traces") ||
+			strings.EqualFold(fields[1], "audit") ||
 			(strings.EqualFold(fields[1], "trace") && len(fields) > 2) {
 			return nil, false, nil
 		}
@@ -130,6 +134,15 @@ func setUtility(sess *engine.Session, args []string) (*utilityResult, bool, erro
 		default:
 			return nil, true, fmt.Errorf("parameter %q requires on or off: %q", name, val)
 		}
+	case "triage":
+		switch strings.ToLower(val) {
+		case "on", "true", "1":
+			sess.SetTriage(true)
+		case "off", "false", "0":
+			sess.SetTriage(false)
+		default:
+			return nil, true, fmt.Errorf("parameter %q requires on or off: %q", name, val)
+		}
 	default:
 		// Driver boilerplate (extra_float_digits, application_name,
 		// client_encoding, search_path, …): accept and ignore.
@@ -172,6 +185,12 @@ func showUtility(sess *engine.Session, name string) (*utilityResult, bool, error
 		}
 	case "trace":
 		if sess.TraceOn() {
+			val = "on"
+		} else {
+			val = "off"
+		}
+	case "triage":
+		if sess.TriageOn() {
 			val = "on"
 		} else {
 			val = "off"

@@ -227,6 +227,15 @@ func (c *jsonConn) set(key, val string) *wire.Response {
 		default:
 			return errResp("set trace: want on|off, got %q", val)
 		}
+	case wire.KeyTriage:
+		switch val {
+		case "on", "true":
+			c.sess.SetTriage(true)
+		case "off", "false":
+			c.sess.SetTriage(false)
+		default:
+			return errResp("set triage: want on|off, got %q", val)
+		}
 	default:
 		return errResp("unknown setting %q", key)
 	}

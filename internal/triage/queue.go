@@ -1,0 +1,112 @@
+// Package triage sits between the trigger-firing path and the exact
+// offline auditor: every firing already hash-chained into the WAL
+// audit stream is additionally risk-scored and enqueued into a bounded
+// priority queue, and a pool of background workers drains the queue,
+// re-derives the firing with the offline auditor (Def 2.3), and writes
+// a signed verdict record back into the same hash chain. Under a fixed
+// verification budget the highest-risk events are audited exactly and
+// the rest degrade deterministically — overflow evicts the lowest
+// score and every drop is counted, so
+// enqueued = verdicts + dropped + failed + pending always holds.
+package triage
+
+import "sort"
+
+// Event is one trigger firing awaiting offline verification. It is
+// passed and stored by value so the score-and-enqueue hot path does
+// not allocate; the strings and the accessed-ID count alias state the
+// firing already produced.
+type Event struct {
+	AuditSeq uint64  // chain seq of the RecAudit record for this firing
+	QID      uint64  // trace query ID of the firing statement
+	User     string  // session user at firing time
+	Expr     string  // audit expression name
+	SQL      string  // statement text the offline auditor will replay
+	NumIDs   int     // accessed-ID count the trigger reported
+	Priority int     // declared PRIORITY of the audit expression
+	Score    float64 // risk score assigned at enqueue
+	UnixNano int64   // firing wall-clock time
+
+	// Order is the admission sequence the queue assigned; ties in
+	// Score resolve on it (oldest first out, newest first evicted).
+	Order uint64
+}
+
+// queue is a bounded max-priority queue over Event.Score with a
+// deterministic overflow policy. All methods require the service
+// mutex; the backing array is allocated once at the bound so steady
+// state admission never allocates.
+type queue struct {
+	items []Event
+	bound int
+}
+
+func newQueue(bound int) *queue {
+	if bound < 1 {
+		bound = 1
+	}
+	return &queue{items: make([]Event, 0, bound), bound: bound}
+}
+
+func (q *queue) len() int { return len(q.items) }
+
+// push admits ev, evicting the lowest-scored resident when full.
+// Ties on score evict the newest admission, so at equal risk the
+// oldest evidence survives. The second return is true when an event
+// (resident or the incoming one) was dropped.
+func (q *queue) push(ev Event) (dropped Event, wasDropped bool) {
+	if len(q.items) < q.bound {
+		q.items = append(q.items, ev)
+		return Event{}, false
+	}
+	v := 0
+	for i := 1; i < len(q.items); i++ {
+		it, vic := &q.items[i], &q.items[v]
+		if it.Score < vic.Score || (it.Score == vic.Score && it.Order > vic.Order) {
+			v = i
+		}
+	}
+	vic := &q.items[v]
+	// The incoming event holds the largest Order, so on a score tie
+	// with the victim it is the one that drops.
+	if ev.Score <= vic.Score {
+		return ev, true
+	}
+	dropped = *vic
+	*vic = ev
+	return dropped, true
+}
+
+// popMax removes and returns the highest-scored event, lowest
+// admission order first on ties.
+func (q *queue) popMax() (Event, bool) {
+	if len(q.items) == 0 {
+		return Event{}, false
+	}
+	b := 0
+	for i := 1; i < len(q.items); i++ {
+		it, best := &q.items[i], &q.items[b]
+		if it.Score > best.Score || (it.Score == best.Score && it.Order < best.Order) {
+			b = i
+		}
+	}
+	ev := q.items[b]
+	last := len(q.items) - 1
+	q.items[b] = q.items[last]
+	q.items = q.items[:last]
+	return ev, true
+}
+
+// snapshot copies the resident events ordered score-descending,
+// admission-ascending — the order SHOW AUDIT QUEUE reports.
+func (q *queue) snapshot() []Event {
+	out := make([]Event, len(q.items))
+	copy(out, q.items)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Order < out[j].Order
+	})
+	return out
+}

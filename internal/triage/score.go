@@ -1,0 +1,86 @@
+package triage
+
+import (
+	"math"
+	"sync"
+)
+
+// Scorer maps a trigger firing to a risk score. Implementations must
+// be safe for concurrent sessions and must not allocate on the warm
+// path: scoring runs inside the audited statement.
+type Scorer interface {
+	Score(user string, priority, cardinality int, unixNano int64) float64
+}
+
+const (
+	// priorityWeight makes one declared PRIORITY step outweigh the
+	// whole sensitivity term, so operator intent dominates heuristics.
+	priorityWeight = 16.0
+	// maxAnomaly caps the rate term: a user firing arbitrarily faster
+	// than their history cannot drown out a higher declared priority.
+	maxAnomaly = 8.0
+	// ewmaAlpha smooths the per-user inter-firing gap estimate.
+	ewmaAlpha = 0.2
+)
+
+// RiskModel is the default Scorer:
+//
+//	score = PRIORITY·16 + log2(1+|watch set|) + anomaly(user)
+//
+// where anomaly compares the user's current firing gap against an
+// exponentially smoothed history of their own gaps — a user suddenly
+// firing triggers much faster than their norm scores higher, per the
+// budget-auditing heuristic of "Get Your Workload in Order"
+// (arXiv 1801.07215). The first firings of a user score no anomaly:
+// there is no history to deviate from.
+type RiskModel struct {
+	mu    sync.Mutex
+	users map[string]*userRate
+}
+
+type userRate struct {
+	lastNano int64
+	ewmaGap  float64 // smoothed inter-firing gap, ns
+}
+
+// NewRiskModel returns an empty-history default scorer.
+func NewRiskModel() *RiskModel {
+	return &RiskModel{users: make(map[string]*userRate)}
+}
+
+// Score implements Scorer.
+func (m *RiskModel) Score(user string, priority, cardinality int, unixNano int64) float64 {
+	return float64(priority)*priorityWeight +
+		math.Log2(1+float64(cardinality)) +
+		m.anomaly(user, unixNano)
+}
+
+func (m *RiskModel) anomaly(user string, now int64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	u := m.users[user]
+	if u == nil {
+		u = &userRate{lastNano: now}
+		m.users[user] = u
+		return 0
+	}
+	gap := float64(now - u.lastNano)
+	if gap < 1 {
+		gap = 1
+	}
+	u.lastNano = now
+	if u.ewmaGap == 0 {
+		u.ewmaGap = gap
+		return 0
+	}
+	ratio := u.ewmaGap / gap
+	u.ewmaGap = ewmaAlpha*gap + (1-ewmaAlpha)*u.ewmaGap
+	a := math.Log2(1 + ratio)
+	if a < 0 {
+		a = 0
+	}
+	if a > maxAnomaly {
+		a = maxAnomaly
+	}
+	return a
+}

@@ -2,6 +2,8 @@ package wal
 
 import (
 	"bytes"
+	"crypto/hmac"
+	"crypto/rand"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -38,6 +40,10 @@ const (
 	ckptPrefix   = "checkpoint-"
 	ckptExt      = ".sql"
 	metaComment  = "-- auditdb-checkpoint "
+	// verdictKeyName is the HMAC key file for triage verdict records,
+	// created on first open and reused across restarts so VERIFY AUDIT
+	// LOG can check verdict signatures written in any earlier boot.
+	verdictKeyName = "verdict.key"
 )
 
 // Options configures Open.
@@ -82,10 +88,15 @@ type Manager struct {
 	closedCh bool
 
 	// Audit chain head. auditMu also serializes appends with
-	// verification and anchor capture.
+	// verification and anchor capture. The chain interleaves RecAudit
+	// and RecVerdict records under one sequence.
 	auditMu   sync.Mutex
 	auditSeq  uint64
 	auditHead [HashSize]byte
+
+	// verdictKey signs RecVerdict records (HMAC-SHA256). Loaded or
+	// created at Open; immutable afterwards.
+	verdictKey []byte
 
 	// Latest checkpoint's anchor, for VerifyAudit.
 	anchorMu sync.Mutex
@@ -113,6 +124,11 @@ func Open(dir string, opts Options) (*Manager, *Recovery, error) {
 
 	m := &Manager{dir: dir, opts: opts, metrics: opts.Metrics}
 	rec := &Recovery{}
+	key, err := loadOrCreateVerdictKey(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.verdictKey = key
 
 	// Latest checkpoint, if any.
 	ckptIdx, meta, sql, err := loadLatestCheckpoint(dir)
@@ -148,11 +164,14 @@ func Open(dir string, opts Options) (*Manager, *Recovery, error) {
 		return nil, nil, err
 	}
 	for _, r := range auditScan.records {
-		if r.Type != RecAudit {
-			continue
+		switch r.Type {
+		case RecAudit:
+			m.auditSeq = r.Audit.Seq
+			m.auditHead = r.Audit.Hash()
+		case RecVerdict:
+			m.auditSeq = r.Verdict.Seq
+			m.auditHead = r.Verdict.Hash()
 		}
-		m.auditSeq = r.Audit.Seq
-		m.auditHead = r.Audit.Hash()
 	}
 	rec.AuditSeq = m.auditSeq
 	rec.Repaired = dataScan.repaired || auditScan.repaired
@@ -202,13 +221,14 @@ func (m *Manager) AppendCommit(ops []Op) error {
 }
 
 // AppendAudit logs one trigger firing's accessed-ID set, chained to
-// its predecessor. qid is the tracing layer's query ID for the
-// statement that caused the access; it rides inside the hash-chained
-// payload, joining the audit record to its trace. Chain order and log
-// order must agree, so the enqueue happens under the chain mutex; the
-// wait for durability does not, preserving group commit across
-// concurrent auditors.
-func (m *Manager) AppendAudit(user, expr, sql string, ids []value.Value, qid uint64, unixNano int64) error {
+// its predecessor, and returns the chain sequence the record landed at
+// (triage verdicts reference it). qid is the tracing layer's query ID
+// for the statement that caused the access; it rides inside the
+// hash-chained payload, joining the audit record to its trace. Chain
+// order and log order must agree, so the enqueue happens under the
+// chain mutex; the wait for durability does not, preserving group
+// commit across concurrent auditors.
+func (m *Manager) AppendAudit(user, expr, sql string, ids []value.Value, qid uint64, unixNano int64) (uint64, error) {
 	m.auditMu.Lock()
 	a := &Audit{
 		Seq:      m.auditSeq + 1,
@@ -224,12 +244,67 @@ func (m *Manager) AppendAudit(user, expr, sql string, ids []value.Value, qid uin
 	ch, err := m.auditW.submitAsync(frame)
 	if err != nil {
 		m.auditMu.Unlock()
-		return err
+		return 0, err
 	}
 	m.auditSeq = a.Seq
 	m.auditHead = a.Hash()
 	m.auditMu.Unlock()
-	return <-ch
+	return a.Seq, <-ch
+}
+
+// AppendVerdict signs v, chains it into the audit stream, and blocks
+// until it is durable. The caller fills every field except Seq, Prev
+// and Sig, which the manager assigns under the chain mutex. The
+// assigned chain sequence is returned.
+func (m *Manager) AppendVerdict(v *Verdict) (uint64, error) {
+	m.auditMu.Lock()
+	v.Seq = m.auditSeq + 1
+	v.Prev = m.auditHead
+	mac := hmac.New(sha256.New, m.verdictKey)
+	mac.Write(v.SigningBytes())
+	copy(v.Sig[:], mac.Sum(nil))
+	frame := AppendRecord(nil, &Record{Type: RecVerdict, Verdict: v})
+	ch, err := m.auditW.submitAsync(frame)
+	if err != nil {
+		m.auditMu.Unlock()
+		return 0, err
+	}
+	m.auditSeq = v.Seq
+	m.auditHead = v.Hash()
+	m.auditMu.Unlock()
+	return v.Seq, <-ch
+}
+
+// loadOrCreateVerdictKey reads the verdict signing key, generating and
+// persisting a fresh 32-byte key on first use. The file is fsynced via
+// its directory so a key can never be silently lost between the boot
+// that wrote verdicts and the boot that verifies them.
+func loadOrCreateVerdictKey(dir string) ([]byte, error) {
+	path := filepath.Join(dir, verdictKeyName)
+	if b, err := os.ReadFile(path); err == nil {
+		if len(b) != HashSize {
+			return nil, fmt.Errorf("wal: verdict key %s has %d bytes, want %d", path, len(b), HashSize)
+		}
+		return b, nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	key := make([]byte, HashSize)
+	if _, err := rand.Read(key); err != nil {
+		return nil, err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, key, 0o600); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		return nil, err
+	}
+	return key, nil
 }
 
 // AuditState returns the in-memory chain position.
@@ -378,18 +453,38 @@ func (m *Manager) VerifyAudit() (*VerifyReport, error) {
 			return invalid("segment %s corrupt at offset %d: %v", segmentName(n), valid, scanErr)
 		}
 		for _, r := range recs {
-			if r.Type != RecAudit {
+			var (
+				rSeq  uint64
+				rPrev [HashSize]byte
+			)
+			switch r.Type {
+			case RecAudit:
+				rSeq, rPrev = r.Audit.Seq, r.Audit.Prev
+			case RecVerdict:
+				rSeq, rPrev = r.Verdict.Seq, r.Verdict.Prev
+			default:
 				return invalid("segment %s holds a non-audit record (type %d)", segmentName(n), r.Type)
 			}
-			a := r.Audit
-			if a.Seq != seq+1 {
-				return invalid("sequence gap: record %d follows record %d", a.Seq, seq)
+			if rSeq != seq+1 {
+				return invalid("sequence gap: record %d follows record %d", rSeq, seq)
 			}
-			if a.Prev != head {
-				return invalid("broken hash chain at record %d: stored predecessor hash does not match", a.Seq)
+			if rPrev != head {
+				return invalid("broken hash chain at record %d: stored predecessor hash does not match", rSeq)
 			}
-			seq = a.Seq
-			head = a.Hash()
+			seq = rSeq
+			if r.Type == RecVerdict {
+				// A verdict carries the triage service's attestation of the
+				// offline check; the chain alone cannot vouch for it, so its
+				// HMAC is re-derived from the persisted key.
+				mac := hmac.New(sha256.New, m.verdictKey)
+				mac.Write(r.Verdict.SigningBytes())
+				if !hmac.Equal(mac.Sum(nil), r.Verdict.Sig[:]) {
+					return invalid("verdict record %d has an invalid signature: verdict forged or key replaced", seq)
+				}
+				head = r.Verdict.Hash()
+			} else {
+				head = r.Audit.Hash()
+			}
 			if anchor != nil && seq == anchor.AuditSeq {
 				if hex.EncodeToString(head[:]) != anchor.AuditHead {
 					return invalid("checkpoint anchor mismatch at record %d: chain was rewritten before the last checkpoint", seq)

@@ -40,6 +40,12 @@ const (
 	RecCommit     RecType = 1
 	RecAudit      RecType = 2
 	RecCheckpoint RecType = 3
+	// RecVerdict carries one triage verdict: the offline auditor's
+	// judgment of a previously recorded trigger firing. Verdicts live in
+	// the audit stream and share its hash chain (Seq/Prev interleave
+	// with RecAudit records), so the triage decisions themselves are
+	// tamper-evident.
+	RecVerdict RecType = 4
 )
 
 // OpKind discriminates the operations inside a commit record.
@@ -101,6 +107,81 @@ func (a *Audit) Hash() [HashSize]byte {
 	return sha256.Sum256(appendAudit(nil, a))
 }
 
+// Verdict outcomes. Confirmed means the exact offline auditor (Def
+// 2.3) reproduced at least one suspicious ID for the firing; refuted
+// means the exact audit cleared every candidate (the online operators
+// over-approximated); skipped means the verification budget was spent
+// — or the event could not be verified (expression dropped, statement
+// not re-runnable) — and the event is on record as unverified.
+const (
+	VerdictConfirmed uint8 = 1
+	VerdictRefuted   uint8 = 2
+	VerdictSkipped   uint8 = 3
+)
+
+// VerdictName renders a verdict outcome the way SHOW AUDIT VERDICTS
+// and the metrics labels spell it.
+func VerdictName(o uint8) string {
+	switch o {
+	case VerdictConfirmed:
+		return "confirmed"
+	case VerdictRefuted:
+		return "refuted"
+	case VerdictSkipped:
+		return "skipped-budget"
+	default:
+		return "unknown"
+	}
+}
+
+// Verdict is the payload of a RecVerdict record: the background
+// verification service's signed judgment of one audit record. It
+// chains exactly like an Audit record (Prev = predecessor's hash, Seq
+// interleaved in the same sequence), and additionally carries an
+// HMAC-SHA256 signature under the data directory's verdict key, binding
+// the verdict to the service that wrote it even if the chain is rebuilt
+// wholesale.
+type Verdict struct {
+	Seq  uint64 // 1-based position in the (shared) audit chain
+	Prev [HashSize]byte
+	// AuditSeq is the chain position of the RecAudit record this verdict
+	// judges.
+	AuditSeq uint64
+	Outcome  uint8
+	User     string
+	Expr     string
+	// QID correlates the verdict with the firing statement's trace, like
+	// Audit.QID.
+	QID uint64
+	// Score is the triage risk score the event carried when it was
+	// enqueued (the reason it was verified before — or instead of —
+	// lower-risk events).
+	Score float64
+	// Suspicious counts the IDs the exact auditor reproduced (0 under
+	// refuted/skipped).
+	Suspicious uint32
+	// ElapsedNanos is the verification's wall time (0 when skipped).
+	ElapsedNanos int64
+	UnixNano     int64
+	// Sig is HMAC-SHA256 over the canonical payload with Sig zeroed,
+	// keyed by the manager's verdict key.
+	Sig [HashSize]byte
+}
+
+// Hash returns the record's chain link: SHA-256 over the canonical
+// payload encoding (signature included).
+func (v *Verdict) Hash() [HashSize]byte {
+	return sha256.Sum256(appendVerdict(nil, v))
+}
+
+// SigningBytes returns the canonical payload with the signature field
+// zeroed — the bytes the HMAC covers.
+func (v *Verdict) SigningBytes() []byte {
+	c := *v
+	c.Sig = [HashSize]byte{}
+	return appendVerdict(nil, &c)
+}
+
 // Checkpoint is the payload of a RecCheckpoint marker: the audit-chain
 // position at the moment a snapshot anchored the log.
 type Checkpoint struct {
@@ -116,6 +197,7 @@ type Record struct {
 	Commit     *Commit
 	Audit      *Audit
 	Checkpoint *Checkpoint
+	Verdict    *Verdict
 }
 
 // frameHeaderSize is payload length (4) + CRC32C (4) + type (1).
@@ -135,6 +217,8 @@ func AppendRecord(dst []byte, r *Record) []byte {
 		payload = appendAudit(nil, r.Audit)
 	case RecCheckpoint:
 		payload = appendCheckpoint(nil, r.Checkpoint)
+	case RecVerdict:
+		payload = appendVerdict(nil, r.Verdict)
 	default:
 		panic(fmt.Sprintf("wal: cannot encode record type %d", r.Type))
 	}
@@ -176,6 +260,8 @@ func DecodeRecord(b []byte) (*Record, int, error) {
 		rec.Audit, err = d.audit()
 	case RecCheckpoint:
 		rec.Checkpoint, err = d.checkpoint()
+	case RecVerdict:
+		rec.Verdict, err = d.verdict()
 	default:
 		return nil, 0, fmt.Errorf("wal: unknown record type %d", typ)
 	}
@@ -244,6 +330,21 @@ func appendAudit(dst []byte, a *Audit) []byte {
 		dst = appendValue(dst, id)
 	}
 	return dst
+}
+
+func appendVerdict(dst []byte, v *Verdict) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, v.Seq)
+	dst = append(dst, v.Prev[:]...)
+	dst = binary.LittleEndian.AppendUint64(dst, v.AuditSeq)
+	dst = append(dst, v.Outcome)
+	dst = appendString(dst, v.User)
+	dst = appendString(dst, v.Expr)
+	dst = binary.LittleEndian.AppendUint64(dst, v.QID)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.Score))
+	dst = binary.LittleEndian.AppendUint32(dst, v.Suspicious)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(v.ElapsedNanos))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(v.UnixNano))
+	return append(dst, v.Sig[:]...)
 }
 
 func appendCheckpoint(dst []byte, c *Checkpoint) []byte {
@@ -486,6 +587,57 @@ func (d *decoder) audit() (*Audit, error) {
 		}
 	}
 	return a, nil
+}
+
+func (d *decoder) verdict() (*Verdict, error) {
+	v := &Verdict{}
+	var err error
+	if v.Seq, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if v.Prev, err = d.hash(); err != nil {
+		return nil, err
+	}
+	if v.AuditSeq, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if v.Outcome, err = d.byte(); err != nil {
+		return nil, err
+	}
+	if v.Outcome < VerdictConfirmed || v.Outcome > VerdictSkipped {
+		return nil, fmt.Errorf("wal: unknown verdict outcome %d", v.Outcome)
+	}
+	if v.User, err = d.str(); err != nil {
+		return nil, err
+	}
+	if v.Expr, err = d.str(); err != nil {
+		return nil, err
+	}
+	if v.QID, err = d.u64(); err != nil {
+		return nil, err
+	}
+	bits, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	v.Score = math.Float64frombits(bits)
+	if v.Suspicious, err = d.u32(); err != nil {
+		return nil, err
+	}
+	el, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	v.ElapsedNanos = int64(el)
+	ts, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	v.UnixNano = int64(ts)
+	if v.Sig, err = d.hash(); err != nil {
+		return nil, err
+	}
+	return v, nil
 }
 
 func (d *decoder) checkpoint() (*Checkpoint, error) {

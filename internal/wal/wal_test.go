@@ -264,7 +264,7 @@ func TestCheckpointTruncatesAndRecovers(t *testing.T) {
 	if err := m.AppendCommit([]Op{{Kind: OpInsert, Table: "T", New: value.Row{intv(1)}}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.AppendAudit("u", "e", "SELECT 1", []value.Value{intv(1)}, 7, 111); err != nil {
+	if _, err := m.AppendAudit("u", "e", "SELECT 1", []value.Value{intv(1)}, 7, 111); err != nil {
 		t.Fatal(err)
 	}
 	snapshot := "CREATE TABLE T (A INT);\nINSERT INTO T VALUES (1);\n"
@@ -332,7 +332,7 @@ func TestAuditChainVerify(t *testing.T) {
 	dir := t.TempDir()
 	m, _ := openTestWAL(t, dir, Options{Sync: SyncAlways})
 	for i := 1; i <= 5; i++ {
-		err := m.AppendAudit("dr_mallory", "Audit_Alice",
+		_, err := m.AppendAudit("dr_mallory", "Audit_Alice",
 			fmt.Sprintf("SELECT %d", i), []value.Value{intv(int64(i))}, uint64(i), int64(i*100))
 		if err != nil {
 			t.Fatal(err)
@@ -353,7 +353,7 @@ func TestAuditChainVerify(t *testing.T) {
 	if err != nil || !rep.Valid || rep.Records != 5 {
 		t.Fatalf("post-restart verify: rep=%+v err=%v", rep, err)
 	}
-	if err := m2.AppendAudit("u", "e", "SELECT 6", nil, 6, 600); err != nil {
+	if _, err := m2.AppendAudit("u", "e", "SELECT 6", nil, 6, 600); err != nil {
 		t.Fatal(err)
 	}
 	rep, _ = m2.VerifyAudit()
@@ -370,7 +370,7 @@ func TestAuditTamperDetected(t *testing.T) {
 		dir := t.TempDir()
 		m, _ := openTestWAL(t, dir, Options{Sync: SyncAlways})
 		for i := 1; i <= 4; i++ {
-			if err := m.AppendAudit("u", "e", fmt.Sprintf("q%d", i), []value.Value{intv(int64(i))}, uint64(i), int64(i)); err != nil {
+			if _, err := m.AppendAudit("u", "e", fmt.Sprintf("q%d", i), []value.Value{intv(int64(i))}, uint64(i), int64(i)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -432,7 +432,7 @@ func TestAuditTruncationDetectedViaAnchor(t *testing.T) {
 	dir := t.TempDir()
 	m, _ := openTestWAL(t, dir, Options{Sync: SyncAlways})
 	for i := 1; i <= 4; i++ {
-		if err := m.AppendAudit("u", "e", fmt.Sprintf("q%d", i), nil, uint64(i), int64(i)); err != nil {
+		if _, err := m.AppendAudit("u", "e", fmt.Sprintf("q%d", i), nil, uint64(i), int64(i)); err != nil {
 			t.Fatal(err)
 		}
 	}

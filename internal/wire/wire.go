@@ -43,6 +43,10 @@ const (
 	// this session runs ("on"/"off"); retained traces are read back with
 	// SHOW TRACE FOR <qid> or the /traces endpoint.
 	KeyTrace = "trace"
+	// KeyTriage gates this session's trigger firings in or out of the
+	// background offline-verification queue ("on"/"off"); read triage
+	// state back with SHOW AUDIT QUEUE / SHOW AUDIT VERDICTS.
+	KeyTriage = "triage"
 )
 
 // Request is one client line.
