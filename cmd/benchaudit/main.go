@@ -28,6 +28,7 @@ func main() {
 	fig := flag.String("fig", "all", "which experiment: all, 6, 7, 8, 9, 10, fga")
 	minDur := flag.Duration("mindur", 200*time.Millisecond, "minimum measurement window per timing point")
 	triageBench := flag.Bool("triage", false, "run only the budgeted-triage overhead/overload benchmark")
+	skippingBench := flag.Bool("skipping", false, "run only the audit-aware data-skipping benchmark")
 	flag.Parse()
 
 	fmt.Printf("# SELECT triggers for data auditing — evaluation reproduction\n")
@@ -46,6 +47,10 @@ func main() {
 
 	if *triageBench {
 		runTriage(w, *minDur)
+		return
+	}
+	if *skippingBench {
+		runSkipping(w, *minDur)
 		return
 	}
 

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"auditdb/internal/engine"
+	"auditdb/internal/experiments"
+)
+
+// runSkipping measures what audit-aware data skipping buys and costs:
+// for watch sets at 0.01%/0.1%/1% row selectivity over lineitem
+// (~60k rows ≈ 15 chunks at SF 0.01), it interleaves skipping-off and
+// skipping-on measurement windows over (a) a selective-filter audited
+// scan (zone-map pruning), (b) an audited full-table aggregate
+// (sensitive-ID sketch probe elision), and (c) a worst-case full scan
+// whose watch set covers every chunk (regression guard — nothing can
+// be skipped, the decide callbacks are pure overhead). A scaled
+// healthcare-demo shape repeats the selective case on the paper's §II
+// schema. Medians of per-query latency are compared per pair of
+// interleaved windows, as in the triage benchmark.
+func runSkipping(w *experiments.Workbench, minDur time.Duration) {
+	e := w.Engine
+
+	// lineitem rows per unit of (sparse, ascending) orderkey ≈ 2: keys
+	// advance by 2 on average and carry ~4 lines each over ~30000 keys.
+	counts := w.Data.Counts()
+	liRows := counts["lineitem"]
+	keySpan := 30000.0
+	rowsPerKey := float64(liRows) / keySpan
+
+	type point struct {
+		sel                 float64
+		filterOff, filterOn float64 // seconds, selective-filter scan
+		fullOff, fullOn     float64 // seconds, audited full aggregate
+	}
+	var pts []point
+
+	for _, sel := range []float64{0.0001, 0.001, 0.01} {
+		watchKeys := int(sel * float64(liRows) / rowsPerKey)
+		if watchKeys < 1 {
+			watchKeys = 1
+		}
+		ddl := fmt.Sprintf(`CREATE AUDIT EXPRESSION Audit_Skip AS
+			SELECT * FROM lineitem WHERE l_orderkey BETWEEN 1 AND %d
+			FOR SENSITIVE TABLE lineitem, PARTITION BY l_orderkey`, watchKeys)
+		if _, err := e.Exec(ddl); err != nil {
+			log.Fatalf("skipping bench: %v", err)
+		}
+
+		selective := "SELECT l_orderkey, l_quantity, l_extendedprice FROM lineitem WHERE l_orderkey BETWEEN 20000 AND 20030"
+		full := "SELECT COUNT(*), SUM(l_quantity) FROM lineitem"
+
+		p := point{sel: sel}
+		p.filterOff, p.filterOn = pairSkipping(e, selective, minDur)
+		p.fullOff, p.fullOn = pairSkipping(e, full, minDur)
+		pts = append(pts, p)
+
+		if _, err := e.Exec("DROP AUDIT EXPRESSION Audit_Skip"); err != nil {
+			log.Fatalf("skipping bench: %v", err)
+		}
+	}
+
+	table("== Audit-aware data skipping: median per-query latency, skipping off vs on ==",
+		func(tw *tabwriter.Writer) {
+			fmt.Fprintln(tw, "watch sel\tselective filter off\ton\tspeedup\taudited full scan off\ton\tspeedup")
+			for _, p := range pts {
+				fmt.Fprintf(tw, "%.2f%%\t%.0fµs\t%.0fµs\t%.2fx\t%.0fµs\t%.0fµs\t%.2fx\n",
+					p.sel*100,
+					p.filterOff*1e6, p.filterOn*1e6, p.filterOff/p.filterOn,
+					p.fullOff*1e6, p.fullOn*1e6, p.fullOff/p.fullOn)
+			}
+		})
+
+	// Regression guard: watch set spanning the whole key domain — every
+	// chunk's sketch may contain a sensitive ID and the full scan has
+	// no filter, so nothing can be skipped. on/off should be a wash.
+	if _, err := e.Exec(`CREATE AUDIT EXPRESSION Audit_Skip AS
+		SELECT * FROM lineitem WHERE l_orderkey > 0
+		FOR SENSITIVE TABLE lineitem, PARTITION BY l_orderkey`); err != nil {
+		log.Fatalf("skipping bench: %v", err)
+	}
+	wOff, wOn := pairSkipping(e, "SELECT COUNT(*), SUM(l_quantity) FROM lineitem", minDur)
+	if _, err := e.Exec("DROP AUDIT EXPRESSION Audit_Skip"); err != nil {
+		log.Fatalf("skipping bench: %v", err)
+	}
+	fmt.Printf("worst case (100%% watch, full scan): off %.0fµs, on %.0fµs, regression %+.2f%%\n\n",
+		wOff*1e6, wOn*1e6, (wOn/wOff-1)*100)
+
+	runSkippingHealthcare(minDur)
+
+	snap := e.StatsSnapshot()
+	fmt.Printf("engine counters: chunks_scanned=%d chunks_skipped_filter=%d chunks_skipped_audit=%d\n",
+		snap["chunks_scanned"], snap["chunks_skipped_filter"], snap["chunks_skipped_audit"])
+}
+
+// runSkippingHealthcare repeats the selective-filter comparison on the
+// paper's §II healthcare schema scaled to five chunks of patients with
+// a ~0.1%-selectivity ward watch set.
+func runSkippingHealthcare(minDur time.Duration) {
+	e := engine.New()
+	if _, err := e.Exec("CREATE TABLE Patients (PatientID INT PRIMARY KEY, Name VARCHAR(30), Age INT, Zip VARCHAR(10))"); err != nil {
+		log.Fatalf("healthcare skipping bench: %v", err)
+	}
+	const rows = 20480
+	var b strings.Builder
+	for i := 0; i < rows; i++ {
+		if b.Len() == 0 {
+			b.WriteString("INSERT INTO Patients VALUES ")
+		} else {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d, 'P%d', %d, '%05d')", i, i, 20+i%60, 10000+i%90000)
+		if (i+1)%1024 == 0 || i == rows-1 {
+			if _, err := e.Exec(b.String()); err != nil {
+				log.Fatalf("healthcare skipping bench: %v", err)
+			}
+			b.Reset()
+		}
+	}
+	// ~0.1% of patients: one ward of 20.
+	if _, err := e.Exec(`CREATE AUDIT EXPRESSION Audit_Ward AS
+		SELECT * FROM Patients WHERE PatientID BETWEEN 100 AND 119
+		FOR SENSITIVE TABLE Patients, PARTITION BY PatientID`); err != nil {
+		log.Fatalf("healthcare skipping bench: %v", err)
+	}
+	e.SetAuditAll(true)
+
+	q := "SELECT Name, Age FROM Patients WHERE PatientID BETWEEN 15000 AND 15020"
+	off, on := pairSkipping(e, q, minDur)
+	fmt.Printf("healthcare demo (%d patients, ward watch 0.1%%): selective scan off %.0fµs, on %.0fµs, speedup %.2fx\n\n",
+		rows, off*1e6, on*1e6, off/on)
+}
+
+// pairSkipping interleaves skipping-off and skipping-on measurement
+// windows for one query on one engine and returns the median
+// per-query latency of each mode. Interleaving (rather than two long
+// runs) cancels host drift; the session toggle is the only difference
+// between the halves of a pair.
+func pairSkipping(e *engine.Engine, sql string, minDur time.Duration) (medOff, medOn float64) {
+	sessOn := e.NewSession()
+	defer sessOn.Close()
+	sessOff := e.NewSession()
+	defer sessOff.Close()
+	sessOff.SetSkipping(false)
+
+	batch := func(s *engine.Session, d time.Duration, lat *[]float64) {
+		deadline := time.Now().Add(d)
+		for time.Now().Before(deadline) {
+			t0 := time.Now()
+			if _, err := s.Query(sql); err != nil {
+				log.Fatalf("skipping bench query %q: %v", sql, err)
+			}
+			*lat = append(*lat, time.Since(t0).Seconds())
+		}
+	}
+	// Warm both paths (plan cache, table heat).
+	var warm []float64
+	batch(sessOff, minDur/4, &warm)
+	batch(sessOn, minDur/4, &warm)
+
+	var off, on []float64
+	for i := 0; i < 8; i++ {
+		if i%2 == 0 {
+			batch(sessOff, minDur, &off)
+			batch(sessOn, minDur, &on)
+		} else {
+			batch(sessOn, minDur, &on)
+			batch(sessOff, minDur, &off)
+		}
+	}
+	return median(off), median(on)
+}

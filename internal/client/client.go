@@ -222,6 +222,18 @@ func (c *Client) SetTriage(on bool) error {
 	return err
 }
 
+// SetSkipping toggles chunk skipping (zone maps + sensitive-ID
+// sketches) for this session's scans. Results and the audit trail are
+// identical either way; off is for measurement.
+func (c *Client) SetSkipping(on bool) error {
+	v := "off"
+	if on {
+		v = "on"
+	}
+	_, err := c.roundTrip(&wire.Request{Op: wire.OpSet, Key: wire.KeySkipping, Value: v})
+	return err
+}
+
 // Stats fetches the server's merged engine+server counters.
 func (c *Client) Stats() (map[string]int64, error) {
 	resp, err := c.roundTrip(&wire.Request{Op: wire.OpStats})

@@ -198,6 +198,12 @@ func (p *Probe) Observe(v value.Value) {
 	}
 }
 
+// ObserveCount implements plan.CountingAuditSink: the fused kernel
+// advances the observed-row counter for a chunk whose sensitive-ID
+// sketch refuted every row, eliding the per-row probes. ACCESSED is
+// untouched — identical to n probes that all missed.
+func (p *Probe) ObserveCount(n int64) { p.Acc.observed.Add(n) }
+
 // ObserveBatch implements plan.BatchAuditSink: one atomic add for the
 // observed counter, the lock-free membership probe per value, and at
 // most one ACCESSED lock acquisition per batch.
@@ -232,6 +238,12 @@ type workerProbe struct {
 	other    map[string]value.Value
 	observed int64
 }
+
+// ObserveCount implements plan.CountingAuditSink on the worker-local
+// sink: the fused kernel calls it for chunks whose sensitive-ID sketch
+// refuted every row, keeping Observed() identical without per-row
+// probes. ACCESSED is untouched, exactly as n misses would leave it.
+func (w *workerProbe) ObserveCount(n int64) { w.observed += n }
 
 // Observe implements plan.AuditSink on the worker-local sink.
 func (w *workerProbe) Observe(v value.Value) {

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -29,6 +30,30 @@ import (
 type idSet struct {
 	byKey map[string]value.Value
 	ints  map[int64]struct{} // nil when some ID is non-integral
+
+	// sorted is the ascending view of ints, built lazily on the first
+	// chunk-pruning refutation against this snapshot. Maintenance
+	// stores a fresh idSet (and clone builds a fresh struct), so once
+	// a snapshot is published its ints never change and the Once is
+	// race-free.
+	sortedOnce sync.Once
+	sorted     []int64
+}
+
+// sortedInts returns the set's IDs in ascending order (nil when the
+// set holds non-integral IDs).
+func (s *idSet) sortedInts() []int64 {
+	s.sortedOnce.Do(func() {
+		if s.ints == nil {
+			return
+		}
+		s.sorted = make([]int64, 0, len(s.ints))
+		for v := range s.ints {
+			s.sorted = append(s.sorted, v)
+		}
+		sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i] < s.sorted[j] })
+	})
+	return s.sorted
 }
 
 func newIDSet(capacity int) *idSet {
@@ -130,6 +155,53 @@ func (e *AuditExpression) Contains(v value.Value) bool {
 	return e.ids.Load().contains(v)
 }
 
+// refuteProbeCap bounds how many candidate IDs RefuteChunk will test
+// individually against a chunk's Bloom filter. Beyond this the range
+// overlap alone decides (conservatively: scan the chunk).
+const refuteProbeCap = 64
+
+// RefuteChunk implements plan.SketchPruner: it returns true only when
+// no value the chunk may hold in column col can be in the sensitive-ID
+// set. The proof obligation is one-sided — a false return merely
+// scans the chunk; a true return must be certain, so every branch that
+// cannot prove absence answers false. Reads an atomic ID-set snapshot;
+// safe under concurrent maintenance.
+func (e *AuditExpression) RefuteChunk(col int, ck plan.ChunkSketch) bool {
+	set := e.ids.Load()
+	if set == nil {
+		return false
+	}
+	if len(set.byKey) == 0 {
+		return true // empty watch set: no row anywhere is sensitive
+	}
+	sorted := set.sortedInts()
+	if sorted == nil {
+		return false // non-integral IDs: no sketch support
+	}
+	if _, nonNull := ck.NullCounts(col); nonNull == 0 {
+		return true // all-null column values never match (NULL ∉ set)
+	}
+	lo, hi, ok := ck.Range(col)
+	if !ok {
+		return false
+	}
+	// Candidate IDs are those inside the chunk's zone-map envelope.
+	from := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= lo })
+	to := sort.Search(len(sorted), func(i int) bool { return sorted[i] > hi })
+	if from == to {
+		return true // no sensitive ID falls in [lo, hi]
+	}
+	if to-from > refuteProbeCap {
+		return false
+	}
+	for i := from; i < to; i++ {
+		if ck.MayContain(col, sorted[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // IDs returns a snapshot of the sensitive IDs (unordered).
 func (e *AuditExpression) IDs() []value.Value {
 	set := e.ids.Load().byKey
@@ -207,6 +279,13 @@ func (r *Registry) Compile(meta *catalog.AuditExprMeta, query *ast.Select) (*Aud
 
 	if err := e.refresh(r.cat, r.store); err != nil {
 		return nil, err
+	}
+
+	// Register a sensitive-ID sketch on the watched column so scan
+	// kernels can elide audit probes for chunks that provably contain
+	// no sensitive row. Idempotent; covers recovery recompiles too.
+	if st, ok := r.store.Table(meta.SensitiveTable); ok {
+		st.EnsureSketch(keyOrd)
 	}
 
 	r.mu.Lock()

@@ -89,7 +89,7 @@ func insertAtLeaves(holder *rootHolder, e *AuditExpression, sink plan.AuditSink)
 					idx, found = s.Out.IndexOf("", e.Meta.PartitionBy)
 				}
 				if found {
-					parent.SetChild(slot, &plan.Audit{Child: s, Name: e.Meta.Name, IDIdx: idx, Sink: sink})
+					parent.SetChild(slot, &plan.Audit{Child: s, Name: e.Meta.Name, IDIdx: idx, Sink: sink, Pruner: e})
 				}
 			}
 			return
@@ -192,7 +192,7 @@ func placeHighest(holder *rootHolder, e *AuditExpression, sink plan.AuditSink) {
 	}
 	visit(holder, 0, holder.child, 0)
 	if best.found {
-		best.parent.SetChild(best.slot, &plan.Audit{Child: best.node, Name: e.Meta.Name, IDIdx: best.idx, Sink: sink})
+		best.parent.SetChild(best.slot, &plan.Audit{Child: best.node, Name: e.Meta.Name, IDIdx: best.idx, Sink: sink, Pruner: e})
 	}
 }
 

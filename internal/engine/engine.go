@@ -100,6 +100,12 @@ type Engine struct {
 	parallelQueries   *obs.Counter
 	planCacheHits     *obs.Counter
 
+	// Data-skipping metrics: chunks read by scan kernels, and chunks
+	// skipped by reason (filter = zone map refuted the pushed
+	// predicate; audit = the sensitive-ID sketch refuted every probe).
+	chunksScanned *obs.Counter
+	chunksSkipped *obs.CounterVec
+
 	// sharedPlans is the engine-wide plan cache keyed by canonical
 	// (auto-parameterized) statement text; session caches act as an L1
 	// in front of it. See sharedcache.go and plancache.go.
@@ -253,6 +259,10 @@ func (e *Engine) initMetrics() {
 		"SELECTs executed with a parallel operator (Gather exchange or two-phase aggregate) in their plan.")
 	e.planCacheHits = r.NewCounter("auditdb_plan_cache_hits_total", "plan_cache_hits",
 		"SELECTs served from a session's prepared-plan cache, skipping plan/optimize/instrument work.")
+	e.chunksScanned = r.NewCounter("auditdb_chunks_scanned_total", "chunks_scanned",
+		"Chunks read by scan kernels when chunk statistics were consulted.")
+	e.chunksSkipped = r.NewCounterVec("auditdb_chunks_skipped_total", "chunks_skipped",
+		"Chunks skipped by data skipping, by reason (filter = zone-map refutation of the pushed predicate, audit = sensitive-ID sketch refutation).", "reason")
 	e.sharedCacheHits = r.NewCounter("auditdb_plan_cache_shared_hits_total", "plan_cache_shared_hits",
 		"Plans adopted from the engine-wide shared cache (a session cloned another session's template).")
 	e.sharedCacheMisses = r.NewCounter("auditdb_plan_cache_shared_misses_total", "plan_cache_shared_misses",
@@ -550,9 +560,11 @@ func (e *Engine) planEnv(env *actionEnv) *plan.Env {
 
 func (e *Engine) execCtx(env *actionEnv, sql string) *exec.Ctx {
 	ctx := exec.NewCtx(e.store)
-	ctx.Eval.Session = plan.SessionInfo{User: e.sessionOf(env).User(), SQL: sql, Now: time.Now()}
+	sess := e.sessionOf(env)
+	ctx.Eval.Session = plan.SessionInfo{User: sess.User(), SQL: sql, Now: time.Now()}
 	ctx.Eval.Params = env.params
 	ctx.Extra = env.extraRows
+	ctx.NoSkip = !sess.SkippingOn()
 	return ctx
 }
 
@@ -797,6 +809,26 @@ func (e *Engine) executeSelect(run *selectRun, sql string, env *actionEnv, worke
 	e.stats.RowsScanned.Add(ctx.Stats.RowsScanned.Load())
 	if m := ctx.Stats.MorselsClaimed.Load(); m > 0 {
 		e.morselsDispatched.Add(m)
+	}
+	skipFilter := ctx.Stats.ChunksSkippedFilter.Load()
+	skipAudit := ctx.Stats.ChunksSkippedAudit.Load()
+	if scanned := ctx.Stats.ChunksScanned.Load(); scanned+skipFilter+skipAudit > 0 {
+		e.chunksScanned.Add(scanned)
+		if skipFilter > 0 {
+			e.chunksSkipped.With("filter").Add(skipFilter)
+		}
+		if skipAudit > 0 {
+			e.chunksSkipped.With("audit").Add(skipAudit)
+		}
+		if execSpan >= 0 {
+			// The pruning decisions happen inside the scan kernels; the
+			// span records their outcome (counts, not time) under the
+			// execute span so traces show what skipping did.
+			skipSpan := rec.AddSpan(execSpan, "storage.skip", execStart, 0)
+			rec.SetAttrInt(skipSpan, "chunks_scanned", scanned)
+			rec.SetAttrInt(skipSpan, "chunks_skipped_filter", skipFilter)
+			rec.SetAttrInt(skipSpan, "chunks_skipped_audit", skipAudit)
+		}
 	}
 	if err != nil {
 		rec.EndSpan(execSpan)

@@ -110,9 +110,11 @@ func (e *Engine) runExplainAnalyze(s *ast.Explain, sql string, env *actionEnv) (
 	for _, line := range strings.Split(strings.TrimRight(exec.RenderAnalyze(n, az), "\n"), "\n") {
 		res.Rows = append(res.Rows, value.Row{value.NewString(line)})
 	}
+	skipped := ctx.Stats.ChunksSkippedFilter.Load() + ctx.Stats.ChunksSkippedAudit.Load()
 	res.Rows = append(res.Rows, value.Row{value.NewString(fmt.Sprintf(
-		"Execution: rows=%d rows_scanned=%d time=%s",
-		len(rows), ctx.Stats.RowsScanned.Load(), elapsed.Round(time.Microsecond)))})
+		"Execution: rows=%d rows_scanned=%d chunks=%d/%d time=%s",
+		len(rows), ctx.Stats.RowsScanned.Load(), skipped, ctx.Stats.ChunksScanned.Load(),
+		elapsed.Round(time.Microsecond)))})
 	return res, nil
 }
 

@@ -53,6 +53,12 @@ type Session struct {
 	// unless ConfigureTriage armed workers.
 	triageOff bool
 
+	// skipOff is the SET skipping = off flag: this session's scans
+	// read every chunk instead of pruning against zone maps and
+	// sensitive-ID sketches. Default off (skipping on) — the escape
+	// hatch exists to measure and to rule skipping out when debugging.
+	skipOff bool
+
 	// traceOn is the SET trace = on flag; pendProto/pendRead stage the
 	// front end's transport-read note for the next statement. All three
 	// are guarded by mu because protocol front ends may note the read
@@ -85,11 +91,12 @@ func newSession(e *Engine, user string, auditAll bool, h core.Heuristic) *Sessio
 func (e *Engine) NewSession() *Session {
 	d := e.defSess
 	d.lock()
-	user, auditAll, h, workers, triageOff := d.user, d.auditAll, d.heuristic, d.workers, d.triageOff
+	user, auditAll, h, workers, triageOff, skipOff := d.user, d.auditAll, d.heuristic, d.workers, d.triageOff, d.skipOff
 	d.unlock()
 	s := newSession(e, user, auditAll, h)
 	s.workers = workers
 	s.triageOff = triageOff
+	s.skipOff = skipOff
 	return s
 }
 
@@ -199,6 +206,22 @@ func (s *Session) TriageOn() bool {
 	s.lock()
 	defer s.unlock()
 	return !s.triageOff
+}
+
+// SetSkipping toggles chunk-level data skipping for this session's
+// scans (SET skipping = on|off). Results and audit trails are
+// byte-identical either way; off forces full scans.
+func (s *Session) SetSkipping(on bool) {
+	s.lock()
+	s.skipOff = !on
+	s.unlock()
+}
+
+// SkippingOn reports whether this session's scans may skip chunks.
+func (s *Session) SkippingOn() bool {
+	s.lock()
+	defer s.unlock()
+	return !s.skipOff
 }
 
 // NoteTransport records the protocol name and wire read/decode time of

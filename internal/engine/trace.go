@@ -159,6 +159,10 @@ func addOperatorSpans(r *trace.Rec, parent int, n plan.Node, az *exec.Analyze, e
 		if st.Morsels > 0 {
 			r.SetAttrInt(id, "morsels", st.Morsels)
 		}
+		if st.ChunksScanned+st.ChunksSkipped > 0 {
+			r.SetAttrInt(id, "chunks_scanned", st.ChunksScanned)
+			r.SetAttrInt(id, "chunks_skipped", st.ChunksSkipped)
+		}
 	}
 	for _, ws := range az.WorkerRuns(n) {
 		wid := r.AddSpan(id, "worker", execStart, ws.Wall)

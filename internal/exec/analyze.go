@@ -81,10 +81,23 @@ func (a *Analyze) merge(n plan.Node, st *obs.NodeStats) {
 	dst.DistinctIDs += st.DistinctIDs
 	dst.Morsels += st.Morsels
 	dst.Workers += st.Workers
+	dst.ChunksScanned += st.ChunksScanned
+	dst.ChunksSkipped += st.ChunksSkipped
 	if a.workers == nil {
 		a.workers = make(map[plan.Node][]obs.NodeStats)
 	}
 	a.workers[n] = append(a.workers[n], *st)
+	a.mu.Unlock()
+}
+
+// addChunks folds a serial scan kernel's chunk counters into its
+// node's record at Close (parallel kernels fold through their
+// workerAnalyzedIter instead).
+func (a *Analyze) addChunks(n plan.Node, scanned, skipped int64) {
+	dst := a.Node(n)
+	a.mu.Lock()
+	dst.ChunksScanned += scanned
+	dst.ChunksSkipped += skipped
 	a.mu.Unlock()
 }
 
@@ -163,6 +176,8 @@ func (it *workerAnalyzedIter) Close() {
 	it.child.Close()
 	if it.kernel != nil {
 		it.st.Morsels = it.kernel.morsels
+		it.st.ChunksScanned = it.kernel.chunksScanned
+		it.st.ChunksSkipped = it.kernel.chunksSkipFilter + it.kernel.chunksSkipAudit
 	}
 	it.st.Workers = 1
 	it.az.merge(it.node, &it.st)
@@ -193,6 +208,9 @@ func renderAnalyze(b *strings.Builder, n plan.Node, a *Analyze, depth int) {
 		}
 		if st.Morsels > 0 {
 			fmt.Fprintf(b, " morsels=%d", st.Morsels)
+		}
+		if st.ChunksScanned+st.ChunksSkipped > 0 {
+			fmt.Fprintf(b, " chunks=%d/%d", st.ChunksSkipped, st.ChunksScanned)
 		}
 		b.WriteString(")")
 	} else {

@@ -39,6 +39,16 @@ type Ctx struct {
 	// ANALYZE: Open wraps every iterator and disables scan–audit fusion
 	// so each plan node reports its own rows, batches, and wall time.
 	Analyze *Analyze
+	// NoSkip disables chunk-level data skipping (SET skipping = off):
+	// the scan kernels read every chunk and probe every row, the
+	// byte-identical baseline the skipping paths are proven against.
+	NoSkip bool
+	// AuditOnly marks an execution whose result rows are discarded and
+	// only the audit observations matter (the offline auditor's
+	// candidate pass). Scan kernels may then skip chunks the
+	// sensitive-ID sketch refutes outright instead of merely eliding
+	// their probes. Never set for statements that return rows.
+	AuditOnly bool
 }
 
 // Stats counts per-statement execution work. Fields are atomic
@@ -52,6 +62,14 @@ type Stats struct {
 	// MorselsClaimed counts morsels handed out by parallel scan
 	// cursors across the statement.
 	MorselsClaimed atomic.Int64
+	// ChunksScanned counts chunks the scan kernels actually read;
+	// ChunksSkippedFilter and ChunksSkippedAudit count chunks refuted
+	// by zone maps against the pushed predicate and by sensitive-ID
+	// sketches against attached audit expressions (probe elision or,
+	// under AuditOnly, full skips). Folded in at kernel Close.
+	ChunksScanned       atomic.Int64
+	ChunksSkippedFilter atomic.Int64
+	ChunksSkippedAudit  atomic.Int64
 }
 
 // NewCtx returns a context over the given store with a fresh
@@ -208,10 +226,28 @@ func open(n plan.Node, ctx *Ctx) (Iterator, error) {
 				return nil, err
 			}
 			if k, ok := child.(*scanKernel); ok {
-				k.fuseAudit(x.Sink, x.IDIdx)
+				k.fuseAudit(x.Sink, x.IDIdx, x.Pruner)
 				return k, nil
 			}
 			return newAuditIter(child, x.IDIdx, x.Sink), nil
+		}
+		// An audit operator hoisted just above a column-pruning Project
+		// over the sensitive scan fuses too: the Project is 1:1, so the
+		// probe sees the same multiset of key values either side of it.
+		// The key ordinal is remapped through the projection.
+		if pj, ok := x.Child.(*plan.Project); ok && ctx.Analyze == nil {
+			if s, ok := pj.Child.(*plan.Scan); ok {
+				if col, ok := projectedScanColumn(pj, x.IDIdx); ok {
+					child, err := openScan(s, ctx)
+					if err != nil {
+						return nil, err
+					}
+					if k, ok := child.(*scanKernel); ok {
+						k.fuseAudit(x.Sink, col, x.Pruner)
+						return &projectIter{child: k, exprs: pj.Exprs, ctx: ctx}, nil
+					}
+				}
+			}
 		}
 		child, err := Open(x.Child, ctx)
 		if err != nil {
@@ -271,6 +307,27 @@ type scanKernel struct {
 	bsink plan.BatchAuditSink
 	idIdx int
 
+	// Chunk skipping (skip.go): compiled filter refutation terms, the
+	// fused audit expression's sketch pruner, and the decide callback
+	// handed to the pruned storage scans. chunkElide marks the current
+	// chunk's probes as elided (counted via csink, never recorded);
+	// elidedRows accumulates until the next flushAudit. lastChunk
+	// keeps the per-chunk counters exact across mid-chunk resumes.
+	prune       []prunePred
+	pruner      plan.SketchPruner
+	csink       plan.CountingAuditSink
+	decideFn    func(storage.ChunkInfo) bool
+	decideBuilt bool
+	chunkElide  bool
+	elidedRows  int64
+	lastChunk   int
+	aznode      plan.Node
+
+	chunksScanned    int64
+	chunksSkipFilter int64
+	chunksSkipAudit  int64
+	closed           bool
+
 	raw     []value.Row     // chunk read buffer, grown to the request ceiling
 	rawIDs  []storage.RowID // row IDs matching raw, for mask checks
 	vals    []value.Value   // per-batch audit value scratch
@@ -288,6 +345,12 @@ func openScan(s *plan.Scan, ctx *Ctx) (Iterator, error) {
 	}
 	if ctx.Mask.HidesTable(s.Table) {
 		k.mask = ctx.Mask
+	}
+	if !ctx.NoSkip {
+		k.prune = compilePrune(s.Prune, tbl, ctx)
+	}
+	if ctx.Analyze != nil {
+		k.aznode = s
 	}
 
 	// Index-assisted access path: if the pushed predicate contains an
@@ -308,18 +371,36 @@ func openScan(s *plan.Scan, ctx *Ctx) (Iterator, error) {
 	return k, nil
 }
 
-// fuseAudit attaches a leaf audit operator's sink to the kernel.
-func (k *scanKernel) fuseAudit(sink plan.AuditSink, idIdx int) {
+// fuseAudit attaches a leaf audit operator's sink to the kernel, along
+// with the expression's sketch pruner when skipping is enabled. Probe
+// elision additionally requires a counting sink (so the observed-row
+// counter stays byte-identical); a non-counting sink keeps per-row
+// probes for every scanned chunk.
+func (k *scanKernel) fuseAudit(sink plan.AuditSink, idIdx int, pruner plan.SketchPruner) {
 	k.sink = sink
 	k.idIdx = idIdx
 	if bs, ok := sink.(plan.BatchAuditSink); ok {
 		k.bsink = bs
 	}
+	if pruner != nil && !k.ctx.NoSkip && idIdx >= 0 {
+		if cs, ok := sink.(plan.CountingAuditSink); ok {
+			k.pruner = pruner
+			k.csink = cs
+		} else if k.ctx.AuditOnly {
+			k.pruner = pruner
+		}
+	}
 }
 
 // flushAudit delivers the batch's accumulated partition-by values to
-// the sink: one ObserveBatch call when the sink is batch-aware.
+// the sink: one ObserveBatch call when the sink is batch-aware. Rows
+// whose probes were elided by a sketch-refuted chunk advance the
+// observed counter in one ObserveCount call instead.
 func (k *scanKernel) flushAudit() {
+	if k.elidedRows > 0 {
+		k.csink.ObserveCount(k.elidedRows)
+		k.elidedRows = 0
+	}
 	if len(k.vals) == 0 {
 		return
 	}
@@ -388,13 +469,21 @@ func (k *scanKernel) NextBatch(b *Batch) (int, error) {
 				k.pos, k.morselEnd = lo, hi
 				k.morsels++
 			}
-			n, k.pos = k.tbl.ScanRange(k.pos, k.morselEnd, k.raw[:limit-kept], k.rawIDs)
+			if decide := k.decider(); decide != nil {
+				n, k.pos = k.tbl.ScanRangePruned(k.pos, k.morselEnd, k.raw[:limit-kept], k.rawIDs, decide)
+			} else {
+				n, k.pos = k.tbl.ScanRange(k.pos, k.morselEnd, k.raw[:limit-kept], k.rawIDs)
+			}
 			chunkIDs = k.rawIDs[:n]
 		} else {
 			if k.pos < 0 {
 				break
 			}
-			n, k.pos = k.tbl.ScanChunk(k.pos, k.raw[:limit-kept], k.rawIDs)
+			if decide := k.decider(); decide != nil {
+				n, k.pos = k.tbl.ScanChunkPruned(k.pos, k.raw[:limit-kept], k.rawIDs, decide)
+			} else {
+				n, k.pos = k.tbl.ScanChunk(k.pos, k.raw[:limit-kept], k.rawIDs)
+			}
 			chunkIDs = k.rawIDs[:n]
 		}
 		k.ctx.Stats.RowsScanned.Add(int64(n))
@@ -422,7 +511,13 @@ func (k *scanKernel) NextBatch(b *Batch) (int, error) {
 				}
 			}
 			if k.sink != nil && k.idIdx >= 0 && k.idIdx < len(row) {
-				k.vals = append(k.vals, row[k.idIdx])
+				if k.chunkElide {
+					// Sketch-refuted chunk: this probe cannot hit, so
+					// only the observed count advances (at flush).
+					k.elidedRows++
+				} else {
+					k.vals = append(k.vals, row[k.idIdx])
+				}
 			}
 			b.buf[kept] = row
 			kept++
@@ -435,7 +530,24 @@ func (k *scanKernel) NextBatch(b *Batch) (int, error) {
 
 func (k *scanKernel) Next() (value.Row, bool, error) { return k.adapter.nextRow(k) }
 
-func (k *scanKernel) Close() {}
+// Close folds the kernel's chunk counters into the statement stats
+// (and, for serial EXPLAIN ANALYZE, into the scan node's record —
+// parallel kernels are harvested by their workerAnalyzedIter instead).
+func (k *scanKernel) Close() {
+	if k.closed {
+		return
+	}
+	k.closed = true
+	if k.chunksScanned|k.chunksSkipFilter|k.chunksSkipAudit == 0 {
+		return
+	}
+	k.ctx.Stats.ChunksScanned.Add(k.chunksScanned)
+	k.ctx.Stats.ChunksSkippedFilter.Add(k.chunksSkipFilter)
+	k.ctx.Stats.ChunksSkippedAudit.Add(k.chunksSkipAudit)
+	if k.ctx.Analyze != nil && k.src == nil && k.aznode != nil {
+		k.ctx.Analyze.addChunks(k.aznode, k.chunksScanned, k.chunksSkipFilter+k.chunksSkipAudit)
+	}
+}
 
 // equalityProbe finds a conjunct of the form col = constant (or
 // constant = col) whose constant side is evaluable without a row.

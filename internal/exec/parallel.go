@@ -62,6 +62,13 @@ type scanSource struct {
 	name string
 	mask *storage.Mask
 	pred plan.Expr
+	// prune holds the scan's declarative chunk-refutation terms; each
+	// worker kernel compiles them against its own context (cheap — a
+	// handful of constant resolutions). Nil when skipping is off.
+	prune []plan.PruneTerm
+	// node is the originating plan node, kept for EXPLAIN ANALYZE
+	// chunk-counter attribution.
+	node *plan.Scan
 
 	// Index-assisted path: workers claim offset windows into ids.
 	// useIDs is explicit because LookupEq can return an empty-but-usable
@@ -77,9 +84,12 @@ func newScanSource(s *plan.Scan, ctx *Ctx) (*scanSource, error) {
 	if !ok {
 		return nil, fmt.Errorf("exec: table %q does not exist", s.Table)
 	}
-	ss := &scanSource{tbl: tbl, name: s.Table, pred: s.Pushed}
+	ss := &scanSource{tbl: tbl, name: s.Table, pred: s.Pushed, node: s}
 	if ctx.Mask.HidesTable(s.Table) {
 		ss.mask = ctx.Mask
+	}
+	if !ctx.NoSkip {
+		ss.prune = s.Prune
 	}
 	if s.Pushed != nil {
 		if col, v, found := equalityProbe(s.Pushed, ctx); found {
@@ -110,6 +120,12 @@ func (ss *scanSource) kernel(wctx *Ctx) *scanKernel {
 	}
 	if ss.pred != nil {
 		k.quick = compilePred(ss.pred, wctx)
+	}
+	if len(ss.prune) > 0 {
+		k.prune = compilePrune(ss.prune, ss.tbl, wctx)
+	}
+	if wctx.Analyze != nil {
+		k.aznode = ss.node
 	}
 	if ss.useIDs {
 		k.useIDs = true
@@ -300,10 +316,26 @@ func (pr *parallelRun) fragmentBare(n plan.Node, wctx *Ctx, merges *[]plan.Worke
 				return nil, err
 			}
 			if k, kok := child.(*scanKernel); kok {
-				k.fuseAudit(sink, x.IDIdx)
+				k.fuseAudit(sink, x.IDIdx, x.Pruner)
 				return k, nil
 			}
 			return newAuditIter(child, x.IDIdx, sink), nil
+		}
+		// Audit over a column-pruning Project over the scan fuses with
+		// the key ordinal remapped, as in the serial path.
+		if pj, ok := x.Child.(*plan.Project); ok && wctx.Analyze == nil {
+			if s, ok := pj.Child.(*plan.Scan); ok {
+				if col, cok := projectedScanColumn(pj, x.IDIdx); cok {
+					child, err := pr.fragmentBare(s, wctx, merges)
+					if err != nil {
+						return nil, err
+					}
+					if k, kok := child.(*scanKernel); kok {
+						k.fuseAudit(sink, col, x.Pruner)
+						return &projectIter{child: k, exprs: pj.Exprs, ctx: wctx}, nil
+					}
+				}
+			}
 		}
 		child, err := pr.fragment(x.Child, wctx, merges)
 		if err != nil {

@@ -390,4 +390,8 @@ type NodeStats struct {
 	// Parallel-execution extras: morsels claimed by this operator's
 	// scan cursor, and the worker-pool size of a Gather exchange.
 	Morsels, Workers int64
+
+	// Data-skipping extras (scan operators): chunks actually read and
+	// chunks refuted by zone maps or sensitive-ID sketches.
+	ChunksScanned, ChunksSkipped int64
 }

@@ -44,6 +44,12 @@ type Auditor struct {
 	// GOMAXPROCS. Background verifiers (triage) set 1 so an offline
 	// audit never commandeers the host from foreground queries.
 	Parallelism int
+	// NoSkip disables chunk skipping (zone maps and sensitive-ID
+	// sketches) in every execution the audit performs. Used by
+	// equivalence tests and as an escape hatch; the default (skipping
+	// on) is exact because pruning only elides provably irrelevant
+	// chunks.
+	NoSkip bool
 }
 
 // New creates an offline auditor over the given catalog and store.
@@ -237,6 +243,7 @@ func (a *Auditor) AuditPlanContext(ctx context.Context, root plan.Node, ae *core
 func (a *Auditor) runDigest(root plan.Node, mask *storage.Mask) (uint64, int64, error) {
 	ctx := exec.NewCtx(a.store)
 	ctx.Mask = mask
+	ctx.NoSkip = a.NoSkip
 	rows, err := exec.Run(root, ctx)
 	if err != nil {
 		return 0, ctx.Stats.RowsScanned.Load(), err
@@ -252,14 +259,61 @@ func (a *Auditor) runDigest(root plan.Node, mask *storage.Mask) (uint64, int64, 
 
 // leafCandidates runs the plan once with leaf-node audit operators and
 // returns the observed sensitive IDs plus the rows scanned doing so.
+// Only the observed IDs matter here — the result rows are discarded —
+// so when the plan is simple enough (single scan, no subqueries) the
+// run is marked audit-only, letting the scan kernel skip whole chunks
+// whose sensitive-ID sketch refutes the watch set (Claim 3.5 pruning
+// goes sublinear in table size on sparse watch sets).
 func (a *Auditor) leafCandidates(root plan.Node, ae *core.AuditExpression) ([]value.Value, int64, error) {
 	acc := core.NewAccessed()
 	instrumented := core.Instrument(clonePlanForInstrumentation(root), ae, &core.Probe{Expr: ae, Acc: acc}, core.LeafNode)
+	if countAuditOps(instrumented) == 0 {
+		// The plan never reads the sensitive table: the candidate set
+		// is empty by construction, no execution needed.
+		return nil, 0, nil
+	}
 	ctx := exec.NewCtx(a.store)
+	ctx.NoSkip = a.NoSkip
+	if !a.NoSkip {
+		ctx.AuditOnly = auditOnlyOK(instrumented)
+	}
 	if _, err := exec.Run(instrumented, ctx); err != nil {
 		return nil, ctx.Stats.RowsScanned.Load(), err
 	}
 	return acc.IDs(ae.Meta.Name), ctx.Stats.RowsScanned.Load(), nil
+}
+
+// countAuditOps counts audit operators in the plan tree (subquery
+// blocks included).
+func countAuditOps(root plan.Node) int {
+	n := 0
+	plan.Walk(root, func(x plan.Node) {
+		if _, ok := x.(*plan.Audit); ok {
+			n++
+		}
+	})
+	plan.Subplans(root, func(sq *plan.Subquery) {
+		n += countAuditOps(sq.Plan)
+	})
+	return n
+}
+
+// auditOnlyOK reports whether discarding result rows makes full
+// audit-sketch chunk skips safe: a single-scan plan with no subquery
+// blocks. With one scan, a chunk that provably holds no watched ID can
+// only change the (discarded) result — it cannot change which rows any
+// other operator feeds to a probe. Joins, self-joins, and correlated
+// subqueries re-read tables, so they keep the conservative probe-only
+// elision instead.
+func auditOnlyOK(root plan.Node) bool {
+	scans, subqs := 0, 0
+	plan.Walk(root, func(x plan.Node) {
+		if _, ok := x.(*plan.Scan); ok {
+			scans++
+		}
+	})
+	plan.Subplans(root, func(sq *plan.Subquery) { subqs++ })
+	return scans == 1 && subqs == 0
 }
 
 // clonePlanForInstrumentation isolates the caller's plan from the

@@ -1,0 +1,124 @@
+package offline_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"auditdb/internal/core"
+	"auditdb/internal/engine"
+	"auditdb/internal/offline"
+)
+
+// setupBig loads a table spanning several storage chunks with an audit
+// expression whose watch set sits in the last chunk, so candidate
+// pruning (Claim 3.5 via sketches) has something to skip.
+func setupBig(t *testing.T) (*engine.Engine, *core.AuditExpression) {
+	t.Helper()
+	e := engine.New()
+	if _, err := e.Exec("CREATE TABLE Events (EventID INT PRIMARY KEY, Kind INT, Score INT)"); err != nil {
+		t.Fatal(err)
+	}
+	const rows = 10240
+	var b strings.Builder
+	for i := 0; i < rows; i++ {
+		if b.Len() == 0 {
+			b.WriteString("INSERT INTO Events VALUES ")
+		} else {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d, %d, %d)", i, i%7, i%100)
+		if (i+1)%1024 == 0 || i == rows-1 {
+			if _, err := e.Exec(b.String()); err != nil {
+				t.Fatal(err)
+			}
+			b.Reset()
+		}
+	}
+	_, err := e.Exec(`CREATE AUDIT EXPRESSION Audit_Tail AS
+		SELECT * FROM Events WHERE EventID BETWEEN 9000 AND 9050
+		FOR SENSITIVE TABLE Events, PARTITION BY EventID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae, ok := e.Registry().Get("Audit_Tail")
+	if !ok {
+		t.Fatal("audit expression missing")
+	}
+	return e, ae
+}
+
+func auditBoth(t *testing.T, e *engine.Engine, ae *core.AuditExpression, sql string) (pruned, exact *offline.Report) {
+	t.Helper()
+	aud := offline.New(e.Catalog(), e.Store())
+	pruned, err := aud.Audit(sql, ae)
+	if err != nil {
+		t.Fatalf("pruned audit of %q: %v", sql, err)
+	}
+	aud.NoSkip = true
+	exact, err = aud.Audit(sql, ae)
+	if err != nil {
+		t.Fatalf("unpruned audit of %q: %v", sql, err)
+	}
+	return pruned, exact
+}
+
+func sameReports(a, b *offline.Report) bool {
+	if len(a.AccessedIDs) != len(b.AccessedIDs) || a.Candidates != b.Candidates {
+		return false
+	}
+	for i := range a.AccessedIDs {
+		if a.AccessedIDs[i].Int() != b.AccessedIDs[i].Int() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestOfflineSkipEquivalenceSmall: on the seed scenarios the pruned
+// auditor must produce verdicts — accessed sets AND candidate
+// supersets — identical to the exact (NoSkip) auditor.
+func TestOfflineSkipEquivalenceSmall(t *testing.T) {
+	e, _, ae := setup(t)
+	for _, sql := range []string{
+		"SELECT * FROM Patients WHERE Name = 'Alice'",
+		"SELECT P.Name FROM Patients P, Disease D WHERE P.PatientID = D.PatientID AND D.Disease = 'flu'",
+		"SELECT Zip, COUNT(*) FROM Patients GROUP BY Zip",
+		"SELECT Name FROM Patients ORDER BY Age DESC LIMIT 2",
+		"SELECT * FROM Patients WHERE EXISTS (SELECT 1 FROM Disease D WHERE D.PatientID = Patients.PatientID AND D.Disease = 'cancer')",
+	} {
+		pruned, exact := auditBoth(t, e, ae, sql)
+		if !sameReports(pruned, exact) {
+			t.Errorf("%q: pruned report (ids=%v cand=%d) != exact (ids=%v cand=%d)",
+				sql, ids(pruned), pruned.Candidates, ids(exact), exact.Candidates)
+		}
+	}
+}
+
+// TestOfflineSkipEquivalenceMultiChunk: same property on a table large
+// enough for chunk pruning to engage — and on the sparse-watch full
+// scan, the pruned candidate pass must actually read fewer rows.
+func TestOfflineSkipEquivalenceMultiChunk(t *testing.T) {
+	e, ae := setupBig(t)
+	for _, sql := range []string{
+		"SELECT * FROM Events WHERE Score BETWEEN 10 AND 12",
+		"SELECT COUNT(*), MIN(Score) FROM Events WHERE Kind = 3",
+		"SELECT * FROM Events WHERE EventID BETWEEN 8990 AND 9060",
+		"SELECT * FROM Events ORDER BY Score DESC LIMIT 5",
+		"SELECT Kind, COUNT(*) FROM Events GROUP BY Kind",
+	} {
+		pruned, exact := auditBoth(t, e, ae, sql)
+		if !sameReports(pruned, exact) {
+			t.Errorf("%q: pruned report (ids=%v cand=%d) != exact (ids=%v cand=%d)",
+				sql, ids(pruned), pruned.Candidates, ids(exact), exact.Candidates)
+		}
+	}
+
+	// Sublinear candidate pass: the watch set lives in one chunk, so the
+	// audit-only leaf run skips the other chunks outright.
+	pruned, exact := auditBoth(t, e, ae, "SELECT Kind, COUNT(*) FROM Events GROUP BY Kind")
+	if pruned.RowsScanned >= exact.RowsScanned {
+		t.Errorf("pruned audit scanned %d rows, exact scanned %d — pruning never engaged",
+			pruned.RowsScanned, exact.RowsScanned)
+	}
+}

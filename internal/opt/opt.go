@@ -27,6 +27,7 @@ func Optimize(n plan.Node) plan.Node {
 			}
 		})
 	})
+	derivePruneTerms(n)
 	return n
 }
 

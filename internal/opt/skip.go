@@ -1,0 +1,133 @@
+package opt
+
+import (
+	"auditdb/internal/plan"
+	"auditdb/internal/value"
+)
+
+// derivePruneTerms walks every Scan in the optimized tree and attaches
+// chunk-refutation terms derived from its pushed predicate. Terms stay
+// declarative (the constant side may be a Param or Outer reference) so
+// plans remain cache- and clone-safe; the executor compiles them at
+// Open and silently drops any it cannot resolve to an I-backed value.
+func derivePruneTerms(n plan.Node) {
+	plan.Walk(n, func(node plan.Node) {
+		if s, ok := node.(*plan.Scan); ok && s.Pushed != nil {
+			s.Prune = pruneTermsOf(s.Pushed)
+		}
+	})
+}
+
+// pruneTermsOf extracts the refutable conjuncts of a leaf predicate.
+// Only shapes a zone map can act on survive: col <op> const-ish,
+// BETWEEN, IN (...), IS [NOT] NULL. Everything else contributes no
+// term — pruning is purely an optimization, the full predicate still
+// runs over every surviving row.
+func pruneTermsOf(pred plan.Expr) []plan.PruneTerm {
+	var terms []plan.PruneTerm
+	for _, c := range splitConjuncts(pred) {
+		terms = appendPruneTerm(terms, c)
+	}
+	return terms
+}
+
+func appendPruneTerm(terms []plan.PruneTerm, e plan.Expr) []plan.PruneTerm {
+	switch x := e.(type) {
+	case *plan.Cmp:
+		if col, ok := x.L.(*plan.Col); ok && constish(x.R) {
+			return append(terms, plan.PruneTerm{Kind: plan.PruneCmp, Col: col.Idx, Op: x.Op, Val: x.R})
+		}
+		// const <op> col ⇒ col <flipped-op> const.
+		if col, ok := x.R.(*plan.Col); ok && constish(x.L) {
+			return append(terms, plan.PruneTerm{Kind: plan.PruneCmp, Col: col.Idx, Op: flipCmp(x.Op), Val: x.L})
+		}
+	case *plan.Between:
+		col, ok := x.X.(*plan.Col)
+		if !ok || x.Negate || !constish(x.Lo) || !constish(x.Hi) {
+			return terms
+		}
+		terms = append(terms, plan.PruneTerm{Kind: plan.PruneCmp, Col: col.Idx, Op: plan.CmpGe, Val: x.Lo})
+		return append(terms, plan.PruneTerm{Kind: plan.PruneCmp, Col: col.Idx, Op: plan.CmpLe, Val: x.Hi})
+	case *plan.InList:
+		col, ok := x.X.(*plan.Col)
+		if !ok || x.Negate || len(x.List) == 0 {
+			return terms
+		}
+		// IN over constants prunes with the list's min/max envelope.
+		// Any non-Const element (Param ordering is unknowable at plan
+		// time) disqualifies the term.
+		lo, hi, ok := constEnvelope(x.List)
+		if !ok {
+			return terms
+		}
+		terms = append(terms, plan.PruneTerm{Kind: plan.PruneCmp, Col: col.Idx, Op: plan.CmpGe, Val: lo})
+		return append(terms, plan.PruneTerm{Kind: plan.PruneCmp, Col: col.Idx, Op: plan.CmpLe, Val: hi})
+	case *plan.IsNull:
+		if col, ok := x.X.(*plan.Col); ok {
+			kind := plan.PruneIsNull
+			if x.Negate {
+				kind = plan.PruneNotNull
+			}
+			return append(terms, plan.PruneTerm{Kind: kind, Col: col.Idx})
+		}
+	}
+	return terms
+}
+
+// constish reports whether e is row-independent: a literal, a bound
+// parameter, or an outer-query column (fixed for the whole inner scan).
+func constish(e plan.Expr) bool {
+	switch e.(type) {
+	case *plan.Const, *plan.Param, *plan.Outer:
+		return true
+	}
+	return false
+}
+
+// constEnvelope returns Const expressions bounding an all-Const,
+// all-comparable-int list.
+func constEnvelope(list []plan.Expr) (lo, hi plan.Expr, ok bool) {
+	var loC, hiC *plan.Const
+	for _, e := range list {
+		c, isConst := e.(*plan.Const)
+		if !isConst {
+			return nil, nil, false
+		}
+		if loC == nil {
+			loC, hiC = c, c
+			continue
+		}
+		if cmp, cok := cmpConst(c, loC); cok && cmp < 0 {
+			loC = c
+		} else if !cok {
+			return nil, nil, false
+		}
+		if cmp, cok := cmpConst(c, hiC); cok && cmp > 0 {
+			hiC = c
+		} else if !cok {
+			return nil, nil, false
+		}
+	}
+	if loC == nil {
+		return nil, nil, false
+	}
+	return loC, hiC, true
+}
+
+func cmpConst(a, b *plan.Const) (int, bool) {
+	return value.CompareSQL(a.V, b.V)
+}
+
+func flipCmp(op plan.CmpOp) plan.CmpOp {
+	switch op {
+	case plan.CmpLt:
+		return plan.CmpGt
+	case plan.CmpLe:
+		return plan.CmpGe
+	case plan.CmpGt:
+		return plan.CmpLt
+	case plan.CmpGe:
+		return plan.CmpLe
+	}
+	return op // Eq, Ne are symmetric
+}

@@ -54,6 +54,8 @@ func tryUtility(sess *engine.Session, sql string) (res *utilityResult, handled b
 			sess.SetAuditAll(false)
 		case "triage":
 			sess.SetTriage(true)
+		case "skipping":
+			sess.SetSkipping(true)
 		}
 		return &utilityResult{tag: "RESET"}, true, nil
 	case "SHOW":
@@ -143,6 +145,15 @@ func setUtility(sess *engine.Session, args []string) (*utilityResult, bool, erro
 		default:
 			return nil, true, fmt.Errorf("parameter %q requires on or off: %q", name, val)
 		}
+	case "skipping":
+		switch strings.ToLower(val) {
+		case "on", "true", "1":
+			sess.SetSkipping(true)
+		case "off", "false", "0":
+			sess.SetSkipping(false)
+		default:
+			return nil, true, fmt.Errorf("parameter %q requires on or off: %q", name, val)
+		}
 	default:
 		// Driver boilerplate (extra_float_digits, application_name,
 		// client_encoding, search_path, …): accept and ignore.
@@ -191,6 +202,12 @@ func showUtility(sess *engine.Session, name string) (*utilityResult, bool, error
 		}
 	case "triage":
 		if sess.TriageOn() {
+			val = "on"
+		} else {
+			val = "off"
+		}
+	case "skipping":
+		if sess.SkippingOn() {
 			val = "on"
 		} else {
 			val = "off"

@@ -36,6 +36,12 @@ type Scan struct {
 	// bounded heap ranges from a shared cursor instead of one iterator
 	// streaming the heap. Set by opt.Parallelize.
 	Parallel bool
+	// Prune holds chunk-refutation terms derived from Pushed by the
+	// optimizer: a chunk whose zone map refutes any term cannot yield
+	// a passing row and is skipped without copying. Declarative (the
+	// constant side may be a Param or Outer ref) so cached plans stay
+	// valid; the executor compiles terms at Open.
+	Prune []PruneTerm
 }
 
 // Schema implements Node.
@@ -399,6 +405,58 @@ type WorkerAuditSink interface {
 	Merge()
 }
 
+// PruneKind discriminates chunk-refutation terms.
+type PruneKind uint8
+
+// Prune term kinds: a column/constant comparison, or a null check.
+const (
+	PruneCmp PruneKind = iota
+	PruneIsNull
+	PruneNotNull
+)
+
+// PruneTerm is one conjunct of a scan's pruning predicate, in the
+// restricted shape zone maps can refute: column <op> constant, column
+// IS NULL, or column IS NOT NULL. Val stays an expression (Const,
+// Param, or Outer) so terms survive plan caching; the executor
+// resolves it to an int64 at Open and drops terms it cannot resolve to
+// an I-backed kind.
+type PruneTerm struct {
+	Kind PruneKind
+	Col  int
+	Op   CmpOp
+	Val  Expr
+}
+
+// CountingAuditSink is an audit sink whose observed-row accounting can
+// be advanced without presenting the values. The fused kernel uses it
+// when a chunk's sensitive-ID sketch refutes every row: the per-row
+// probes are elided (none could match, so ACCESSED is untouched) while
+// the observation count stays byte-identical to the unelided run.
+// Sinks that do not implement this interface never have probes elided.
+type CountingAuditSink interface {
+	AuditSink
+	ObserveCount(n int64)
+}
+
+// ChunkSketch is the read-only statistics view the storage layer hands
+// to pruning decisions: zone-map range, null counts, and sensitive-ID
+// membership for one chunk. All answers are conservative — "may
+// contain" can be wrong in the containing direction only.
+type ChunkSketch interface {
+	Range(col int) (lo, hi int64, ok bool)
+	NullCounts(col int) (nulls, nonNull int64)
+	MayContain(col int, v int64) bool
+}
+
+// SketchPruner refutes chunks against an audit expression's
+// sensitive-ID set: RefuteChunk returns true only when no value in the
+// chunk's watched column can be in the set. Implemented by
+// core.AuditExpression.
+type SketchPruner interface {
+	RefuteChunk(col int, ck ChunkSketch) bool
+}
+
 // ParallelAuditSink is an audit sink that supports fork/merge
 // parallelism: Fork returns a worker-local sink whose observations are
 // union-merged into the parent by its Merge method. Because the audit
@@ -423,6 +481,12 @@ type Audit struct {
 	IDIdx int
 	// Sink checks membership in the sensitive-ID set and records hits.
 	Sink AuditSink
+	// Pruner, when set, can refute whole chunks against the audit
+	// expression's sensitive-ID sketch. It is the stable compiled
+	// expression object (not a snapshot), so cached plans see DML to
+	// the watch set immediately; plan-cache invalidation on expression
+	// DDL covers creation/drop.
+	Pruner SketchPruner
 }
 
 // Schema implements Node.

@@ -236,6 +236,15 @@ func (c *jsonConn) set(key, val string) *wire.Response {
 		default:
 			return errResp("set triage: want on|off, got %q", val)
 		}
+	case wire.KeySkipping:
+		switch val {
+		case "on", "true":
+			c.sess.SetSkipping(true)
+		case "off", "false":
+			c.sess.SetSkipping(false)
+		default:
+			return errResp("set skipping: want on|off, got %q", val)
+		}
 	default:
 		return errResp("unknown setting %q", key)
 	}

@@ -1,0 +1,230 @@
+package storage
+
+import (
+	"testing"
+
+	"auditdb/internal/value"
+)
+
+func mustInsert(t *testing.T, tb *Table, r value.Row) RowID {
+	t.Helper()
+	id, err := tb.Insert(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// TestZoneMapTracksInserts: fresh inserts produce exact min/max and
+// null counts.
+func TestZoneMapTracksInserts(t *testing.T) {
+	tb := NewTable(patientsMeta())
+	for i := int64(10); i <= 20; i++ {
+		mustInsert(t, tb, row(i, "p", 30+i))
+	}
+	ci := ChunkInfo{t: tb, c: 0}
+	lo, hi, ok := ci.Range(0)
+	if !ok || lo != 10 || hi != 20 {
+		t.Fatalf("Range(PatientID) = [%d,%d] ok=%v, want [10,20]", lo, hi, ok)
+	}
+	lo, hi, ok = ci.Range(2)
+	if !ok || lo != 40 || hi != 50 {
+		t.Fatalf("Range(Age) = [%d,%d] ok=%v, want [40,50]", lo, hi, ok)
+	}
+	if _, _, ok := ci.Range(1); ok {
+		t.Fatal("string column must not report a zone map")
+	}
+	nulls, nonNull := ci.NullCounts(0)
+	if nulls != 0 || nonNull != 11 {
+		t.Fatalf("NullCounts = %d/%d, want 0/11", nulls, nonNull)
+	}
+}
+
+// TestZoneMapWidensOnUpdate: an update folds the new image in, so the
+// bounds cover both old and new values (conservative, never stale in
+// the unsound direction).
+func TestZoneMapWidensOnUpdate(t *testing.T) {
+	tb := NewTable(patientsMeta())
+	id := mustInsert(t, tb, row(5, "p", 40))
+	mustInsert(t, tb, row(6, "q", 41))
+	if _, err := tb.Update(id, row(5, "p", 99)); err != nil {
+		t.Fatal(err)
+	}
+	ci := ChunkInfo{t: tb, c: 0}
+	lo, hi, ok := ci.Range(2)
+	if !ok || lo > 40 || hi < 99 {
+		t.Fatalf("Range(Age) = [%d,%d] ok=%v, want bounds covering 40 and 99", lo, hi, ok)
+	}
+	if live := tb.stats[0].live; live != 2 {
+		t.Fatalf("live = %d after update, want 2 (updates must not inflate)", live)
+	}
+}
+
+// TestNullCountsExactZero: nulls==0 must be exact (it is what refutes
+// IS NULL), and inserting a null must move it off zero.
+func TestNullCountsExactZero(t *testing.T) {
+	tb := NewTable(patientsMeta())
+	mustInsert(t, tb, row(1, "p", 30))
+	mustInsert(t, tb, value.Row{value.NewInt(2), value.NewString("q"), value.Null})
+	ci := ChunkInfo{t: tb, c: 0}
+	nulls, nonNull := ci.NullCounts(2)
+	if nulls != 1 || nonNull != 1 {
+		t.Fatalf("NullCounts(Age) = %d/%d, want 1/1", nulls, nonNull)
+	}
+}
+
+// TestDeleteEmptiesChunk: deleting every row drops live to zero and a
+// pruned scan skips the chunk silently — decide is never consulted.
+func TestDeleteEmptiesChunk(t *testing.T) {
+	tb := NewTable(patientsMeta())
+	var ids []RowID
+	for i := int64(0); i < 8; i++ {
+		ids = append(ids, mustInsert(t, tb, row(i, "p", 30)))
+	}
+	for _, id := range ids {
+		if _, err := tb.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if live := tb.stats[0].live; live != 0 {
+		t.Fatalf("live = %d after deleting all, want 0", live)
+	}
+	decided := false
+	out := make([]value.Row, 16)
+	n, next := tb.ScanChunkPruned(0, out, make([]RowID, 16), func(ChunkInfo) bool {
+		decided = true
+		return true
+	})
+	if n != 0 || next != -1 {
+		t.Fatalf("scan of empty chunk = (%d, %d), want (0, -1)", n, next)
+	}
+	if decided {
+		t.Fatal("decide must not run for a chunk with no live rows")
+	}
+}
+
+// TestDriftRebuildTightensBounds: once deletes accumulate to half a
+// chunk the stats are rebuilt exactly, so the zone map tightens back to
+// the surviving rows.
+func TestDriftRebuildTightensBounds(t *testing.T) {
+	tb := NewTable(patientsMeta())
+	var ids []RowID
+	for i := int64(0); i < ChunkRows; i++ {
+		ids = append(ids, mustInsert(t, tb, row(i, "p", 30)))
+	}
+	// Delete the top half: the 2048th drift triggers a rebuild.
+	for i := ChunkRows / 2; i < ChunkRows; i++ {
+		if _, err := tb.Delete(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ck := tb.stats[0]
+	if ck.drift != 0 {
+		t.Fatalf("drift = %d after rebuild threshold, want 0", ck.drift)
+	}
+	if ck.live != ChunkRows/2 {
+		t.Fatalf("live = %d, want %d", ck.live, ChunkRows/2)
+	}
+	lo, hi, ok := ChunkInfo{t: tb, c: 0}.Range(0)
+	if !ok || lo != 0 || hi != int64(ChunkRows/2-1) {
+		t.Fatalf("Range after rebuild = [%d,%d] ok=%v, want [0,%d]", lo, hi, ok, ChunkRows/2-1)
+	}
+}
+
+// TestEnsureSketchBackfillAndMaintenance: registering a sketch on a
+// populated table backfills existing chunks, later inserts maintain it,
+// and absent keys are mostly refuted (bounded false-positive rate).
+func TestEnsureSketchBackfillAndMaintenance(t *testing.T) {
+	tb := NewTable(patientsMeta())
+	for i := int64(0); i < 100; i++ {
+		mustInsert(t, tb, row(i, "p", 30))
+	}
+	tb.EnsureSketch(0)
+	tb.EnsureSketch(0) // idempotent
+	mustInsert(t, tb, row(100, "late", 30))
+
+	ci := ChunkInfo{t: tb, c: 0}
+	for i := int64(0); i <= 100; i++ {
+		if !ci.MayContain(0, i) {
+			t.Fatalf("MayContain(%d) = false for a present key", i)
+		}
+	}
+	fp := 0
+	const probes = 2000
+	for i := int64(0); i < probes; i++ {
+		if ci.MayContain(0, 1_000_000+i) {
+			fp++
+		}
+	}
+	if fp > probes/10 {
+		t.Fatalf("false-positive rate %d/%d too high for 101 keys", fp, probes)
+	}
+	// Unregistered / non-integer columns answer true (no sketch).
+	if !ci.MayContain(1, 42) || !ci.MayContain(2, 42) {
+		t.Fatal("columns without a sketch must answer MayContain=true")
+	}
+	tb.EnsureSketch(1) // string column: ignored, still answers true
+	if !ci.MayContain(1, 42) {
+		t.Fatal("string column sketch must be a no-op")
+	}
+}
+
+// TestScanChunkPrunedSkipIsNoCopy: a rejected chunk is stepped over
+// without copying a single row — the peek/skip fast path.
+func TestScanChunkPrunedSkipIsNoCopy(t *testing.T) {
+	tb := NewTable(patientsMeta())
+	for i := int64(0); i < 10; i++ {
+		mustInsert(t, tb, row(i, "p", 30))
+	}
+	out := make([]value.Row, 16)
+	ids := make([]RowID, 16)
+	n, next := tb.ScanChunkPruned(0, out, ids, func(ChunkInfo) bool { return false })
+	if n != 0 || next != -1 {
+		t.Fatalf("pruned scan = (%d, %d), want (0, -1)", n, next)
+	}
+	for i, r := range out {
+		if r != nil {
+			t.Fatalf("out[%d] written despite pruning", i)
+		}
+	}
+
+	// Accepting the chunk still returns every live row.
+	n, next = tb.ScanChunkPruned(0, out, ids, func(ChunkInfo) bool { return true })
+	if n != 10 || next != -1 {
+		t.Fatalf("accepted scan = (%d, %d), want (10, -1)", n, next)
+	}
+}
+
+// TestScanRangePrunedOneChunkPerCall: a surviving chunk's rows are
+// returned without spilling into the next chunk, so pruning is
+// re-evaluated at every chunk boundary.
+func TestScanRangePrunedOneChunkPerCall(t *testing.T) {
+	tb := NewTable(patientsMeta())
+	total := ChunkRows + 10
+	for i := 0; i < total; i++ {
+		mustInsert(t, tb, row(int64(i), "p", 30))
+	}
+	out := make([]value.Row, total)
+	ids := make([]RowID, total)
+	var chunksSeen []int
+	decide := func(ci ChunkInfo) bool {
+		chunksSeen = append(chunksSeen, ci.Chunk())
+		return ci.Chunk() == 1 // skip chunk 0, read chunk 1
+	}
+	got := 0
+	pos := 0
+	for pos >= 0 {
+		var n int
+		n, pos = tb.ScanRangePruned(pos, tb.HeapBound(), out[got:], ids[got:], decide)
+		got += n
+	}
+	if got != 10 {
+		t.Fatalf("rows = %d, want 10 (only chunk 1 accepted)", got)
+	}
+	if out[0][0].Int() != int64(ChunkRows) {
+		t.Fatalf("first surviving row = %d, want %d", out[0][0].Int(), ChunkRows)
+	}
+	if len(chunksSeen) != 2 || chunksSeen[0] != 0 || chunksSeen[1] != 1 {
+		t.Fatalf("decide saw chunks %v, want [0 1]", chunksSeen)
+	}
+}

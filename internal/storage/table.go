@@ -28,6 +28,13 @@ type Table struct {
 
 	pk        map[string]RowID // encoded pk -> row, when a primary key exists
 	secondary map[string]*hashIndex
+
+	// Per-chunk statistics (stats.go): one chunkStats per ChunkRows
+	// heap slots, intCols marking which columns get zone maps, and the
+	// set of registered sensitive-ID sketch columns.
+	stats      []*chunkStats
+	intCols    []bool
+	sketchCols map[int]struct{}
 }
 
 type hashIndex struct {
@@ -41,6 +48,7 @@ func NewTable(meta *catalog.TableMeta) *Table {
 	if len(meta.PrimaryKey) > 0 {
 		t.pk = make(map[string]RowID)
 	}
+	t.initStats()
 	return t
 }
 
@@ -76,6 +84,10 @@ func (t *Table) Insert(row value.Row) (RowID, error) {
 	}
 	t.rows = append(t.rows, coerced)
 	t.live++
+	ck := t.chunkOf(int(id))
+	t.ensureChunkBlooms(ck)
+	ck.live++
+	t.foldRow(ck, coerced)
 	for _, idx := range t.secondary {
 		k := value.EncodeRowKey(coerced, idx.cols)
 		idx.entries[k] = append(idx.entries[k], id)
@@ -126,6 +138,8 @@ func (t *Table) Delete(id RowID) (value.Row, error) {
 	old := t.rows[id]
 	t.rows[id] = nil
 	t.live--
+	t.chunkOf(int(id)).live--
+	t.noteDrift(int(id))
 	if t.pk != nil {
 		delete(t.pk, value.EncodeRowKey(old, t.meta.PrimaryKey))
 	}
@@ -162,6 +176,8 @@ func (t *Table) Update(id RowID, row value.Row) (value.Row, error) {
 		}
 	}
 	t.rows[id] = coerced
+	t.foldRow(t.chunkOf(int(id)), coerced)
+	t.noteDrift(int(id))
 	for _, idx := range t.secondary {
 		idx.remove(old, id)
 		k := value.EncodeRowKey(coerced, idx.cols)
@@ -180,6 +196,10 @@ func (t *Table) Restore(id RowID, row value.Row) error {
 	}
 	t.rows[id] = row
 	t.live++
+	ck := t.chunkOf(int(id))
+	t.ensureChunkBlooms(ck)
+	ck.live++
+	t.foldRow(ck, row)
 	if t.pk != nil {
 		t.pk[value.EncodeRowKey(row, t.meta.PrimaryKey)] = id
 	}

@@ -47,6 +47,11 @@ const (
 	// background offline-verification queue ("on"/"off"); read triage
 	// state back with SHOW AUDIT QUEUE / SHOW AUDIT VERDICTS.
 	KeyTriage = "triage"
+	// KeySkipping toggles chunk skipping (zone maps + sensitive-ID
+	// sketches) for this session's scans ("on"/"off"). Skipping never
+	// changes results or the audit trail; off is for measurement and
+	// as an escape hatch.
+	KeySkipping = "skipping"
 )
 
 // Request is one client line.
